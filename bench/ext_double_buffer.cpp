@@ -1,0 +1,61 @@
+// Extension beyond the paper: double-buffered staging. Each block owns
+// several tiles and stages tile k+1 with asynchronous loads while matching
+// tile k out of the other half of the shared region. Evaluated in the
+// regime it targets — one resident block per SM.
+#include <cstdio>
+#include <iostream>
+
+#include "acgpu.h"
+
+using namespace acgpu;
+
+int main(int argc, char** argv) {
+  ArgParser args("Extension: synchronous staging vs double-buffered prefetch.");
+  args.add_flag("size", "input size", "16MB");
+  if (!args.parse(argc, argv)) return 0;
+
+  gpusim::GpuConfig cfg = gpusim::GpuConfig::gtx285();
+  cfg.max_blocks_per_sm = 1;  // the single-resident-block regime
+  const auto size = static_cast<std::size_t>(args.get_bytes("size"));
+  const std::string corpus = workload::make_corpus(size + 4 * kMiB, 780);
+  const std::string_view input(corpus.data(), size);
+  const std::string_view pool(corpus.data() + size, 4 * kMiB);
+
+  Table table;
+  table.set_header({"patterns", "tiles/block", "Gbps", "vs plain"});
+
+  for (std::uint32_t count : {100u, 5000u}) {
+    workload::ExtractConfig ec;
+    ec.count = count;
+    ec.word_aligned = true;
+    const ac::Dfa dfa = ac::build_dfa(workload::extract_patterns(pool, ec), 8);
+    gpusim::DeviceMemory mem(1ull << 30);
+    const kernels::DeviceDfa ddfa(mem, dfa);
+    const auto addr = kernels::upload_text(mem, input);
+
+    double plain_seconds = 0;
+    for (std::uint32_t tiles : {1u, 2u, 4u, 8u}) {
+      kernels::AcLaunchSpec spec;
+      spec.approach = kernels::Approach::kShared;
+      spec.chunk_bytes = 32;
+      spec.threads_per_block = 192;
+      spec.tiles_per_block = tiles;
+      const std::size_t mark = mem.mark();
+      const auto out = kernels::run_ac_kernel(cfg, mem, ddfa, addr, input.size(), spec);
+      mem.release(mark);
+      if (tiles == 1) plain_seconds = out.sim.seconds;
+      char ratio[16];
+      std::snprintf(ratio, sizeof ratio, "%.2fx", plain_seconds / out.sim.seconds);
+      table.add_row({std::to_string(count), std::to_string(tiles),
+                     format_gbps(to_gbps(input.size(), out.sim.seconds)), ratio});
+    }
+  }
+
+  std::printf("ext: double-buffered staging (%s input, one resident block/SM)\n\n",
+              format_bytes(size).c_str());
+  table.print(std::cout);
+  std::printf("\nprefetching the next tile hides its staging latency behind the "
+              "current tile's matching; the benefit shrinks as texture stalls "
+              "start dominating (high pattern counts).\n");
+  return 0;
+}

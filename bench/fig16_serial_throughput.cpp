@@ -1,0 +1,7 @@
+// Regenerates the paper's Figure 16 (see harness/figures.cpp for the
+// definition and the paper's reported range).
+#include "harness/report.h"
+
+int main(int argc, char** argv) {
+  return acgpu::harness::figure_main("fig16", argc, argv);
+}

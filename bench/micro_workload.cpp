@@ -1,0 +1,56 @@
+// Microbenchmarks for the workload generators (corpus synthesis must be
+// cheap relative to the sweep it feeds).
+#include <benchmark/benchmark.h>
+
+#include "cpumodel/serial_timing.h"
+#include "workload/dna.h"
+#include "workload/markov_corpus.h"
+#include "workload/pattern_extract.h"
+#include "workload/seed_text.h"
+
+namespace {
+
+using namespace acgpu;
+
+void BM_MarkovGenerate(benchmark::State& state) {
+  const workload::MarkovModel model{workload::seed_text()};
+  const auto bytes = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(model.generate(bytes, 42).size());
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_MarkovGenerate)->Arg(64 << 10)->Arg(1 << 20)->Arg(8 << 20);
+
+void BM_PatternExtract(benchmark::State& state) {
+  const std::string corpus = workload::make_corpus(4 << 20, 77);
+  workload::ExtractConfig ec;
+  ec.count = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(workload::extract_patterns(corpus, ec).size());
+}
+BENCHMARK(BM_PatternExtract)->Arg(100)->Arg(10000);
+
+void BM_DnaGenerate(benchmark::State& state) {
+  for (auto _ : state)
+    benchmark::DoNotOptimize(workload::make_dna_sequence(1 << 20, 7).size());
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * (1 << 20));
+}
+BENCHMARK(BM_DnaGenerate);
+
+void BM_SerialTimingEstimate(benchmark::State& state) {
+  const std::string corpus = workload::make_corpus(2 << 20, 78);
+  workload::ExtractConfig ec;
+  ec.count = 1000;
+  const ac::Dfa dfa = ac::build_dfa(workload::extract_patterns(corpus, ec));
+  const std::string_view sample(corpus.data(), 1 << 20);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        cpumodel::estimate_serial(dfa, sample, corpus.size()).cycles_per_byte);
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * (1 << 20));
+}
+BENCHMARK(BM_SerialTimingEstimate)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,72 @@
+#include "ac/automaton.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/error.h"
+
+namespace acgpu::ac {
+
+Automaton::Automaton(const PatternSet& patterns) : trie_(patterns) {
+  const std::size_t n = trie_.node_count();
+  fail_.assign(n, 0);
+  bfs_order_.reserve(n);
+
+  // BFS from the root, computing failure links (Aho & Corasick 1975, Alg. 3):
+  // for a child c of s via byte b, f(c) is found by walking f(s) until a
+  // state with a b-child exists (the root accepts everything).
+  std::queue<State> queue;
+  bfs_order_.push_back(0);
+  for (const auto& [byte, child] : trie_.children(0)) {
+    (void)byte;
+    fail_[child] = 0;
+    queue.push(child);
+  }
+  while (!queue.empty()) {
+    const State s = queue.front();
+    queue.pop();
+    bfs_order_.push_back(s);
+    for (const auto& [byte, child] : trie_.children(s)) {
+      State f = fail_[s];
+      while (f != 0 && trie_.child(f, byte) == Trie::kNoChild) f = fail_[f];
+      const State via = trie_.child(f, byte);
+      fail_[child] = (via != Trie::kNoChild && via != child) ? via : 0;
+      queue.push(child);
+    }
+  }
+  ACGPU_CHECK(bfs_order_.size() == n, "BFS did not reach every trie node");
+
+  // Output function closed over failure links: out(s) = terminals(s) ∪
+  // out(f(s)). Computing in BFS order guarantees out(f(s)) is final, because
+  // failure links always point to strictly shallower states.
+  std::vector<std::vector<std::int32_t>> out(n);
+  for (State s : bfs_order_) {
+    const State f = fail_[s];
+    const auto& own = trie_.terminal_patterns(s);
+    auto& dst = out[s];
+    if (s != 0 && !out[f].empty()) dst = out[f];
+    dst.insert(dst.end(), own.begin(), own.end());
+    std::sort(dst.begin(), dst.end());
+    dst.erase(std::unique(dst.begin(), dst.end()), dst.end());
+  }
+
+  out_begin_.assign(n + 1, 0);
+  for (std::size_t s = 0; s < n; ++s)
+    out_begin_[s + 1] = out_begin_[s] + static_cast<std::uint32_t>(out[s].size());
+  out_ids_.reserve(out_begin_[n]);
+  for (std::size_t s = 0; s < n; ++s)
+    out_ids_.insert(out_ids_.end(), out[s].begin(), out[s].end());
+}
+
+State Automaton::goto_fn(State state, std::uint8_t byte) const {
+  const State child = trie_.child(state, byte);
+  if (child != Trie::kNoChild) return child;
+  return state == 0 ? 0 : kFail;
+}
+
+std::vector<std::int32_t> Automaton::output(State state) const {
+  return std::vector<std::int32_t>(out_ids_.begin() + out_begin_[state],
+                                   out_ids_.begin() + out_begin_[state + 1]);
+}
+
+}  // namespace acgpu::ac

@@ -1,0 +1,60 @@
+// The classic Aho-Corasick automaton (NFA form): goto function (the trie),
+// failure function (BFS over the trie), and output function (pattern sets
+// per state, closed over failure links). Section II of the paper.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "ac/pattern_set.h"
+#include "ac/trie.h"
+
+namespace acgpu::ac {
+
+/// Immutable NFA-form automaton. Holds the trie plus failure links and the
+/// output function as a CSR (compressed sparse row) table so that states
+/// with no output cost nothing.
+class Automaton {
+ public:
+  explicit Automaton(const PatternSet& patterns);
+
+  std::size_t state_count() const { return trie_.node_count(); }
+  const Trie& trie() const { return trie_; }
+
+  /// goto function g(state, byte): child in the trie, kFail when absent.
+  /// Per the paper, the root never fails: g(0, b) = 0 for absent edges.
+  static constexpr State kFail = -1;
+  State goto_fn(State state, std::uint8_t byte) const;
+
+  /// failure function f(state). f(root) is root.
+  State fail(State state) const { return fail_[state]; }
+
+  /// Pattern ids emitted at `state` (closed over failure links: includes
+  /// every keyword that is a suffix of the string spelling this state).
+  /// Returned ids are sorted ascending.
+  std::vector<std::int32_t> output(State state) const;
+  bool has_output(State state) const {
+    return out_begin_[state] != out_begin_[state + 1];
+  }
+  std::size_t output_count(State state) const {
+    return static_cast<std::size_t>(out_begin_[state + 1] - out_begin_[state]);
+  }
+
+  /// States in BFS order from the root (root first). DFA construction and
+  /// several invariants rely on parents preceding children.
+  const std::vector<State>& bfs_order() const { return bfs_order_; }
+
+  /// Total number of (state, pattern) output entries across all states.
+  std::size_t total_output_entries() const { return out_ids_.size(); }
+
+ private:
+  Trie trie_;
+  std::vector<State> fail_;
+  std::vector<State> bfs_order_;
+  // Output CSR: ids for state s live in out_ids_[out_begin_[s] .. out_begin_[s+1]).
+  std::vector<std::uint32_t> out_begin_;
+  std::vector<std::int32_t> out_ids_;
+};
+
+}  // namespace acgpu::ac

@@ -1,0 +1,42 @@
+#include "ac/chunking.h"
+
+#include <algorithm>
+
+#include "ac/serial_matcher.h"
+#include "util/error.h"
+
+namespace acgpu::ac {
+
+std::vector<Chunk> make_chunks(std::uint64_t text_len, std::uint64_t chunk_size,
+                               std::uint32_t overlap) {
+  ACGPU_CHECK(chunk_size > 0, "make_chunks: chunk_size must be positive");
+  std::vector<Chunk> chunks;
+  chunks.reserve(static_cast<std::size_t>((text_len + chunk_size - 1) / chunk_size));
+  for (std::uint64_t begin = 0; begin < text_len; begin += chunk_size) {
+    Chunk c;
+    c.begin = begin;
+    c.end = std::min(text_len, begin + chunk_size);
+    c.scan_end = std::min(text_len, c.end + overlap);
+    chunks.push_back(c);
+  }
+  return chunks;
+}
+
+std::vector<Match> find_all_chunked(const Dfa& dfa, std::string_view text,
+                                    std::uint64_t chunk_size) {
+  const std::uint32_t overlap = required_overlap(dfa.max_pattern_length());
+  std::vector<Match> out;
+  for (const Chunk& c : make_chunks(text.size(), chunk_size, overlap)) {
+    const std::string_view window =
+        text.substr(static_cast<std::size_t>(c.begin),
+                    static_cast<std::size_t>(c.scan_end - c.begin));
+    match_serial(dfa, window, [&](std::uint64_t end, std::int32_t id) {
+      if (chunk_owns_match(c, end, dfa.pattern_length(id)))
+        out.push_back(Match{end, id});
+    }, /*base=*/c.begin);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace acgpu::ac

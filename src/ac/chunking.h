@@ -1,0 +1,57 @@
+// Chunk decomposition with the paper's X-byte overlap rule (Section IV.B.3).
+//
+// Each GPU thread scans one chunk plus `X = max pattern length` extra bytes
+// so that patterns straddling a chunk boundary are still found. To avoid
+// duplicates, a thread only *reports* matches whose START index lies inside
+// its own chunk; matches that start earlier belong to the previous thread.
+// These helpers centralise that arithmetic so the kernels, the CPU reference
+// decomposition, and the tests all agree on it.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "ac/dfa.h"
+#include "ac/match.h"
+
+namespace acgpu::ac {
+
+/// One thread's assignment.
+struct Chunk {
+  std::uint64_t begin = 0;     ///< first byte the thread owns
+  std::uint64_t end = 0;       ///< one past the last byte it owns
+  std::uint64_t scan_end = 0;  ///< one past the last byte it scans (overlap)
+};
+
+/// Splits [0, text_len) into chunks of `chunk_size` bytes (the final chunk
+/// may be shorter) with `overlap` extra scan bytes each. overlap should be
+/// max_pattern_length - 1: a match starting on a chunk's last byte ends at
+/// most overlap bytes past the chunk.
+std::vector<Chunk> make_chunks(std::uint64_t text_len, std::uint64_t chunk_size,
+                               std::uint32_t overlap);
+
+/// The overlap the paper's rule requires for a dictionary whose longest
+/// pattern has `max_pattern_length` bytes.
+constexpr std::uint32_t required_overlap(std::uint32_t max_pattern_length) {
+  return max_pattern_length > 0 ? max_pattern_length - 1 : 0;
+}
+
+/// Dedup rule: should a match of `length` ending at `end` (absolute index)
+/// be reported by the thread owning `chunk`? True iff the match starts
+/// within [chunk.begin, chunk.end).
+constexpr bool chunk_owns_match(const Chunk& chunk, std::uint64_t end,
+                                std::uint32_t length) {
+  const std::uint64_t start = end + 1 - length;
+  return start >= chunk.begin && start < chunk.end;
+}
+
+/// CPU reference implementation of chunked matching: scans every chunk
+/// independently (fresh DFA state per chunk) and applies the dedup rule.
+/// Produces exactly the same multiset of matches as one serial pass —
+/// asserted by the test suite and relied on by the GPU kernels, which
+/// mirror this decomposition.
+std::vector<Match> find_all_chunked(const Dfa& dfa, std::string_view text,
+                                    std::uint64_t chunk_size);
+
+}  // namespace acgpu::ac

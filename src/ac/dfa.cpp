@@ -1,0 +1,156 @@
+#include "ac/dfa.h"
+
+#include <istream>
+#include <ostream>
+
+#include "util/error.h"
+
+namespace acgpu::ac {
+
+ByteMap identity_byte_map() {
+  ByteMap map{};
+  for (int b = 0; b < 256; ++b) map[b] = static_cast<std::uint8_t>(b);
+  return map;
+}
+
+ByteMap ascii_fold_map() {
+  ByteMap map = identity_byte_map();
+  for (int b = 'A'; b <= 'Z'; ++b) map[b] = static_cast<std::uint8_t>(b - 'A' + 'a');
+  return map;
+}
+
+Dfa::Dfa(const Automaton& automaton, const PatternSet& patterns,
+         std::uint32_t pad_pitch_to, const std::optional<ByteMap>& byte_map)
+    : stt_(static_cast<std::uint32_t>(automaton.state_count()), pad_pitch_to) {
+  const Trie& trie = automaton.trie();
+
+  // δ(s, b): child when the goto edge exists, otherwise δ(f(s), b). Filling
+  // in BFS order makes the parent-of-failure row available before it is
+  // consulted (failure links point strictly shallower). With a byte map,
+  // column b carries the transition for map[b].
+  const ByteMap map = byte_map.value_or(identity_byte_map());
+  for (State s : automaton.bfs_order()) {
+    const State f = automaton.fail(s);
+    for (std::uint32_t b = 0; b < 256; ++b) {
+      const std::uint32_t col = SttMatrix::column_for_byte(static_cast<std::uint8_t>(b));
+      const std::uint8_t eff = map[b];
+      const State child = trie.child(s, eff);
+      if (child != Trie::kNoChild) {
+        stt_.at(static_cast<std::uint32_t>(s), col) = child;
+      } else if (s != 0) {
+        stt_.at(static_cast<std::uint32_t>(s), col) =
+            stt_.at(static_cast<std::uint32_t>(f), col);
+      }  // root default: stays 0
+    }
+  }
+
+  // Output sets: assign compact output ids to match states; the STT match
+  // column stores the id (0 = non-match), the CSR stores the pattern lists.
+  out_begin_ = {0, 0};  // id 0: empty set
+  for (State s : automaton.bfs_order()) {
+    if (!automaton.has_output(s)) continue;
+    const auto ids = automaton.output(s);
+    stt_.at(static_cast<std::uint32_t>(s), 0) =
+        static_cast<std::int32_t>(out_begin_.size() - 1);
+    out_ids_.insert(out_ids_.end(), ids.begin(), ids.end());
+    out_begin_.push_back(static_cast<std::uint32_t>(out_ids_.size()));
+  }
+
+  pattern_lengths_.reserve(patterns.size());
+  for (std::size_t id = 0; id < patterns.size(); ++id)
+    pattern_lengths_.push_back(patterns.length(id));
+  max_pattern_length_ = patterns.max_length();
+}
+
+namespace {
+
+void write_u32(std::ostream& out, std::uint32_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+
+std::uint32_t read_u32(std::istream& in) {
+  std::uint32_t v = 0;
+  in.read(reinterpret_cast<char*>(&v), sizeof v);
+  ACGPU_CHECK(in.good(), "Dfa::load: truncated stream");
+  return v;
+}
+
+template <typename T>
+void write_vec(std::ostream& out, const std::vector<T>& v) {
+  write_u32(out, static_cast<std::uint32_t>(v.size()));
+  out.write(reinterpret_cast<const char*>(v.data()),
+            static_cast<std::streamsize>(v.size() * sizeof(T)));
+}
+
+template <typename T>
+std::vector<T> read_vec(std::istream& in) {
+  const std::uint32_t n = read_u32(in);
+  // Validate the declared size against the actual stream length so a
+  // corrupt count cannot trigger an absurd allocation.
+  const auto pos = in.tellg();
+  if (pos >= 0) {
+    in.seekg(0, std::ios::end);
+    const std::uint64_t remaining = static_cast<std::uint64_t>(in.tellg() - pos);
+    in.seekg(pos);
+    ACGPU_CHECK(static_cast<std::uint64_t>(n) * sizeof(T) <= remaining,
+                "Dfa::load: vector of " << n << " elements exceeds the stream");
+  }
+  std::vector<T> v(n);
+  in.read(reinterpret_cast<char*>(v.data()),
+          static_cast<std::streamsize>(v.size() * sizeof(T)));
+  ACGPU_CHECK(in.good(), "Dfa::load: truncated vector body");
+  return v;
+}
+
+constexpr char kMagic[8] = {'A', 'C', 'D', 'F', 'A', '0', '0', '1'};
+
+}  // namespace
+
+void Dfa::save(std::ostream& out) const {
+  out.write(kMagic, sizeof kMagic);
+  stt_.save(out);
+  write_vec(out, out_begin_);
+  write_vec(out, out_ids_);
+  write_vec(out, pattern_lengths_);
+  write_u32(out, max_pattern_length_);
+  ACGPU_CHECK(out.good(), "Dfa::save: stream write failed");
+}
+
+Dfa Dfa::load(std::istream& in) {
+  char magic[8];
+  in.read(magic, sizeof magic);
+  ACGPU_CHECK(in.good() && std::equal(magic, magic + 8, kMagic), "Dfa::load: bad magic");
+  Dfa dfa;
+  dfa.stt_ = SttMatrix::load(in);
+  dfa.out_begin_ = read_vec<std::uint32_t>(in);
+  dfa.out_ids_ = read_vec<std::int32_t>(in);
+  dfa.pattern_lengths_ = read_vec<std::uint32_t>(in);
+  dfa.max_pattern_length_ = read_u32(in);
+  ACGPU_CHECK(dfa.out_begin_.size() >= 2, "Dfa::load: missing output CSR");
+  return dfa;
+}
+
+Dfa build_dfa(const PatternSet& patterns, std::uint32_t pad_pitch_to) {
+  ACGPU_CHECK(!patterns.empty(), "build_dfa: empty pattern set");
+  Automaton automaton(patterns);
+  return Dfa(automaton, patterns, pad_pitch_to);
+}
+
+Dfa build_dfa_folded(const PatternSet& patterns, const ByteMap& map,
+                     std::uint32_t pad_pitch_to) {
+  ACGPU_CHECK(!patterns.empty(), "build_dfa_folded: empty pattern set");
+  // Map the patterns; keep ids aligned with the ORIGINAL set (no dedup —
+  // two patterns may fold to the same string and both must be reported).
+  std::vector<std::string> folded;
+  folded.reserve(patterns.size());
+  for (const auto& p : patterns) {
+    std::string m(p);
+    for (auto& c : m) c = static_cast<char>(map[static_cast<std::uint8_t>(c)]);
+    folded.push_back(std::move(m));
+  }
+  const PatternSet mapped(std::move(folded), /*dedup=*/false);
+  Automaton automaton(mapped);
+  return Dfa(automaton, mapped, pad_pitch_to, map);
+}
+
+}  // namespace acgpu::ac

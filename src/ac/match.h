@@ -1,0 +1,44 @@
+// Match records and sink concepts shared by every matcher in the library.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace acgpu::ac {
+
+/// One pattern occurrence. `end` is the index of the occurrence's last byte
+/// in the text; the start index is `end - length + 1` where `length` is the
+/// pattern's length. Matchers report ends because that is when an AC
+/// automaton discovers a match.
+struct Match {
+  std::uint64_t end = 0;
+  std::int32_t pattern = 0;
+
+  friend bool operator==(const Match&, const Match&) = default;
+  friend auto operator<=>(const Match&, const Match&) = default;
+};
+
+/// Sink that retains every match (tests, small inputs).
+class CollectSink {
+ public:
+  void operator()(std::uint64_t end, std::int32_t pattern) {
+    matches_.push_back(Match{end, pattern});
+  }
+  std::vector<Match>& matches() { return matches_; }
+  const std::vector<Match>& matches() const { return matches_; }
+
+ private:
+  std::vector<Match> matches_;
+};
+
+/// Sink that only counts (benchmarks at full data scale).
+class CountSink {
+ public:
+  void operator()(std::uint64_t, std::int32_t) { ++count_; }
+  std::uint64_t count() const { return count_; }
+
+ private:
+  std::uint64_t count_ = 0;
+};
+
+}  // namespace acgpu::ac

@@ -1,0 +1,22 @@
+#include "ac/naive_matcher.h"
+
+#include <algorithm>
+
+namespace acgpu::ac {
+
+std::vector<Match> find_all_naive(const PatternSet& patterns, std::string_view text) {
+  std::vector<Match> out;
+  for (std::size_t pos = 0; pos < text.size(); ++pos) {
+    for (std::size_t id = 0; id < patterns.size(); ++id) {
+      const std::string_view p = patterns[id];
+      if (p.size() <= text.size() - pos && text.substr(pos, p.size()) == p)
+        out.push_back(Match{pos + p.size() - 1, static_cast<std::int32_t>(id)});
+    }
+  }
+  // Normalise to (end, pattern) order so comparisons with AC output are
+  // order-insensitive.
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace acgpu::ac

@@ -1,0 +1,16 @@
+// Naive O(n * total-pattern-bytes) matcher: direct substring comparison at
+// every position. The ground-truth oracle for property tests — deliberately
+// written with no shared machinery with the AC matchers.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "ac/match.h"
+#include "ac/pattern_set.h"
+
+namespace acgpu::ac {
+
+std::vector<Match> find_all_naive(const PatternSet& patterns, std::string_view text);
+
+}  // namespace acgpu::ac

@@ -1,0 +1,11 @@
+#include "ac/nfa_matcher.h"
+
+namespace acgpu::ac {
+
+std::vector<Match> find_all_nfa(const Automaton& automaton, std::string_view text) {
+  CollectSink sink;
+  match_nfa(automaton, text, sink);
+  return std::move(sink.matches());
+}
+
+}  // namespace acgpu::ac

@@ -1,0 +1,35 @@
+// NFA-form matcher: walks goto/failure links directly (the paper's Fig. 1
+// machine). Slower than the DFA (amortised O(1) but with failure-chain
+// walks); kept as an independent oracle for the test suite and to quantify
+// the DFA conversion's benefit in the micro benches.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "ac/automaton.h"
+#include "ac/match.h"
+
+namespace acgpu::ac {
+
+template <typename Sink>
+void match_nfa(const Automaton& automaton, std::string_view text, Sink&& sink,
+               std::uint64_t base = 0) {
+  State state = 0;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const auto byte = static_cast<std::uint8_t>(text[i]);
+    State next = automaton.goto_fn(state, byte);
+    while (next == Automaton::kFail) {
+      state = automaton.fail(state);
+      next = automaton.goto_fn(state, byte);
+    }
+    state = next;
+    if (automaton.has_output(state))
+      for (std::int32_t id : automaton.output(state)) sink(base + i, id);
+  }
+}
+
+std::vector<Match> find_all_nfa(const Automaton& automaton, std::string_view text);
+
+}  // namespace acgpu::ac

@@ -1,0 +1,115 @@
+#include "ac/parallel_matcher.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "ac/chunking.h"
+#include "ac/serial_matcher.h"
+#include "util/error.h"
+
+namespace acgpu::ac {
+
+namespace {
+
+unsigned resolve_threads(unsigned threads) {
+  if (threads != 0) return threads;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+/// Runs `worker(w)` for w in [0, workers) on that many threads. Exceptions
+/// from workers are rethrown on the calling thread (first one wins).
+template <typename Fn>
+void run_workers(unsigned workers, Fn&& worker) {
+  if (workers == 1) {
+    worker(0);
+    return;
+  }
+  std::vector<std::thread> pool;
+  std::vector<std::exception_ptr> errors(workers);
+  pool.reserve(workers);
+  for (unsigned w = 0; w < workers; ++w) {
+    pool.emplace_back([&, w] {
+      try {
+        worker(w);
+      } catch (...) {
+        errors[w] = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+  for (auto& e : errors)
+    if (e) std::rethrow_exception(e);
+}
+
+}  // namespace
+
+std::vector<Match> find_all_parallel(const Dfa& dfa, std::string_view text,
+                                     unsigned threads) {
+  const unsigned workers = resolve_threads(threads);
+  if (text.empty()) return {};
+
+  // One contiguous span of chunks per worker; each chunk is scanned with a
+  // fresh DFA state and the ownership rule applied, exactly like the GPU
+  // decomposition.
+  const std::uint32_t overlap = required_overlap(dfa.max_pattern_length());
+  const std::uint64_t span =
+      std::max<std::uint64_t>(1, (text.size() + workers - 1) / workers);
+  std::vector<std::vector<Match>> partial(workers);
+
+  run_workers(workers, [&](unsigned w) {
+    const std::uint64_t begin = w * span;
+    if (begin >= text.size()) return;
+    const std::uint64_t end = std::min<std::uint64_t>(text.size(), begin + span);
+    const Chunk chunk{begin, end,
+                      std::min<std::uint64_t>(text.size(), end + overlap)};
+    const std::string_view window =
+        text.substr(static_cast<std::size_t>(chunk.begin),
+                    static_cast<std::size_t>(chunk.scan_end - chunk.begin));
+    auto& out = partial[w];
+    match_serial(dfa, window, [&](std::uint64_t match_end, std::int32_t id) {
+      if (chunk_owns_match(chunk, match_end, dfa.pattern_length(id)))
+        out.push_back(Match{match_end, id});
+    }, /*base=*/chunk.begin);
+  });
+
+  std::vector<Match> all;
+  std::size_t total = 0;
+  for (const auto& p : partial) total += p.size();
+  all.reserve(total);
+  for (auto& p : partial) all.insert(all.end(), p.begin(), p.end());
+  std::sort(all.begin(), all.end());
+  return all;
+}
+
+std::uint64_t count_matches_parallel(const Dfa& dfa, std::string_view text,
+                                     unsigned threads) {
+  const unsigned workers = resolve_threads(threads);
+  if (text.empty()) return 0;
+  const std::uint32_t overlap = required_overlap(dfa.max_pattern_length());
+  const std::uint64_t span =
+      std::max<std::uint64_t>(1, (text.size() + workers - 1) / workers);
+  std::vector<std::uint64_t> counts(workers, 0);
+
+  run_workers(workers, [&](unsigned w) {
+    const std::uint64_t begin = w * span;
+    if (begin >= text.size()) return;
+    const std::uint64_t end = std::min<std::uint64_t>(text.size(), begin + span);
+    const Chunk chunk{begin, end,
+                      std::min<std::uint64_t>(text.size(), end + overlap)};
+    const std::string_view window =
+        text.substr(static_cast<std::size_t>(chunk.begin),
+                    static_cast<std::size_t>(chunk.scan_end - chunk.begin));
+    std::uint64_t n = 0;
+    match_serial(dfa, window, [&](std::uint64_t match_end, std::int32_t id) {
+      if (chunk_owns_match(chunk, match_end, dfa.pattern_length(id))) ++n;
+    }, chunk.begin);
+    counts[w] = n;
+  });
+
+  std::uint64_t total = 0;
+  for (auto c : counts) total += c;
+  return total;
+}
+
+}  // namespace acgpu::ac

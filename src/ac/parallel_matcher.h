@@ -1,0 +1,25 @@
+// Multi-threaded CPU matcher: the chunk + X-overlap decomposition of
+// ac/chunking.h executed with std::thread — the "best multithreaded
+// implementation on a multicore processor" baseline that the paper's related
+// work (Zha & Sahni [18]) compares against.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "ac/dfa.h"
+#include "ac/match.h"
+
+namespace acgpu::ac {
+
+/// Scans `text` with `threads` worker threads (0 = hardware concurrency).
+/// Produces exactly the single-pass match multiset, sorted by (end, pattern).
+std::vector<Match> find_all_parallel(const Dfa& dfa, std::string_view text,
+                                     unsigned threads = 0);
+
+/// Count-only variant for benchmarking.
+std::uint64_t count_matches_parallel(const Dfa& dfa, std::string_view text,
+                                     unsigned threads = 0);
+
+}  // namespace acgpu::ac

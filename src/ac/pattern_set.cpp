@@ -1,0 +1,30 @@
+#include "ac/pattern_set.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/error.h"
+
+namespace acgpu::ac {
+
+PatternSet::PatternSet(std::vector<std::string> patterns, bool dedup) {
+  // Owned keys: patterns are short (SSO), so views into moved-from strings
+  // would dangle. The copy cost is negligible at dictionary scale.
+  std::unordered_set<std::string> seen;
+  patterns_.reserve(patterns.size());
+  for (auto& p : patterns) {
+    ACGPU_CHECK(!p.empty(), "PatternSet: empty pattern at index " << patterns_.size());
+    if (dedup && !seen.insert(p).second) continue;
+    total_bytes_ += p.size();
+    patterns_.push_back(std::move(p));
+  }
+  if (!patterns_.empty()) {
+    auto by_size = [](const auto& a, const auto& b) { return a.size() < b.size(); };
+    min_length_ = static_cast<std::uint32_t>(
+        std::min_element(patterns_.begin(), patterns_.end(), by_size)->size());
+    max_length_ = static_cast<std::uint32_t>(
+        std::max_element(patterns_.begin(), patterns_.end(), by_size)->size());
+  }
+}
+
+}  // namespace acgpu::ac

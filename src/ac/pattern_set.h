@@ -1,0 +1,47 @@
+// A validated, immutable set of byte-string patterns (the paper's
+// "dictionary" / finite set of keywords).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace acgpu::ac {
+
+/// Owns the dictionary the automaton is built from. Patterns are arbitrary
+/// byte strings (alphabet = 256, as in the paper's 257-column STT). Pattern
+/// ids are their indices in insertion order.
+class PatternSet {
+ public:
+  PatternSet() = default;
+
+  /// Builds from strings; rejects empty patterns. When `dedup` is true,
+  /// duplicate strings are dropped (keeping the first occurrence) — the AC
+  /// automaton cannot distinguish duplicates anyway.
+  explicit PatternSet(std::vector<std::string> patterns, bool dedup = true);
+
+  std::size_t size() const { return patterns_.size(); }
+  bool empty() const { return patterns_.empty(); }
+
+  std::string_view operator[](std::size_t id) const { return patterns_[id]; }
+  std::uint32_t length(std::size_t id) const {
+    return static_cast<std::uint32_t>(patterns_[id].size());
+  }
+
+  /// The paper's X: overlap appended to each thread's chunk.
+  std::uint32_t max_length() const { return max_length_; }
+  std::uint32_t min_length() const { return min_length_; }
+  std::uint64_t total_bytes() const { return total_bytes_; }
+
+  auto begin() const { return patterns_.begin(); }
+  auto end() const { return patterns_.end(); }
+
+ private:
+  std::vector<std::string> patterns_;
+  std::uint32_t max_length_ = 0;
+  std::uint32_t min_length_ = 0;
+  std::uint64_t total_bytes_ = 0;
+};
+
+}  // namespace acgpu::ac

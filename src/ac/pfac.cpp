@@ -1,0 +1,44 @@
+#include "ac/pfac.h"
+
+#include <algorithm>
+
+#include "ac/trie.h"
+#include "util/error.h"
+
+namespace acgpu::ac {
+
+PfacAutomaton::PfacAutomaton(const PatternSet& patterns)
+    : max_pattern_length_(patterns.max_length()) {
+  ACGPU_CHECK(!patterns.empty(), "PfacAutomaton: empty pattern set");
+  Trie trie(patterns);
+  stt_ = SttMatrix(static_cast<std::uint32_t>(trie.node_count()));
+
+  // Every edge defaults to dead; only real trie edges survive. In PFAC a
+  // match instance never restarts, so no failure targets exist.
+  for (std::uint32_t r = 0; r < stt_.rows(); ++r)
+    for (std::uint32_t b = 0; b < 256; ++b)
+      stt_.at(r, SttMatrix::column_for_byte(static_cast<std::uint8_t>(b))) = kDead;
+
+  out_begin_ = {0, 0};
+  for (std::uint32_t s = 0; s < stt_.rows(); ++s) {
+    for (const auto& [byte, child] : trie.children(static_cast<State>(s)))
+      stt_.at(s, SttMatrix::column_for_byte(byte)) = child;
+    const auto& terminals = trie.terminal_patterns(static_cast<State>(s));
+    if (!terminals.empty()) {
+      stt_.at(s, 0) = static_cast<std::int32_t>(out_begin_.size() - 1);
+      out_ids_.insert(out_ids_.end(), terminals.begin(), terminals.end());
+      out_begin_.push_back(static_cast<std::uint32_t>(out_ids_.size()));
+    }
+  }
+}
+
+std::vector<Match> find_all_pfac(const PfacAutomaton& pfac, std::string_view text) {
+  CollectSink sink;
+  for (std::size_t start = 0; start < text.size(); ++start)
+    pfac.run_from(text, start, sink);
+  auto out = std::move(sink.matches());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace acgpu::ac

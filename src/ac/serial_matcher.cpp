@@ -1,0 +1,17 @@
+#include "ac/serial_matcher.h"
+
+namespace acgpu::ac {
+
+std::vector<Match> find_all(const Dfa& dfa, std::string_view text) {
+  CollectSink sink;
+  match_serial(dfa, text, sink);
+  return std::move(sink.matches());
+}
+
+std::uint64_t count_matches(const Dfa& dfa, std::string_view text) {
+  CountSink sink;
+  match_serial(dfa, text, sink);
+  return sink.count();
+}
+
+}  // namespace acgpu::ac

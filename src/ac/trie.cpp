@@ -1,0 +1,39 @@
+#include "ac/trie.h"
+
+#include <limits>
+
+#include "util/error.h"
+
+namespace acgpu::ac {
+
+Trie::Trie(const PatternSet& patterns) {
+  nodes_.emplace_back();  // root
+  for (std::size_t id = 0; id < patterns.size(); ++id) {
+    State node = 0;
+    for (unsigned char byte : patterns[id]) {
+      State next = child(node, byte);
+      if (next == kNoChild) next = add_child(node, byte);
+      node = next;
+    }
+    nodes_[node].terminals.push_back(static_cast<std::int32_t>(id));
+  }
+}
+
+State Trie::child(State node, std::uint8_t byte) const {
+  const auto& ch = nodes_[node].children;
+  auto it = ch.find(byte);
+  return it == ch.end() ? kNoChild : it->second;
+}
+
+State Trie::add_child(State node, std::uint8_t byte) {
+  ACGPU_CHECK(nodes_.size() < static_cast<std::size_t>(std::numeric_limits<State>::max()),
+              "trie exceeds 2^31-1 nodes");
+  const State id = static_cast<State>(nodes_.size());
+  const std::uint32_t d = nodes_[node].depth + 1;
+  nodes_.emplace_back();
+  nodes_[id].depth = d;
+  nodes_[node].children.emplace(byte, id);
+  return id;
+}
+
+}  // namespace acgpu::ac

@@ -1,0 +1,59 @@
+// Keyword trie — the goto function's skeleton (phase 1, step 1 of the paper's
+// AC construction).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "ac/pattern_set.h"
+
+namespace acgpu::ac {
+
+/// State index type. State 0 is always the root.
+using State = std::int32_t;
+
+/// Trie over the full byte alphabet. Children are kept in per-node ordered
+/// maps: the trie is a construction-time structure only (the matchers run on
+/// the flattened DFA), and natural-language dictionaries have low branching
+/// factors, so dense 256-entry child arrays would waste ~1 KB per node.
+class Trie {
+ public:
+  /// Builds the trie for a whole dictionary. Node ids are assigned in
+  /// creation order (root = 0), which matches the paper's Fig. 1 numbering
+  /// for patterns inserted in order.
+  explicit Trie(const PatternSet& patterns);
+
+  std::size_t node_count() const { return nodes_.size(); }
+
+  /// Child for `byte`, or kNoChild.
+  State child(State node, std::uint8_t byte) const;
+  static constexpr State kNoChild = -1;
+
+  /// Depth of the node == length of the string spelling it.
+  std::uint32_t depth(State node) const { return nodes_[node].depth; }
+
+  /// Pattern ids that end exactly at this node (not including failure-link
+  /// suffix matches; those are added by the Automaton).
+  const std::vector<std::int32_t>& terminal_patterns(State node) const {
+    return nodes_[node].terminals;
+  }
+
+  /// Ordered children of a node (byte -> state), exposed for BFS traversals.
+  const std::map<std::uint8_t, State>& children(State node) const {
+    return nodes_[node].children;
+  }
+
+ private:
+  struct Node {
+    std::map<std::uint8_t, State> children;
+    std::vector<std::int32_t> terminals;
+    std::uint32_t depth = 0;
+  };
+
+  State add_child(State node, std::uint8_t byte);
+
+  std::vector<Node> nodes_;
+};
+
+}  // namespace acgpu::ac

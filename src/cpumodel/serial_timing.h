@@ -1,0 +1,55 @@
+// Timing model for the paper's serial baseline (2.2 GHz Core2).
+//
+// Why a model instead of host wall-clock: the GPU side of every speedup
+// figure is *simulated* GTX 285 time, so the CPU side must be measured in
+// the same world for the ratios to mean anything. The model walks the DFA
+// over a sample of the input, runs every STT access through an L1/L2 cache
+// model, and converts cycles/byte into seconds at the Core2 clock. Host
+// wall-clock is still measured and reported alongside (harness).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "ac/dfa.h"
+
+namespace acgpu::cpumodel {
+
+struct CpuConfig {
+  double clock_ghz = 2.2;  ///< paper's Intel Core2
+
+  /// DFA inner-loop cost with all data in L1: byte load, column index
+  /// arithmetic, STT load, match-column test, loop bookkeeping. Core2
+  /// retires this dependent chain in roughly a dozen cycles.
+  std::uint32_t base_cycles_per_byte = 12;
+
+  // Core2-class cache hierarchy.
+  std::uint64_t l1_bytes = 32 * 1024;
+  std::uint32_t l1_line_bytes = 64;
+  std::uint32_t l1_assoc = 8;
+  std::uint64_t l2_bytes = 2 * 1024 * 1024;
+  std::uint32_t l2_line_bytes = 64;
+  std::uint32_t l2_assoc = 8;
+
+  std::uint32_t l2_hit_cycles = 14;   ///< extra cycles on an L1 miss that hits L2
+  std::uint32_t mem_cycles = 230;     ///< extra cycles on an L2 miss
+
+  static CpuConfig core2();
+};
+
+struct SerialEstimate {
+  double cycles_per_byte = 0;
+  double seconds = 0;  ///< for the full text length passed in
+  double l1_miss_rate = 0;
+  double l2_miss_rate = 0;  ///< misses per L2 access (i.e. per L1 miss)
+  std::uint64_t sampled_bytes = 0;
+};
+
+/// Walks the DFA over `sample` (typically a prefix of the real input),
+/// simulating the cache behaviour of every STT and input access, then
+/// scales cycles/byte to `full_text_len` bytes.
+SerialEstimate estimate_serial(const ac::Dfa& dfa, std::string_view sample,
+                               std::uint64_t full_text_len,
+                               const CpuConfig& config = CpuConfig::core2());
+
+}  // namespace acgpu::cpumodel

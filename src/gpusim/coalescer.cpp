@@ -1,0 +1,36 @@
+#include "gpusim/coalescer.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace acgpu::gpusim {
+
+std::vector<DevAddr> distinct_segments(std::span<const DevAddr> addrs,
+                                       std::uint32_t access_bytes,
+                                       std::uint32_t segment_bytes) {
+  ACGPU_CHECK(segment_bytes > 0 && (segment_bytes & (segment_bytes - 1)) == 0,
+              "segment size must be a power of two, got " << segment_bytes);
+  ACGPU_CHECK(access_bytes > 0, "access width must be positive");
+  std::vector<DevAddr> segs;
+  segs.reserve(addrs.size());
+  for (DevAddr a : addrs) {
+    const DevAddr first = a / segment_bytes;
+    const DevAddr last = (a + access_bytes - 1) / segment_bytes;
+    for (DevAddr s = first; s <= last; ++s) segs.push_back(s * segment_bytes);
+  }
+  std::sort(segs.begin(), segs.end());
+  segs.erase(std::unique(segs.begin(), segs.end()), segs.end());
+  return segs;
+}
+
+CoalesceResult coalesce(std::span<const DevAddr> addrs, std::uint32_t access_bytes,
+                        std::uint32_t segment_bytes) {
+  const auto segs = distinct_segments(addrs, access_bytes, segment_bytes);
+  CoalesceResult r;
+  r.transactions = static_cast<std::uint32_t>(segs.size());
+  r.bytes = static_cast<std::uint64_t>(segs.size()) * segment_bytes;
+  return r;
+}
+
+}  // namespace acgpu::gpusim

@@ -1,0 +1,33 @@
+// Global-memory coalescing model (the paper's Section IV "coalesced
+// accesses"): the lane addresses of one warp-level load/store are combined
+// into the minimum set of aligned segments; each distinct segment is one
+// memory transaction.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "gpusim/device_memory.h"
+
+namespace acgpu::gpusim {
+
+struct CoalesceResult {
+  std::uint32_t transactions = 0;  ///< distinct segments touched
+  std::uint64_t bytes = 0;         ///< transactions * segment size
+};
+
+/// Coalesces the accesses of one warp instruction. `addrs` are the active
+/// lanes' byte addresses, `access_bytes` the per-lane access width, and
+/// `segment_bytes` the coalescing window (128 B on GT200). An access that
+/// straddles a segment boundary touches both segments.
+CoalesceResult coalesce(std::span<const DevAddr> addrs, std::uint32_t access_bytes,
+                        std::uint32_t segment_bytes);
+
+/// The distinct aligned segment base addresses (for cache-line style
+/// consumers like the texture-miss path). Sorted ascending.
+std::vector<DevAddr> distinct_segments(std::span<const DevAddr> addrs,
+                                       std::uint32_t access_bytes,
+                                       std::uint32_t segment_bytes);
+
+}  // namespace acgpu::gpusim

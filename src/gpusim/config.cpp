@@ -1,0 +1,24 @@
+#include "gpusim/config.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace acgpu::gpusim {
+
+std::uint32_t GpuConfig::occupancy_blocks(std::uint32_t threads,
+                                          std::uint32_t shared_bytes) const {
+  ACGPU_CHECK(threads > 0 && threads <= max_threads_per_sm,
+              "occupancy: block of " << threads << " threads does not fit an SM");
+  ACGPU_CHECK(shared_bytes <= shared_mem_bytes,
+              "occupancy: block needs " << shared_bytes
+                  << "B shared memory but the SM has " << shared_mem_bytes << "B");
+  std::uint32_t blocks = max_blocks_per_sm;
+  blocks = std::min(blocks, max_threads_per_sm / threads);
+  if (shared_bytes > 0) blocks = std::min(blocks, shared_mem_bytes / shared_bytes);
+  return std::max(1u, blocks);
+}
+
+GpuConfig GpuConfig::gtx285() { return GpuConfig{}; }
+
+}  // namespace acgpu::gpusim

@@ -1,0 +1,35 @@
+#include "gpusim/device_memory.h"
+
+namespace acgpu::gpusim {
+
+DeviceMemory::DeviceMemory(std::size_t capacity) : bytes_(capacity, 0) {
+  ACGPU_CHECK(capacity > 0, "DeviceMemory: zero capacity");
+}
+
+DevAddr DeviceMemory::alloc(std::size_t bytes, std::size_t align) {
+  ACGPU_CHECK(align > 0 && (align & (align - 1)) == 0,
+              "DeviceMemory::alloc: alignment " << align << " is not a power of two");
+  const std::size_t base = (next_ + align - 1) & ~(align - 1);
+  ACGPU_CHECK(base + bytes <= bytes_.size(),
+              "device out of memory: want " << bytes << "B at offset " << base
+                  << ", capacity " << bytes_.size() << "B");
+  next_ = base + bytes;
+  return base;
+}
+
+void DeviceMemory::copy_in(DevAddr dst, const void* src, std::size_t bytes) {
+  bounds_check(dst, bytes);
+  std::memcpy(bytes_.data() + dst, src, bytes);
+}
+
+void DeviceMemory::copy_out(void* dst, DevAddr src, std::size_t bytes) const {
+  bounds_check(src, bytes);
+  std::memcpy(dst, bytes_.data() + src, bytes);
+}
+
+void DeviceMemory::fill(DevAddr dst, std::uint8_t value, std::size_t bytes) {
+  bounds_check(dst, bytes);
+  std::memset(bytes_.data() + dst, value, bytes);
+}
+
+}  // namespace acgpu::gpusim

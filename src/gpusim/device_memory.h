@@ -1,0 +1,84 @@
+// Simulated device (global) memory: one flat little-endian address space
+// with a bump allocator, mirroring cudaMalloc + cudaMemcpy.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "util/error.h"
+
+namespace acgpu::gpusim {
+
+/// Byte address in simulated device memory.
+using DevAddr = std::uint64_t;
+
+class DeviceMemory {
+ public:
+  /// `capacity` bytes of device memory (GTX 285: 1 GB).
+  explicit DeviceMemory(std::size_t capacity);
+
+  std::size_t capacity() const { return bytes_.size(); }
+  std::size_t allocated() const { return next_; }
+
+  /// Bump allocation, 256-byte aligned by default (texture/segment friendly).
+  DevAddr alloc(std::size_t bytes, std::size_t align = 256);
+
+  /// Stack discipline for sweeps: mark() the allocator position, allocate
+  /// per-configuration buffers, then release(mark) to reuse the space.
+  std::size_t mark() const { return next_; }
+  void release(std::size_t m) {
+    ACGPU_CHECK(m <= next_, "DeviceMemory::release: mark " << m
+                                << " is above the allocation point " << next_);
+    next_ = m;
+  }
+
+  /// Host -> device copy (cudaMemcpyHostToDevice).
+  void copy_in(DevAddr dst, const void* src, std::size_t bytes);
+  /// Device -> host copy (cudaMemcpyDeviceToHost).
+  void copy_out(void* dst, DevAddr src, std::size_t bytes) const;
+  void fill(DevAddr dst, std::uint8_t value, std::size_t bytes);
+
+  std::uint8_t load_u8(DevAddr a) const {
+    bounds_check(a, 1);
+    return bytes_[a];
+  }
+  std::uint32_t load_u32(DevAddr a) const {
+    bounds_check(a, 4);
+    std::uint32_t v;
+    std::memcpy(&v, bytes_.data() + a, 4);
+    return v;
+  }
+  std::int32_t load_i32(DevAddr a) const {
+    return static_cast<std::int32_t>(load_u32(a));
+  }
+  void store_u8(DevAddr a, std::uint8_t v) {
+    bounds_check(a, 1);
+    bytes_[a] = v;
+  }
+  void store_u32(DevAddr a, std::uint32_t v) {
+    bounds_check(a, 4);
+    std::memcpy(bytes_.data() + a, &v, 4);
+  }
+  void store_i32(DevAddr a, std::int32_t v) {
+    store_u32(a, static_cast<std::uint32_t>(v));
+  }
+
+  /// Direct read-only view (texture binding, bulk verification).
+  const std::uint8_t* raw(DevAddr a, std::size_t bytes) const {
+    bounds_check(a, bytes);
+    return bytes_.data() + a;
+  }
+
+ private:
+  void bounds_check(DevAddr a, std::size_t bytes) const {
+    ACGPU_CHECK(a + bytes <= bytes_.size(),
+                "device memory access [" << a << ", " << a + bytes
+                    << ") out of bounds (capacity " << bytes_.size() << ")");
+  }
+
+  std::vector<std::uint8_t> bytes_;
+  std::size_t next_ = 0;
+};
+
+}  // namespace acgpu::gpusim

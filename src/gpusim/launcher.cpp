@@ -1,0 +1,58 @@
+#include "gpusim/launcher.h"
+
+#include <numeric>
+
+#include "util/error.h"
+
+namespace acgpu::gpusim {
+namespace {
+
+/// Evenly spaced sample of `want` block ids out of [0, grid). The grid tail
+/// (a possibly partial final block) is pinned into the sample.
+std::vector<std::uint64_t> sample_blocks(std::uint64_t grid, std::uint64_t want) {
+  std::vector<std::uint64_t> ids;
+  if (want >= grid) {
+    ids.resize(grid);
+    std::iota(ids.begin(), ids.end(), 0);
+    return ids;
+  }
+  ids.reserve(want);
+  for (std::uint64_t i = 0; i < want; ++i) ids.push_back(i * grid / want);
+  ids.back() = grid - 1;
+  return ids;
+}
+
+}  // namespace
+
+LaunchResult launch(const GpuConfig& config, DeviceMemory& gmem,
+                    const Texture2D* tex, const LaunchDims& dims, KernelFn kernel,
+                    const LaunchOptions& options, const Texture2D* tex2) {
+  ACGPU_CHECK(dims.grid_blocks > 0, "launch: empty grid");
+  Scheduler scheduler(config, gmem, tex, dims, std::move(kernel), tex2);
+
+  std::vector<std::uint64_t> ids;
+  if (options.mode == SimMode::Functional) {
+    ids = sample_blocks(dims.grid_blocks, dims.grid_blocks);
+  } else {
+    const std::uint32_t occupancy =
+        config.occupancy_blocks(dims.block_threads, dims.shared_bytes);
+    const std::uint64_t per_wave =
+        static_cast<std::uint64_t>(config.num_sms) * occupancy;
+    const std::uint64_t want = std::max<std::uint64_t>(
+        1, per_wave * std::max(1u, options.sample_waves));
+    ids = sample_blocks(dims.grid_blocks, want);
+  }
+
+  const RunStats stats = scheduler.run(ids);
+
+  LaunchResult result;
+  result.sim_makespan_cycles = stats.makespan_cycles;
+  result.simulated_blocks = stats.simulated_blocks;
+  result.grid_blocks = dims.grid_blocks;
+  result.cycles = stats.makespan_cycles * result.scale();
+  result.seconds = config.seconds(result.cycles);
+  result.metrics = stats.metrics;
+  return result;
+}
+
+}  // namespace acgpu::gpusim

@@ -1,0 +1,48 @@
+// Kernel launch API: the CUDA-shaped entry point of the simulator.
+//
+// Timed mode simulates a few full occupancy waves of blocks (data-parallel
+// blocks are homogeneous) and extrapolates the makespan to the whole grid;
+// Functional mode runs every block — used by the correctness tests, and by
+// any caller that needs the kernel's memory side-effects for the full input.
+#pragma once
+
+#include <cstdint>
+
+#include "gpusim/config.h"
+#include "gpusim/scheduler.h"
+
+namespace acgpu::gpusim {
+
+enum class SimMode {
+  Timed,       ///< sampled blocks, extrapolated timing
+  Functional,  ///< every block simulated (timing exact, side effects complete)
+};
+
+struct LaunchOptions {
+  SimMode mode = SimMode::Timed;
+  /// Full occupancy waves to simulate in Timed mode (>= 2 recommended so the
+  /// steady state dominates the pipeline fill).
+  std::uint32_t sample_waves = 3;
+};
+
+struct LaunchResult {
+  double cycles = 0;   ///< full-grid makespan estimate (== sim in Functional)
+  double seconds = 0;  ///< cycles at the configured shader clock
+  double sim_makespan_cycles = 0;
+  std::uint64_t simulated_blocks = 0;
+  std::uint64_t grid_blocks = 0;
+  Metrics metrics;
+
+  double scale() const {
+    return simulated_blocks == 0
+               ? 1.0
+               : static_cast<double>(grid_blocks) / static_cast<double>(simulated_blocks);
+  }
+};
+
+LaunchResult launch(const GpuConfig& config, DeviceMemory& gmem,
+                    const Texture2D* tex, const LaunchDims& dims, KernelFn kernel,
+                    const LaunchOptions& options = {},
+                    const Texture2D* tex2 = nullptr);
+
+}  // namespace acgpu::gpusim

@@ -1,0 +1,43 @@
+#include "gpusim/metrics.h"
+
+#include <algorithm>
+
+namespace acgpu::gpusim {
+
+Metrics& Metrics::operator+=(const Metrics& o) {
+  warp_instructions += o.warp_instructions;
+  issue_cycles += o.issue_cycles;
+  global_requests += o.global_requests;
+  global_transactions += o.global_transactions;
+  global_bytes += o.global_bytes;
+  shared_requests += o.shared_requests;
+  shared_groups += o.shared_groups;
+  shared_conflict_cycles += o.shared_conflict_cycles;
+  shared_max_degree = std::max(shared_max_degree, o.shared_max_degree);
+  tex_requests += o.tex_requests;
+  tex_lane_fetches += o.tex_lane_fetches;
+  tex_misses += o.tex_misses;
+  tex_l2_misses += o.tex_l2_misses;
+  stall_global_cycles += o.stall_global_cycles;
+  stall_shared_cycles += o.stall_shared_cycles;
+  stall_tex_cycles += o.stall_tex_cycles;
+  stall_barrier_cycles += o.stall_barrier_cycles;
+  barriers += o.barriers;
+  blocks_completed += o.blocks_completed;
+  warps_completed += o.warps_completed;
+  return *this;
+}
+
+std::ostream& operator<<(std::ostream& out, const Metrics& m) {
+  out << "warp_instr=" << m.warp_instructions
+      << " gmem_req=" << m.global_requests
+      << " gmem_txn=" << m.global_transactions
+      << " smem_req=" << m.shared_requests
+      << " smem_conflict_cyc=" << m.shared_conflict_cycles
+      << " tex_req=" << m.tex_requests
+      << " tex_hit=" << m.tex_hit_rate()
+      << " blocks=" << m.blocks_completed;
+  return out;
+}
+
+}  // namespace acgpu::gpusim

@@ -1,0 +1,66 @@
+// Counters collected during a simulated kernel launch. The Fig-19 bench and
+// the test suite read these to verify the model behaves as designed (e.g.
+// the diagonal store scheme really does eliminate bank conflicts).
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+
+namespace acgpu::gpusim {
+
+struct Metrics {
+  // Instruction issue.
+  std::uint64_t warp_instructions = 0;  ///< warp-instructions issued
+  std::uint64_t issue_cycles = 0;       ///< cycles the issue ports were busy
+
+  // Global memory.
+  std::uint64_t global_requests = 0;      ///< warp-level load/store instructions
+  std::uint64_t global_transactions = 0;  ///< 128B segments actually moved
+  std::uint64_t global_bytes = 0;         ///< segment bytes moved (incl. waste)
+
+  // Shared memory.
+  std::uint64_t shared_requests = 0;        ///< warp-level accesses
+  std::uint64_t shared_groups = 0;          ///< half-warp groups processed
+  std::uint64_t shared_conflict_cycles = 0; ///< extra cycles beyond conflict-free
+  std::uint64_t shared_max_degree = 0;      ///< worst conflict degree seen
+
+  // Texture path.
+  std::uint64_t tex_requests = 0;  ///< warp-level fetches
+  std::uint64_t tex_lane_fetches = 0;
+  std::uint64_t tex_misses = 0;     ///< L1-missing cache lines
+  std::uint64_t tex_l2_misses = 0;  ///< lines that also missed the tex L2
+
+  // Stall accounting (per warp, summed): cycles between a warp becoming
+  // blocked on a resource and its resumption.
+  std::uint64_t stall_global_cycles = 0;
+  std::uint64_t stall_shared_cycles = 0;
+  std::uint64_t stall_tex_cycles = 0;
+  std::uint64_t stall_barrier_cycles = 0;
+
+  std::uint64_t barriers = 0;
+  std::uint64_t blocks_completed = 0;
+  std::uint64_t warps_completed = 0;
+
+  double tex_hit_rate() const {
+    return tex_lane_fetches == 0
+               ? 1.0
+               : 1.0 - static_cast<double>(tex_misses) / static_cast<double>(tex_lane_fetches);
+  }
+  double avg_transactions_per_request() const {
+    return global_requests == 0
+               ? 0.0
+               : static_cast<double>(global_transactions) / static_cast<double>(global_requests);
+  }
+  double avg_shared_degree() const {
+    return shared_groups == 0
+               ? 0.0
+               : 1.0 + static_cast<double>(shared_conflict_cycles) /
+                           static_cast<double>(shared_groups);
+  }
+
+  Metrics& operator+=(const Metrics& o);
+};
+
+std::ostream& operator<<(std::ostream& out, const Metrics& m);
+
+}  // namespace acgpu::gpusim

@@ -1,0 +1,14 @@
+#include "gpusim/task.h"
+
+#include "util/error.h"
+
+namespace acgpu::gpusim {
+
+void WarpTask::resume() {
+  ACGPU_CHECK(handle_ && !handle_.done(), "resume of a finished warp task");
+  handle_.resume();
+  if (handle_.done() && handle_.promise().exception)
+    std::rethrow_exception(handle_.promise().exception);
+}
+
+}  // namespace acgpu::gpusim

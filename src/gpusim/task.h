@@ -1,0 +1,64 @@
+// WarpTask: the C++20 coroutine type a simulated warp program returns.
+//
+// A kernel is written as one coroutine per warp (SIMT: one program counter
+// per warp). Each co_await issues one warp-level instruction (memory access,
+// barrier, or compute) to the scheduler; the scheduler costs it, performs
+// the data movement, and resumes the warp at the instruction's completion
+// time.
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <utility>
+
+namespace acgpu::gpusim {
+
+class WarpTask {
+ public:
+  struct promise_type {
+    std::exception_ptr exception;
+
+    WarpTask get_return_object() {
+      return WarpTask{Handle::from_promise(*this)};
+    }
+    // Lazily started: the scheduler performs the first resume at dispatch.
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    std::suspend_always final_suspend() noexcept { return {}; }
+    void return_void() noexcept {}
+    void unhandled_exception() noexcept { exception = std::current_exception(); }
+  };
+  using Handle = std::coroutine_handle<promise_type>;
+
+  WarpTask() = default;
+  explicit WarpTask(Handle h) : handle_(h) {}
+  WarpTask(const WarpTask&) = delete;
+  WarpTask& operator=(const WarpTask&) = delete;
+  WarpTask(WarpTask&& o) noexcept : handle_(std::exchange(o.handle_, {})) {}
+  WarpTask& operator=(WarpTask&& o) noexcept {
+    if (this != &o) {
+      destroy();
+      handle_ = std::exchange(o.handle_, {});
+    }
+    return *this;
+  }
+  ~WarpTask() { destroy(); }
+
+  bool valid() const { return static_cast<bool>(handle_); }
+  bool done() const { return !handle_ || handle_.done(); }
+
+  /// Resume to the next suspension point. Rethrows any exception the kernel
+  /// body raised (after the coroutine reached its final suspend).
+  void resume();
+
+ private:
+  void destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = {};
+    }
+  }
+
+  Handle handle_;
+};
+
+}  // namespace acgpu::gpusim

@@ -1,0 +1,16 @@
+#include "gpusim/texture.h"
+
+namespace acgpu::gpusim {
+
+Texture2D::Texture2D(const DeviceMemory* mem, DevAddr base, std::uint32_t width,
+                     std::uint32_t rows, std::uint32_t pitch_elems)
+    : mem_(mem), base_(base), width_(width), rows_(rows), pitch_elems_(pitch_elems) {
+  ACGPU_CHECK(mem != nullptr, "Texture2D: null device memory");
+  ACGPU_CHECK(width > 0 && rows > 0, "Texture2D: empty binding");
+  ACGPU_CHECK(pitch_elems >= width,
+              "Texture2D: pitch " << pitch_elems << " narrower than width " << width);
+  // Validate the whole region up front so fetches can stay cheap.
+  (void)mem_->raw(base_, static_cast<std::size_t>(rows_) * pitch_elems_ * 4);
+}
+
+}  // namespace acgpu::gpusim

@@ -1,0 +1,105 @@
+#include "harness/figures.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "util/byte_units.h"
+#include "util/error.h"
+
+namespace acgpu::harness {
+
+const std::vector<FigureSpec>& paper_figures() {
+  static const std::vector<FigureSpec> specs = {
+      {"fig13", "Run times, serial approach", "seconds",
+       "grows with size and with pattern count",
+       [](const PointResult& r) { return r.serial_seconds; }},
+      {"fig14", "Run times, global memory only approach", "seconds",
+       "grows with size; strong pattern-count sensitivity",
+       [](const PointResult& r) { return r.global.seconds; }},
+      {"fig15", "Run times, shared memory approach", "seconds",
+       "grows with size; weak pattern-count sensitivity at large sizes",
+       [](const PointResult& r) { return r.shared.seconds; }},
+      {"fig16", "Throughput, serial approach", "Gbps",
+       "well under 2 Gbps; decreases with pattern count",
+       [](const PointResult& r) { return r.serial_gbps(); }},
+      {"fig17", "Throughput, global memory only approach", "Gbps",
+       "single-digit Gbps; decreases with pattern count",
+       [](const PointResult& r) { return r.global_gbps(); }},
+      {"fig18", "Throughput, shared memory approach", "Gbps",
+       "up to 127 Gbps at 200MB/100 patterns; mild pattern-count decrease",
+       [](const PointResult& r) { return r.shared_gbps(); }},
+      {"fig20", "Speedup, global-only vs serial", "speedup",
+       "3.3 - 13.2x",
+       [](const PointResult& r) { return r.speedup_global(); }},
+      {"fig21", "Speedup, shared vs serial", "speedup",
+       "36.1 - 222.0x (max at 100MB / 20,000 patterns)",
+       [](const PointResult& r) { return r.speedup_shared(); }},
+      {"fig22", "Speedup, shared vs global-only", "speedup",
+       "7.3 - 19.3x",
+       [](const PointResult& r) { return r.speedup_shared_vs_global(); }},
+      {"fig23", "Speedup of the bank-conflict-avoiding store scheme", "speedup",
+       "1.5 - 5.3x vs coalescing-only; grows with pattern count",
+       [](const PointResult& r) { return r.speedup_store_scheme(); }},
+  };
+  return specs;
+}
+
+const FigureSpec& figure(const std::string& id) {
+  for (const auto& spec : paper_figures())
+    if (spec.id == id) return spec;
+  ACGPU_CHECK(false, "unknown figure id '" << id << "'");
+  return paper_figures().front();  // unreachable
+}
+
+namespace {
+
+std::string format_value(const FigureSpec& spec, double v) {
+  char buf[32];
+  if (spec.unit == "seconds") return format_seconds(v);
+  if (spec.unit == "Gbps") return format_gbps(v);
+  std::snprintf(buf, sizeof buf, "%.1fx", v);
+  return buf;
+}
+
+}  // namespace
+
+Table figure_table(const FigureSpec& spec, const std::vector<PointResult>& results) {
+  std::set<std::uint64_t> sizes;
+  std::set<std::uint32_t> counts;
+  for (const auto& r : results) {
+    sizes.insert(r.text_bytes);
+    counts.insert(r.pattern_count);
+  }
+
+  Table table;
+  std::vector<std::string> head = {"input \\ patterns"};
+  for (auto c : counts) head.push_back(std::to_string(c));
+  table.set_header(std::move(head));
+
+  for (auto size : sizes) {
+    std::vector<std::string> row = {format_bytes(size)};
+    for (auto c : counts) {
+      const auto it = std::find_if(results.begin(), results.end(), [&](const auto& r) {
+        return r.text_bytes == size && r.pattern_count == c;
+      });
+      row.push_back(it == results.end() ? "-" : format_value(spec, spec.value(*it)));
+    }
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+FigureRange figure_range(const FigureSpec& spec,
+                         const std::vector<PointResult>& results) {
+  ACGPU_CHECK(!results.empty(), "figure_range: no results");
+  FigureRange range{HUGE_VAL, -HUGE_VAL};
+  for (const auto& r : results) {
+    const double v = spec.value(r);
+    range.min = std::min(range.min, v);
+    range.max = std::max(range.max, v);
+  }
+  return range;
+}
+
+}  // namespace acgpu::harness

@@ -1,0 +1,42 @@
+// Figure definitions: maps every evaluation figure of the paper (13–23) to
+// a value extracted from the sweep results, in the same rows/series layout
+// the paper plots (rows = input sizes, series = pattern counts).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.h"
+#include "util/table.h"
+
+namespace acgpu::harness {
+
+struct FigureSpec {
+  std::string id;        ///< "fig13"
+  std::string title;     ///< paper caption, abbreviated
+  std::string unit;      ///< "seconds", "Gbps", "speedup"
+  std::string paper_expectation;  ///< what the paper reports, for EXPERIMENTS.md
+  std::function<double(const PointResult&)> value;
+};
+
+/// All figure definitions, fig13..fig23 except fig19 (which is a metrics
+/// breakdown rather than a single value grid — see fig19 bench).
+const std::vector<FigureSpec>& paper_figures();
+
+/// Look up one figure by id; throws on unknown id.
+const FigureSpec& figure(const std::string& id);
+
+/// Grid table for a figure: one row per input size, one column per pattern
+/// count — the paper's bar-chart groups as text.
+Table figure_table(const FigureSpec& spec, const std::vector<PointResult>& results);
+
+/// Min/max of the figure's value over the grid (the paper quotes ranges,
+/// e.g. "the speedup ranges 3.3 – 13.2").
+struct FigureRange {
+  double min = 0;
+  double max = 0;
+};
+FigureRange figure_range(const FigureSpec& spec, const std::vector<PointResult>& results);
+
+}  // namespace acgpu::harness

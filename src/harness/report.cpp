@@ -1,0 +1,63 @@
+#include "harness/report.h"
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+
+#include "util/arg_parser.h"
+#include "util/csv.h"
+#include "util/error.h"
+
+namespace acgpu::harness {
+
+void print_figure(const FigureSpec& spec, const std::vector<PointResult>& results,
+                  bool from_cache) {
+  std::cout << spec.id << ": " << spec.title << " [" << spec.unit << "]"
+            << (from_cache ? "  (sweep loaded from cache)" : "  (sweep computed)")
+            << "\n\n";
+  figure_table(spec, results).print(std::cout);
+  const FigureRange range = figure_range(spec, results);
+  std::printf("\nmeasured range: %.3g .. %.3g %s\n", range.min, range.max,
+              spec.unit.c_str());
+  std::cout << "paper reports:  " << spec.paper_expectation << "\n";
+}
+
+void export_figure_csv(const FigureSpec& spec, const std::vector<PointResult>& results,
+                       const std::string& path) {
+  std::ofstream out(path);
+  ACGPU_CHECK(static_cast<bool>(out), "cannot write CSV to '" << path << "'");
+  CsvWriter csv(out);
+  csv.write_row({"text_bytes", "pattern_count", spec.unit});
+  for (const auto& r : results) {
+    char value[32];
+    std::snprintf(value, sizeof value, "%.17g", spec.value(r));
+    csv.write_row({std::to_string(r.text_bytes), std::to_string(r.pattern_count), value});
+  }
+}
+
+int figure_main(const std::string& figure_id, int argc, const char* const* argv) {
+  const FigureSpec& spec = figure(figure_id);
+  ArgParser args("Reproduces the paper's " + figure_id + " (" + spec.title + ").");
+  args.add_bool_flag("quick", "run the reduced grid instead of the paper grid");
+  args.add_bool_flag("no-cache", "ignore and do not write the sweep result cache");
+  args.add_flag("csv", "also export the figure grid to this CSV path", "");
+  if (!args.parse(argc, argv)) return 0;
+
+  if (args.get_bool("no-cache")) {
+#if defined(_WIN32)
+    _putenv_s("ACGPU_BENCH_CACHE", "0");
+#else
+    setenv("ACGPU_BENCH_CACHE", "0", 1);
+#endif
+  }
+
+  const SweepConfig config =
+      args.get_bool("quick") ? SweepConfig::quick() : SweepConfig::paper();
+  const SweepOutcome outcome = run_sweep_cached(config, &std::cerr);
+  print_figure(spec, outcome.results, outcome.from_cache);
+  if (!args.get("csv").empty())
+    export_figure_csv(spec, outcome.results, args.get("csv"));
+  return 0;
+}
+
+}  // namespace acgpu::harness

@@ -1,0 +1,28 @@
+// Shared main() body for the figure bench binaries: resolve the sweep
+// (cached or fresh), print the figure's grid and range, optionally export
+// CSV for external plotting.
+#pragma once
+
+#include <string>
+
+#include "harness/figures.h"
+#include "harness/result_cache.h"
+
+namespace acgpu::harness {
+
+/// Entry point used by every bench/figNN binary. Flags (all optional):
+///   --quick        use the small grid instead of the paper grid
+///   --csv=<path>   also export the figure grid as CSV
+///   --no-cache     ignore and do not write the result cache
+/// Returns a process exit code.
+int figure_main(const std::string& figure_id, int argc, const char* const* argv);
+
+/// Prints one figure (table + measured range + the paper's expectation).
+void print_figure(const FigureSpec& spec, const std::vector<PointResult>& results,
+                  bool from_cache);
+
+/// Writes the figure grid as CSV (size, pattern_count, value).
+void export_figure_csv(const FigureSpec& spec, const std::vector<PointResult>& results,
+                       const std::string& path);
+
+}  // namespace acgpu::harness

@@ -1,0 +1,160 @@
+#include "harness/result_cache.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "util/csv.h"
+#include "util/error.h"
+
+namespace acgpu::harness {
+
+namespace {
+
+/// Column schema. Approach stats are flattened with a prefix; keep in sync
+/// with write_row/read_row below (the header check catches drift).
+std::vector<std::string> header() {
+  std::vector<std::string> h = {
+      "text_bytes",       "pattern_count", "dfa_states",
+      "stt_mbytes",       "serial_seconds", "serial_cycles_per_byte",
+      "serial_l1_miss",   "serial_l2_miss", "host_serial_seconds",
+      "match_count",
+  };
+  for (const char* prefix : {"global", "shared", "naive"}) {
+    for (const char* field :
+         {"seconds", "sim_makespan_cycles", "simulated_blocks", "tex_hit_rate",
+          "tex_l2_misses",
+          "txn_per_request", "issue_cycles", "stall_global", "stall_tex",
+          "stall_shared", "stall_barrier", "shared_conflict_cycles",
+          "warp_instructions"}) {
+      h.push_back(std::string(prefix) + "_" + field);
+    }
+  }
+  return h;
+}
+
+std::string fmt(double v) {
+  std::ostringstream os;
+  os.precision(17);
+  os << v;
+  return os.str();
+}
+
+void append_stats(std::vector<std::string>& row, const ApproachStats& s) {
+  row.push_back(fmt(s.seconds));
+  row.push_back(fmt(s.sim_makespan_cycles));
+  row.push_back(std::to_string(s.simulated_blocks));
+  row.push_back(fmt(s.tex_hit_rate));
+  row.push_back(std::to_string(s.tex_l2_misses));
+  row.push_back(fmt(s.txn_per_request));
+  row.push_back(std::to_string(s.issue_cycles));
+  row.push_back(std::to_string(s.stall_global));
+  row.push_back(std::to_string(s.stall_tex));
+  row.push_back(std::to_string(s.stall_shared));
+  row.push_back(std::to_string(s.stall_barrier));
+  row.push_back(std::to_string(s.shared_conflict_cycles));
+  row.push_back(std::to_string(s.warp_instructions));
+}
+
+std::size_t parse_stats(const std::vector<std::string>& row, std::size_t i,
+                        ApproachStats& s) {
+  s.seconds = std::stod(row[i++]);
+  s.sim_makespan_cycles = std::stod(row[i++]);
+  s.simulated_blocks = std::stoull(row[i++]);
+  s.tex_hit_rate = std::stod(row[i++]);
+  s.tex_l2_misses = std::stoull(row[i++]);
+  s.txn_per_request = std::stod(row[i++]);
+  s.issue_cycles = std::stoull(row[i++]);
+  s.stall_global = std::stoull(row[i++]);
+  s.stall_tex = std::stoull(row[i++]);
+  s.stall_shared = std::stoull(row[i++]);
+  s.stall_barrier = std::stoull(row[i++]);
+  s.shared_conflict_cycles = std::stoull(row[i++]);
+  s.warp_instructions = std::stoull(row[i++]);
+  return i;
+}
+
+bool cache_enabled() {
+  const char* env = std::getenv("ACGPU_BENCH_CACHE");
+  return env == nullptr || std::string(env) != "0";
+}
+
+}  // namespace
+
+std::string cache_path(const SweepConfig& config) {
+  const char* dir = std::getenv("ACGPU_CACHE_DIR");
+  std::string base = dir ? dir : ".";
+  return base + "/acgpu_sweep_" + config.cache_key() + ".csv";
+}
+
+void store_cached(const SweepConfig& config, const std::vector<PointResult>& results) {
+  std::ofstream out(cache_path(config));
+  if (!out) return;  // unwritable cache dir: silently skip caching
+  CsvWriter csv(out);
+  csv.write_row(header());
+  for (const PointResult& r : results) {
+    std::vector<std::string> row = {
+        std::to_string(r.text_bytes),
+        std::to_string(r.pattern_count),
+        std::to_string(r.dfa_states),
+        fmt(r.stt_mbytes),
+        fmt(r.serial_seconds),
+        fmt(r.serial_cycles_per_byte),
+        fmt(r.serial_l1_miss),
+        fmt(r.serial_l2_miss),
+        fmt(r.host_serial_seconds),
+        std::to_string(r.match_count),
+    };
+    append_stats(row, r.global);
+    append_stats(row, r.shared);
+    append_stats(row, r.shared_naive);
+    csv.write_row(row);
+  }
+}
+
+std::optional<std::vector<PointResult>> load_cached(const SweepConfig& config) {
+  std::ifstream in(cache_path(config));
+  if (!in) return std::nullopt;
+  std::string line;
+  if (!std::getline(in, line)) return std::nullopt;
+  if (parse_csv_line(line) != header()) return std::nullopt;  // schema drift
+
+  std::vector<PointResult> results;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const auto row = parse_csv_line(line);
+    if (row.size() != header().size()) return std::nullopt;
+    PointResult r;
+    std::size_t i = 0;
+    r.text_bytes = std::stoull(row[i++]);
+    r.pattern_count = static_cast<std::uint32_t>(std::stoul(row[i++]));
+    r.dfa_states = static_cast<std::uint32_t>(std::stoul(row[i++]));
+    r.stt_mbytes = std::stod(row[i++]);
+    r.serial_seconds = std::stod(row[i++]);
+    r.serial_cycles_per_byte = std::stod(row[i++]);
+    r.serial_l1_miss = std::stod(row[i++]);
+    r.serial_l2_miss = std::stod(row[i++]);
+    r.host_serial_seconds = std::stod(row[i++]);
+    r.match_count = std::stoull(row[i++]);
+    i = parse_stats(row, i, r.global);
+    i = parse_stats(row, i, r.shared);
+    i = parse_stats(row, i, r.shared_naive);
+    results.push_back(r);
+  }
+  if (results.empty()) return std::nullopt;
+  return results;
+}
+
+SweepOutcome run_sweep_cached(const SweepConfig& config, std::ostream* progress) {
+  if (cache_enabled()) {
+    if (auto cached = load_cached(config)) {
+      return SweepOutcome{std::move(*cached), /*from_cache=*/true};
+    }
+  }
+  SweepOutcome outcome;
+  outcome.results = run_sweep(config, progress);
+  if (cache_enabled()) store_cached(config, outcome.results);
+  return outcome;
+}
+
+}  // namespace acgpu::harness

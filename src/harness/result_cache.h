@@ -1,0 +1,30 @@
+// File-backed cache for sweep results, so the eleven figure binaries run the
+// expensive sweep once per build (`for b in build/bench/*; do $b; done`).
+//
+// Keyed by SweepConfig::cache_key() (config fields + schema version).
+// Set ACGPU_BENCH_CACHE=0 to disable, ACGPU_CACHE_DIR to relocate the files
+// (default: the current working directory).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.h"
+
+namespace acgpu::harness {
+
+std::string cache_path(const SweepConfig& config);
+
+std::optional<std::vector<PointResult>> load_cached(const SweepConfig& config);
+void store_cached(const SweepConfig& config, const std::vector<PointResult>& results);
+
+struct SweepOutcome {
+  std::vector<PointResult> results;
+  bool from_cache = false;
+};
+
+/// Loads from cache or runs the sweep (and stores it).
+SweepOutcome run_sweep_cached(const SweepConfig& config, std::ostream* progress);
+
+}  // namespace acgpu::harness

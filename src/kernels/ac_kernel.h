@@ -1,0 +1,78 @@
+// The paper's two GPU matching kernels (Section IV.B.3):
+//
+//  - kGlobalOnly: every thread scans its chunk (+ overlap) straight out of
+//    global memory; the STT is fetched through the texture path.
+//  - kShared: each thread block first stages its input block into shared
+//    memory (cooperative coalesced 4-byte loads, placement chosen by a
+//    StoreScheme), synchronises, then matches out of shared memory.
+//
+// Both kernels use the same matching loop, the same X-byte chunk-overlap
+// rule as ac/chunking.h, and write matches to a MatchBuffer (the output
+// CSR + pattern-length tables are read from global memory on a match).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "ac/dfa.h"
+#include "gpusim/launcher.h"
+#include "kernels/device_dfa.h"
+#include "kernels/match_output.h"
+#include "kernels/store_scheme.h"
+
+namespace acgpu::kernels {
+
+enum class Approach : std::uint8_t { kGlobalOnly, kShared };
+
+const char* to_string(Approach approach);
+
+/// Where the kernel reads the STT from: the paper places it in texture
+/// memory (cached); kGlobal is the ablation that validates that choice.
+enum class SttPlacement : std::uint8_t { kTexture, kGlobal };
+
+const char* to_string(SttPlacement placement);
+
+struct AcLaunchSpec {
+  Approach approach = Approach::kShared;
+  StoreScheme scheme = StoreScheme::kDiagonal;  ///< shared approach only
+  /// Per-thread chunk (multiple of 4). The defaults stage (256+1)*32 ≈ 8 KB
+  /// per block — the paper's "8~12KB of the 16KB shared memory" regime —
+  /// giving 8 resident warps per SM.
+  std::uint32_t chunk_bytes = 32;
+  std::uint32_t threads_per_block = 256;
+  std::uint32_t match_capacity = 64;     ///< record slots per thread
+  /// ALU warp-instructions charged per scanned byte (state update, address
+  /// arithmetic, bounds checks) — the timing model's main calibration knob.
+  std::uint32_t compute_per_byte = 8;
+  SttPlacement stt_placement = SttPlacement::kTexture;
+  /// Extension (shared approach only): each block processes this many
+  /// consecutive tiles, staging tile k+1 with asynchronous loads while
+  /// matching tile k out of the other half of a double-buffered shared
+  /// region. 1 = the paper's kernel.
+  std::uint32_t tiles_per_block = 1;
+  gpusim::LaunchOptions sim{};
+};
+
+struct AcLaunchOutcome {
+  gpusim::LaunchResult sim;
+  std::uint64_t threads = 0;
+  std::uint64_t blocks = 0;
+  std::uint32_t shared_bytes = 0;  ///< staged region per block (0 for global-only)
+  /// Matches written by the simulated kernel. Complete only in Functional
+  /// mode; in Timed mode only the sampled blocks produced output.
+  MatchBuffer::Collected matches;
+};
+
+/// Uploads `text` into device memory with enough zero padding for whole-word
+/// staging loads. Returns the device address.
+gpusim::DevAddr upload_text(gpusim::DeviceMemory& mem, std::string_view text);
+
+/// Runs one AC kernel launch over text already resident in device memory.
+/// Allocates a MatchBuffer from `mem` — callers sweeping configurations
+/// should bracket calls with DeviceMemory::mark()/release().
+AcLaunchOutcome run_ac_kernel(const gpusim::GpuConfig& config,
+                              gpusim::DeviceMemory& mem, const DeviceDfa& ddfa,
+                              gpusim::DevAddr text_addr, std::uint64_t text_len,
+                              const AcLaunchSpec& spec);
+
+}  // namespace acgpu::kernels

@@ -1,0 +1,32 @@
+#include "kernels/device_dfa.h"
+
+namespace acgpu::kernels {
+
+DeviceDfa::DeviceDfa(gpusim::DeviceMemory& mem, const ac::Dfa& dfa)
+    : host_dfa_(&dfa),
+      states_(dfa.state_count()),
+      max_pattern_length_(dfa.max_pattern_length()),
+      stt_bytes_(dfa.stt_bytes()) {
+  const ac::SttMatrix& stt = dfa.stt();
+  stt_addr_ = mem.alloc(stt.size_bytes());
+  stt_pitch_ = stt.pitch();
+  mem.copy_in(stt_addr_, stt.data(), stt.size_bytes());
+  texture_ = gpusim::Texture2D(&mem, stt_addr_, ac::SttMatrix::kColumns, stt.rows(),
+                               stt.pitch());
+
+  const auto& offsets = dfa.output_offsets();
+  out_begin_addr_ = mem.alloc(offsets.size() * 4);
+  mem.copy_in(out_begin_addr_, offsets.data(), offsets.size() * 4);
+
+  const auto& ids = dfa.output_ids();
+  // Allocate at least one word so the address is valid for dictionaries
+  // whose DFA has no output entries (impossible in practice, cheap to allow).
+  out_ids_addr_ = mem.alloc(std::max<std::size_t>(1, ids.size() * 4));
+  if (!ids.empty()) mem.copy_in(out_ids_addr_, ids.data(), ids.size() * 4);
+
+  const auto& lengths = dfa.pattern_lengths();
+  lengths_addr_ = mem.alloc(lengths.size() * 4);
+  mem.copy_in(lengths_addr_, lengths.data(), lengths.size() * 4);
+}
+
+}  // namespace acgpu::kernels

@@ -1,0 +1,52 @@
+// Device-resident copy of a compiled AC DFA: the STT uploaded to (texture)
+// memory plus the output CSR and pattern-length tables in plain global
+// memory — the phase-1 -> phase-2 handoff the paper describes ("construct
+// the STT on a single CPU core, then copy it to the GPU").
+#pragma once
+
+#include <cstdint>
+
+#include "ac/dfa.h"
+#include "gpusim/device_memory.h"
+#include "gpusim/texture.h"
+
+namespace acgpu::kernels {
+
+class DeviceDfa {
+ public:
+  /// Uploads the DFA. Keeps a reference to `dfa` (for host-side expansion of
+  /// device match records); the Dfa must outlive this object.
+  DeviceDfa(gpusim::DeviceMemory& mem, const ac::Dfa& dfa);
+
+  const ac::Dfa& host_dfa() const { return *host_dfa_; }
+
+  /// 2-D texture over the STT (width 257, one row per state).
+  const gpusim::Texture2D& texture() const { return texture_; }
+
+  /// Raw device address and row pitch of the STT — used by the
+  /// SttPlacement::kGlobal ablation, which bypasses the texture path.
+  gpusim::DevAddr stt_addr() const { return stt_addr_; }
+  std::uint32_t stt_pitch_elems() const { return stt_pitch_; }
+
+  gpusim::DevAddr out_begin_addr() const { return out_begin_addr_; }
+  gpusim::DevAddr out_ids_addr() const { return out_ids_addr_; }
+  gpusim::DevAddr lengths_addr() const { return lengths_addr_; }
+
+  std::uint32_t state_count() const { return states_; }
+  std::uint32_t max_pattern_length() const { return max_pattern_length_; }
+  std::size_t stt_bytes() const { return stt_bytes_; }
+
+ private:
+  const ac::Dfa* host_dfa_ = nullptr;
+  gpusim::Texture2D texture_;
+  gpusim::DevAddr stt_addr_ = 0;
+  std::uint32_t stt_pitch_ = 0;
+  gpusim::DevAddr out_begin_addr_ = 0;
+  gpusim::DevAddr out_ids_addr_ = 0;
+  gpusim::DevAddr lengths_addr_ = 0;
+  std::uint32_t states_ = 0;
+  std::uint32_t max_pattern_length_ = 0;
+  std::size_t stt_bytes_ = 0;
+};
+
+}  // namespace acgpu::kernels

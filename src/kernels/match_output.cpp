@@ -1,0 +1,52 @@
+#include "kernels/match_output.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace acgpu::kernels {
+
+MatchBuffer::MatchBuffer(gpusim::DeviceMemory& mem, std::uint64_t threads,
+                         std::uint32_t capacity_per_thread)
+    : threads_(threads), capacity_(capacity_per_thread) {
+  ACGPU_CHECK(threads > 0, "MatchBuffer: zero threads");
+  ACGPU_CHECK(capacity_per_thread > 0, "MatchBuffer: zero capacity");
+  counts_addr_ = mem.alloc(threads_ * 4);
+  records_addr_ = mem.alloc(threads_ * capacity_ * 8);
+  mem.fill(counts_addr_, 0, threads_ * 4);
+}
+
+MatchBuffer::RawCollected MatchBuffer::collect_records(
+    const gpusim::DeviceMemory& mem) const {
+  RawCollected out;
+  for (std::uint64_t t = 0; t < threads_; ++t) {
+    const std::uint32_t count = mem.load_u32(count_addr(t));
+    out.total_reported += count;
+    if (count > capacity_) out.overflowed = true;
+    const std::uint32_t stored = std::min(count, capacity_);
+    for (std::uint32_t s = 0; s < stored; ++s) {
+      const gpusim::DevAddr rec = record_addr(t, s);
+      out.records.push_back(Record{t, mem.load_u32(rec), mem.load_u32(rec + 4)});
+    }
+  }
+  return out;
+}
+
+MatchBuffer::Collected MatchBuffer::collect(const gpusim::DeviceMemory& mem) const {
+  Collected out;
+  for (std::uint64_t t = 0; t < threads_; ++t) {
+    const std::uint32_t count = mem.load_u32(count_addr(t));
+    out.total_reported += count;
+    if (count > capacity_) out.overflowed = true;
+    const std::uint32_t stored = std::min(count, capacity_);
+    for (std::uint32_t s = 0; s < stored; ++s) {
+      const gpusim::DevAddr rec = record_addr(t, s);
+      out.matches.push_back(ac::Match{mem.load_u32(rec),
+                                      static_cast<std::int32_t>(mem.load_u32(rec + 4))});
+    }
+  }
+  std::sort(out.matches.begin(), out.matches.end());
+  return out;
+}
+
+}  // namespace acgpu::kernels

@@ -1,0 +1,66 @@
+// Device-side match output buffer: per-thread record slots plus a count,
+// written by the kernels with plain global stores and decoded on the host.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ac/match.h"
+#include "gpusim/device_memory.h"
+
+namespace acgpu::kernels {
+
+/// Layout: counts_addr[thread] (u32) and, per thread, `capacity` records of
+/// two u32 words (match end offset, pattern id). A thread whose matches
+/// exceed the capacity keeps counting but drops the excess records; collect()
+/// reports the overflow so callers can size the buffer up.
+class MatchBuffer {
+ public:
+  MatchBuffer(gpusim::DeviceMemory& mem, std::uint64_t threads,
+              std::uint32_t capacity_per_thread);
+
+  std::uint64_t threads() const { return threads_; }
+  std::uint32_t capacity() const { return capacity_; }
+
+  gpusim::DevAddr count_addr(std::uint64_t thread) const {
+    return counts_addr_ + thread * 4;
+  }
+  gpusim::DevAddr record_addr(std::uint64_t thread, std::uint32_t slot) const {
+    return records_addr_ + (thread * capacity_ + slot) * 8;
+  }
+  gpusim::DevAddr counts_base() const { return counts_addr_; }
+  gpusim::DevAddr records_base() const { return records_addr_; }
+
+  struct Collected {
+    std::vector<ac::Match> matches;  ///< sorted by (end, pattern)
+    std::uint64_t total_reported = 0;
+    bool overflowed = false;
+  };
+
+  /// Reads counts and records back (cudaMemcpyDeviceToHost equivalent),
+  /// interpreting each record's two words directly as (end, pattern).
+  Collected collect(const gpusim::DeviceMemory& mem) const;
+
+  /// One raw device record with its reporting thread — used by the kernels
+  /// that store (position, output id) and expand on the host, where the
+  /// thread identity determines chunk ownership.
+  struct Record {
+    std::uint64_t thread = 0;
+    std::uint32_t word0 = 0;  ///< position
+    std::uint32_t word1 = 0;  ///< output id
+  };
+  struct RawCollected {
+    std::vector<Record> records;  ///< in (thread, slot) order
+    std::uint64_t total_reported = 0;
+    bool overflowed = false;
+  };
+  RawCollected collect_records(const gpusim::DeviceMemory& mem) const;
+
+ private:
+  std::uint64_t threads_;
+  std::uint32_t capacity_;
+  gpusim::DevAddr counts_addr_;
+  gpusim::DevAddr records_addr_;
+};
+
+}  // namespace acgpu::kernels

@@ -1,0 +1,64 @@
+// Packet-batch inspection kernel — the Gnort [16] deployment model the
+// paper cites: a batch of packets ships to the GPU and each thread runs the
+// AC machine over one whole packet (no chunk overlap needed — packets are
+// independent matching domains). The STT rides the texture path as usual.
+#pragma once
+
+#include <cstdint>
+
+#include "gpusim/launcher.h"
+#include "kernels/device_dfa.h"
+#include "kernels/match_output.h"
+#include "workload/packet_trace.h"
+
+namespace acgpu::kernels {
+
+/// Device-resident packet batch: flattened payload bytes plus the offsets
+/// table, as uploaded from a workload::PacketTrace.
+class DeviceBatch {
+ public:
+  DeviceBatch(gpusim::DeviceMemory& mem, const workload::PacketTrace& trace);
+
+  gpusim::DevAddr data_addr() const { return data_addr_; }
+  gpusim::DevAddr offsets_addr() const { return offsets_addr_; }
+  std::uint32_t packet_count() const { return packets_; }
+  std::uint64_t data_bytes() const { return data_bytes_; }
+
+ private:
+  gpusim::DevAddr data_addr_ = 0;
+  gpusim::DevAddr offsets_addr_ = 0;
+  std::uint32_t packets_ = 0;
+  std::uint64_t data_bytes_ = 0;
+};
+
+struct PacketLaunchSpec {
+  std::uint32_t threads_per_block = 256;
+  std::uint32_t match_capacity = 16;  ///< match records per packet
+  std::uint32_t compute_per_byte = 8;
+  gpusim::LaunchOptions sim{};
+};
+
+/// One alert: a pattern occurrence inside one packet.
+struct PacketMatch {
+  std::uint32_t packet = 0;
+  std::uint32_t end_in_packet = 0;  ///< offset of the last matched byte
+  std::int32_t pattern = 0;
+
+  friend bool operator==(const PacketMatch&, const PacketMatch&) = default;
+  friend auto operator<=>(const PacketMatch&, const PacketMatch&) = default;
+};
+
+struct PacketLaunchOutcome {
+  gpusim::LaunchResult sim;
+  std::uint64_t blocks = 0;
+  std::vector<PacketMatch> matches;  ///< sorted; complete in Functional mode
+  std::uint64_t total_reported = 0;
+  bool overflowed = false;
+};
+
+PacketLaunchOutcome run_packet_kernel(const gpusim::GpuConfig& config,
+                                      gpusim::DeviceMemory& mem,
+                                      const DeviceDfa& ddfa, const DeviceBatch& batch,
+                                      const PacketLaunchSpec& spec);
+
+}  // namespace acgpu::kernels

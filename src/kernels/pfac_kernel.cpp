@@ -1,0 +1,208 @@
+#include "kernels/pfac_kernel.h"
+
+#include <algorithm>
+#include <array>
+
+#include "util/error.h"
+
+namespace acgpu::kernels {
+
+DevicePfac::DevicePfac(gpusim::DeviceMemory& mem, const ac::PfacAutomaton& pfac)
+    : host_(&pfac), max_pattern_length_(pfac.max_pattern_length()) {
+  const ac::SttMatrix& stt = pfac.stt();
+  const gpusim::DevAddr stt_addr = mem.alloc(stt.size_bytes());
+  mem.copy_in(stt_addr, stt.data(), stt.size_bytes());
+  texture_ = gpusim::Texture2D(&mem, stt_addr, ac::SttMatrix::kColumns, stt.rows(),
+                               stt.pitch());
+
+  // Rebuild the CSR from the automaton's accessors (it does not expose the
+  // raw arrays; terminal sets are tiny, so this stays cheap).
+  std::vector<std::uint32_t> offsets = {0, 0};
+  std::vector<std::int32_t> ids;
+  for (std::uint32_t s = 0; s < pfac.state_count(); ++s) {
+    if (pfac.stt().output_id(static_cast<std::int32_t>(s)) == 0) continue;
+    ids.insert(ids.end(), pfac.output_begin(static_cast<std::int32_t>(s)),
+               pfac.output_end(static_cast<std::int32_t>(s)));
+    // offsets index == output id; ids were assigned in state order.
+    offsets.push_back(static_cast<std::uint32_t>(ids.size()));
+  }
+  out_begin_addr_ = mem.alloc(offsets.size() * 4);
+  mem.copy_in(out_begin_addr_, offsets.data(), offsets.size() * 4);
+  out_ids_addr_ = mem.alloc(std::max<std::size_t>(1, ids.size() * 4));
+  if (!ids.empty()) mem.copy_in(out_ids_addr_, ids.data(), ids.size() * 4);
+}
+
+namespace {
+
+using gpusim::DevAddr;
+using gpusim::Warp;
+using gpusim::WarpTask;
+
+constexpr std::uint32_t L = Warp::kMaxLanes;
+
+struct KParams {
+  DevAddr text_addr = 0;
+  std::uint64_t text_len = 0;
+  std::uint32_t max_len = 0;
+  DevAddr counts = 0;
+  DevAddr records = 0;
+  std::uint32_t capacity = 0;
+  std::uint32_t compute_per_byte = 0;
+};
+
+WarpTask pfac_kernel_body(Warp& w, KParams p) {
+  // Lane l starts matching at text position global_thread(l); state -1 (dead)
+  // retires the lane. Threads past the end start dead.
+  std::array<std::int32_t, L> state{};
+  std::array<std::uint32_t, L> cnt{};
+  std::array<bool, L> alive{};
+  for (std::uint32_t l = 0; l < w.lane_count; ++l)
+    alive[l] = w.global_thread(l) < p.text_len;
+
+  std::array<std::int32_t, L> oid{};
+
+  for (std::uint32_t step = 0; step < p.max_len; ++step) {
+    w.mask_none();
+    bool any = false;
+    for (std::uint32_t l = 0; l < w.lane_count; ++l) {
+      const std::uint64_t pos = w.global_thread(l) + step;
+      if (alive[l] && pos < p.text_len) {
+        w.mask[l] = true;
+        w.addr[l] = p.text_addr + pos;
+        any = true;
+      } else {
+        alive[l] = false;
+      }
+    }
+    if (!any) break;
+    const std::array<bool, L> scanning = w.mask;
+
+    // At step 0 consecutive lanes read consecutive bytes — PFAC's naturally
+    // coalesced access pattern; divergence sets in as lanes die.
+    co_await w.global_load_u8();
+
+    w.mask = scanning;
+    for (std::uint32_t l = 0; l < w.lane_count; ++l)
+      if (w.mask[l]) {
+        w.tex_x[l] = 1 + (w.value[l] & 0xff);
+        w.tex_y[l] = static_cast<std::uint32_t>(state[l]);
+      }
+    co_await w.tex_fetch();
+    bool any_alive = false;
+    for (std::uint32_t l = 0; l < w.lane_count; ++l)
+      if (scanning[l]) {
+        state[l] = static_cast<std::int32_t>(w.value[l]);
+        if (state[l] == ac::PfacAutomaton::kDead) alive[l] = false;
+        else any_alive = true;
+      }
+    co_await w.compute(p.compute_per_byte);
+    if (!any_alive) break;
+
+    // Terminal-output check for surviving lanes.
+    w.mask_none();
+    for (std::uint32_t l = 0; l < w.lane_count; ++l)
+      if (scanning[l] && alive[l]) {
+        w.mask[l] = true;
+        w.tex_x[l] = 0;
+        w.tex_y[l] = static_cast<std::uint32_t>(state[l]);
+      }
+    const std::array<bool, L> live = w.mask;
+    co_await w.tex_fetch();
+    bool any_match = false;
+    for (std::uint32_t l = 0; l < w.lane_count; ++l) {
+      oid[l] = 0;
+      if (live[l]) {
+        oid[l] = static_cast<std::int32_t>(w.value[l]);
+        if (oid[l] != 0) any_match = true;
+      }
+    }
+    if (!any_match) continue;
+
+    // Store (end position, output id); the host expands the terminal set.
+    std::array<bool, L> storing{};
+    bool any_store = false;
+    w.mask_none();
+    for (std::uint32_t l = 0; l < w.lane_count; ++l) {
+      if (!live[l] || oid[l] == 0) continue;
+      if (cnt[l] < p.capacity) {
+        storing[l] = true;
+        w.mask[l] = true;
+        w.addr[l] = p.records + (w.global_thread(l) * p.capacity + cnt[l]) * 8;
+        w.value[l] = static_cast<std::uint32_t>(w.global_thread(l) + step);
+        any_store = true;
+      }
+      ++cnt[l];
+    }
+    if (any_store) {
+      co_await w.global_store_u32();
+      w.mask = storing;
+      for (std::uint32_t l = 0; l < w.lane_count; ++l)
+        if (w.mask[l]) {
+          w.addr[l] += 4;
+          w.value[l] = static_cast<std::uint32_t>(oid[l]);
+        }
+      co_await w.global_store_u32();
+    }
+  }
+
+  w.mask_all();
+  for (std::uint32_t l = 0; l < w.lane_count; ++l) {
+    w.addr[l] = p.counts + w.global_thread(l) * 4;
+    w.value[l] = cnt[l];
+  }
+  co_await w.global_store_u32();
+}
+
+}  // namespace
+
+PfacLaunchOutcome run_pfac_kernel(const gpusim::GpuConfig& config,
+                                  gpusim::DeviceMemory& mem, const DevicePfac& dpfac,
+                                  gpusim::DevAddr text_addr, std::uint64_t text_len,
+                                  const PfacLaunchSpec& spec) {
+  ACGPU_CHECK(text_len > 0, "run_pfac_kernel: empty text");
+  ACGPU_CHECK(spec.threads_per_block > 0, "threads_per_block must be positive");
+
+  const std::uint64_t threads = text_len;  // one thread per byte
+  const std::uint64_t blocks =
+      (threads + spec.threads_per_block - 1) / spec.threads_per_block;
+  MatchBuffer buffer(mem, blocks * spec.threads_per_block, spec.match_capacity);
+
+  KParams p;
+  p.text_addr = text_addr;
+  p.text_len = text_len;
+  p.max_len = dpfac.max_pattern_length();
+  p.counts = buffer.counts_base();
+  p.records = buffer.records_base();
+  p.capacity = spec.match_capacity;
+  p.compute_per_byte = spec.compute_per_byte;
+
+  gpusim::LaunchDims dims;
+  dims.grid_blocks = blocks;
+  dims.block_threads = spec.threads_per_block;
+  dims.shared_bytes = 0;
+
+  PfacLaunchOutcome outcome;
+  outcome.sim = gpusim::launch(
+      config, mem, &dpfac.texture(), dims,
+      [p](Warp& w) { return pfac_kernel_body(w, p); }, spec.sim);
+  outcome.threads = threads;
+  outcome.blocks = blocks;
+
+  // Expand (end, output id) records against the terminal-output CSR. No
+  // ownership filtering: each PFAC instance only reports patterns starting
+  // at its own byte, so records are already unique.
+  const ac::PfacAutomaton& pfac = dpfac.host_automaton();
+  const MatchBuffer::RawCollected raw = buffer.collect_records(mem);
+  outcome.matches.total_reported = raw.total_reported;
+  outcome.matches.overflowed = raw.overflowed;
+  for (const MatchBuffer::Record& rec : raw.records) {
+    const auto out_id = static_cast<std::int32_t>(rec.word1);
+    for (const std::int32_t* pid = pfac.id_output_begin(out_id);
+         pid != pfac.id_output_end(out_id); ++pid)
+      outcome.matches.matches.push_back(ac::Match{rec.word0, *pid});
+  }
+  std::sort(outcome.matches.matches.begin(), outcome.matches.matches.end());
+  return outcome;
+}
+
+}  // namespace acgpu::kernels

@@ -1,0 +1,110 @@
+#include "util/arg_parser.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "util/byte_units.h"
+#include "util/error.h"
+
+namespace acgpu {
+
+void ArgParser::add_flag(const std::string& name, const std::string& help,
+                         const std::string& default_value) {
+  ACGPU_CHECK(!flags_.count(name), "duplicate flag --" << name);
+  flags_[name] = Flag{help, default_value, /*is_bool=*/false, /*seen=*/false};
+  order_.push_back(name);
+}
+
+void ArgParser::add_bool_flag(const std::string& name, const std::string& help) {
+  ACGPU_CHECK(!flags_.count(name), "duplicate flag --" << name);
+  flags_[name] = Flag{help, "false", /*is_bool=*/true, /*seen=*/false};
+  order_.push_back(name);
+}
+
+bool ArgParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(help_text().c_str(), stdout);
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    std::string name = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    const auto eq = name.find('=');
+    if (eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+      has_value = true;
+    }
+    auto it = flags_.find(name);
+    ACGPU_CHECK(it != flags_.end(), "unknown flag --" << name);
+    Flag& f = it->second;
+    if (f.is_bool) {
+      f.value = has_value ? value : "true";
+    } else {
+      if (!has_value) {
+        ACGPU_CHECK(i + 1 < argc, "flag --" << name << " expects a value");
+        value = argv[++i];
+      }
+      f.value = value;
+    }
+    f.seen = true;
+  }
+  return true;
+}
+
+const ArgParser::Flag& ArgParser::find(const std::string& name) const {
+  auto it = flags_.find(name);
+  ACGPU_CHECK(it != flags_.end(), "flag --" << name << " was never registered");
+  return it->second;
+}
+
+std::string ArgParser::get(const std::string& name) const { return find(name).value; }
+
+std::int64_t ArgParser::get_int(const std::string& name) const {
+  const std::string& v = find(name).value;
+  std::size_t pos = 0;
+  const long long out = std::stoll(v, &pos);
+  ACGPU_CHECK(pos == v.size(), "flag --" << name << ": '" << v << "' is not an integer");
+  return out;
+}
+
+double ArgParser::get_double(const std::string& name) const {
+  const std::string& v = find(name).value;
+  std::size_t pos = 0;
+  const double out = std::stod(v, &pos);
+  ACGPU_CHECK(pos == v.size(), "flag --" << name << ": '" << v << "' is not a number");
+  return out;
+}
+
+bool ArgParser::get_bool(const std::string& name) const {
+  const std::string& v = find(name).value;
+  if (v == "true" || v == "1" || v == "yes") return true;
+  if (v == "false" || v == "0" || v == "no") return false;
+  ACGPU_CHECK(false, "flag --" << name << ": '" << v << "' is not a boolean");
+  return false;
+}
+
+std::uint64_t ArgParser::get_bytes(const std::string& name) const {
+  return parse_bytes(find(name).value);
+}
+
+std::string ArgParser::help_text() const {
+  std::ostringstream os;
+  os << summary_ << "\n\nFlags:\n";
+  for (const auto& name : order_) {
+    const Flag& f = flags_.at(name);
+    os << "  --" << name;
+    if (!f.is_bool) os << "=<" << (f.value.empty() ? "value" : f.value) << ">";
+    os << "\n      " << f.help << "\n";
+  }
+  os << "  --help\n      Show this message.\n";
+  return os.str();
+}
+
+}  // namespace acgpu

@@ -1,0 +1,57 @@
+// Tiny command-line flag parser for the examples and bench binaries.
+//
+// Supports --name=value, --name value, and boolean --name. Unknown flags are
+// an error (fail fast rather than silently ignoring a typo). Every binary
+// also gets --help for free.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace acgpu {
+
+class ArgParser {
+ public:
+  /// `summary` is printed at the top of --help output.
+  explicit ArgParser(std::string summary) : summary_(std::move(summary)) {}
+
+  /// Register flags before parse(). `help` appears in --help.
+  void add_flag(const std::string& name, const std::string& help,
+                const std::string& default_value);
+  void add_bool_flag(const std::string& name, const std::string& help);
+
+  /// Parse argv. Returns false if --help was requested (help text already
+  /// printed to stdout); throws acgpu::Error on unknown/malformed flags.
+  bool parse(int argc, const char* const* argv);
+
+  std::string get(const std::string& name) const;
+  std::int64_t get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  bool get_bool(const std::string& name) const;
+  /// Parses byte-size syntax ("200MB") via parse_bytes.
+  std::uint64_t get_bytes(const std::string& name) const;
+
+  /// Non-flag positional arguments, in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  std::string help_text() const;
+
+ private:
+  struct Flag {
+    std::string help;
+    std::string value;
+    bool is_bool = false;
+    bool seen = false;
+  };
+
+  const Flag& find(const std::string& name) const;
+
+  std::string summary_;
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> order_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace acgpu

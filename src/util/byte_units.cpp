@@ -1,0 +1,90 @@
+#include "util/byte_units.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+#include "util/error.h"
+
+namespace acgpu {
+
+std::string format_bytes(std::uint64_t bytes) {
+  char buf[32];
+  if (bytes >= kGiB) {
+    if (bytes % kGiB == 0)
+      std::snprintf(buf, sizeof buf, "%lluGB", static_cast<unsigned long long>(bytes / kGiB));
+    else
+      std::snprintf(buf, sizeof buf, "%.1fGB", static_cast<double>(bytes) / static_cast<double>(kGiB));
+  } else if (bytes >= kMiB) {
+    if (bytes % kMiB == 0)
+      std::snprintf(buf, sizeof buf, "%lluMB", static_cast<unsigned long long>(bytes / kMiB));
+    else
+      std::snprintf(buf, sizeof buf, "%.1fMB", static_cast<double>(bytes) / static_cast<double>(kMiB));
+  } else if (bytes >= kKiB) {
+    if (bytes % kKiB == 0)
+      std::snprintf(buf, sizeof buf, "%lluKB", static_cast<unsigned long long>(bytes / kKiB));
+    else
+      std::snprintf(buf, sizeof buf, "%.1fKB", static_cast<double>(bytes) / static_cast<double>(kKiB));
+  } else {
+    std::snprintf(buf, sizeof buf, "%lluB", static_cast<unsigned long long>(bytes));
+  }
+  return buf;
+}
+
+std::uint64_t parse_bytes(const std::string& text) {
+  ACGPU_CHECK(!text.empty(), "parse_bytes: empty string");
+  std::size_t pos = 0;
+  double value = 0.0;
+  try {
+    value = std::stod(text, &pos);
+  } catch (const std::exception&) {
+    ACGPU_CHECK(false, "parse_bytes: no number in '" << text << "'");
+  }
+  ACGPU_CHECK(pos > 0 && value >= 0.0, "parse_bytes: no number in '" << text << "'");
+  while (pos < text.size() && std::isspace(static_cast<unsigned char>(text[pos]))) ++pos;
+  std::string unit;
+  for (; pos < text.size(); ++pos)
+    unit.push_back(static_cast<char>(std::toupper(static_cast<unsigned char>(text[pos]))));
+  double mult = 1.0;
+  if (unit.empty() || unit == "B") {
+    mult = 1.0;
+  } else if (unit == "K" || unit == "KB" || unit == "KIB") {
+    mult = static_cast<double>(kKiB);
+  } else if (unit == "M" || unit == "MB" || unit == "MIB") {
+    mult = static_cast<double>(kMiB);
+  } else if (unit == "G" || unit == "GB" || unit == "GIB") {
+    mult = static_cast<double>(kGiB);
+  } else {
+    ACGPU_CHECK(false, "parse_bytes: unknown unit '" << unit << "' in '" << text << "'");
+  }
+  return static_cast<std::uint64_t>(std::llround(value * mult));
+}
+
+double to_gbps(std::uint64_t bytes, double seconds) {
+  ACGPU_CHECK(seconds > 0.0, "to_gbps: non-positive duration " << seconds);
+  return static_cast<double>(bytes) * 8.0 / seconds / 1e9;
+}
+
+std::string format_gbps(double gbps) {
+  char buf[32];
+  if (gbps >= 100.0)
+    std::snprintf(buf, sizeof buf, "%.0f", gbps);
+  else if (gbps >= 1.0)
+    std::snprintf(buf, sizeof buf, "%.1f", gbps);
+  else
+    std::snprintf(buf, sizeof buf, "%.3f", gbps);
+  return buf;
+}
+
+std::string format_seconds(double seconds) {
+  char buf[32];
+  if (seconds < 1e-3)
+    std::snprintf(buf, sizeof buf, "%.0fus", seconds * 1e6);
+  else if (seconds < 1.0)
+    std::snprintf(buf, sizeof buf, "%.2fms", seconds * 1e3);
+  else
+    std::snprintf(buf, sizeof buf, "%.2fs", seconds);
+  return buf;
+}
+
+}  // namespace acgpu

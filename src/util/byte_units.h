@@ -1,0 +1,37 @@
+// Byte-size and rate formatting/parsing ("200MB", "127.3 Gbps").
+//
+// The paper reports input sizes in KB/MB and throughput in Gbps (decimal
+// gigabits per second); these helpers keep every bench and example consistent
+// about the units.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace acgpu {
+
+/// 1 KB = 1024 bytes etc. — the paper's "50KB .. 200MB" are binary sizes.
+inline constexpr std::uint64_t kKiB = 1024;
+inline constexpr std::uint64_t kMiB = 1024 * kKiB;
+inline constexpr std::uint64_t kGiB = 1024 * kMiB;
+
+/// Format a byte count compactly: 512 -> "512B", 51200 -> "50KB",
+/// 209715200 -> "200MB". Chooses the largest unit that divides cleanly or
+/// falls back to one decimal place.
+std::string format_bytes(std::uint64_t bytes);
+
+/// Parse "50KB" / "200MB" / "1GB" / "123" (plain bytes). Case-insensitive,
+/// optional whitespace before the unit. Throws acgpu::Error on junk.
+std::uint64_t parse_bytes(const std::string& text);
+
+/// Throughput in decimal gigabits per second, as the paper reports it:
+/// bytes * 8 / seconds / 1e9.
+double to_gbps(std::uint64_t bytes, double seconds);
+
+/// Format a Gbps value with sensible precision ("127.3").
+std::string format_gbps(double gbps);
+
+/// Format seconds adaptively: "831us", "12.4ms", "3.02s".
+std::string format_seconds(double seconds);
+
+}  // namespace acgpu

@@ -1,0 +1,31 @@
+// Minimal CSV writer/reader used by the experiment result cache and for
+// exporting figure data for external plotting.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace acgpu {
+
+/// Row-oriented CSV writer with RFC-4180 quoting (fields containing commas,
+/// quotes or newlines get quoted; quotes are doubled).
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out) : out_(out) {}
+
+  void write_row(const std::vector<std::string>& fields);
+
+  /// Quote a single field per RFC 4180.
+  static std::string escape(const std::string& field);
+
+ private:
+  std::ostream& out_;
+};
+
+/// Parse one CSV line (RFC-4180 quoting). Multi-line quoted fields are not
+/// supported — the result cache never produces them.
+std::vector<std::string> parse_csv_line(const std::string& line);
+
+}  // namespace acgpu

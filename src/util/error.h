@@ -1,0 +1,44 @@
+// Error handling helpers.
+//
+// The library throws acgpu::Error for all recoverable failures (bad
+// arguments, malformed input files, capacity violations). ACGPU_CHECK is the
+// canonical precondition guard: always on (not assert-style), cheap to use,
+// and carries the failing expression plus a formatted message.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace acgpu {
+
+/// Exception type thrown by every acgpu component.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void throw_check_failure(const char* expr, const char* file,
+                                             int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "check failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+
+}  // namespace detail
+}  // namespace acgpu
+
+/// Precondition guard: throws acgpu::Error when `expr` is false.
+/// Usage: ACGPU_CHECK(n > 0, "pattern count must be positive, got " << n);
+#define ACGPU_CHECK(expr, msg_stream)                                       \
+  do {                                                                      \
+    if (!(expr)) {                                                          \
+      std::ostringstream acgpu_check_os_;                                   \
+      acgpu_check_os_ << msg_stream;                                        \
+      ::acgpu::detail::throw_check_failure(#expr, __FILE__, __LINE__,       \
+                                           acgpu_check_os_.str());          \
+    }                                                                       \
+  } while (false)

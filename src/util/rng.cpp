@@ -1,0 +1,13 @@
+#include "util/rng.h"
+
+namespace acgpu {
+
+std::uint64_t derive_seed(std::uint64_t parent, std::uint64_t stream) {
+  // Feed both words through SplitMix64 twice; this is the standard trick for
+  // building decorrelated streams out of one master seed.
+  SplitMix64 sm(parent ^ (0x9e3779b97f4a7c15ULL * (stream + 1)));
+  sm.next();
+  return sm.next();
+}
+
+}  // namespace acgpu

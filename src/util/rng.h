@@ -1,0 +1,110 @@
+// Deterministic pseudo-random number generation.
+//
+// All workload generation in this repo is seeded and reproducible. We use
+// SplitMix64 for seeding/state expansion and xoshiro256** as the workhorse
+// generator (fast, high quality, trivially copyable — suitable for storing
+// one generator per simulated entity without heap traffic).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/error.h"
+
+namespace acgpu {
+
+/// SplitMix64: tiny generator used to expand a single 64-bit seed into
+/// well-distributed state words (the canonical seeding procedure for
+/// xoshiro-family generators).
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256**: the repo-wide PRNG. Satisfies UniformRandomBitGenerator so
+/// it composes with <random> distributions, but we provide the handful of
+/// draws the codebase needs directly to keep hot loops allocation- and
+/// branch-light.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x5eed5eed5eed5eedULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& s : s_) s = sm.next();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  result_type operator()() { return next_u64(); }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). Uses Lemire's multiply-shift reduction;
+  /// the slight modulo bias is below 2^-32 for every bound this repo uses.
+  std::uint64_t next_below(std::uint64_t bound) {
+    ACGPU_CHECK(bound > 0, "next_below requires a positive bound");
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(next_u64()) * bound) >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::uint64_t next_in(std::uint64_t lo, std::uint64_t hi) {
+    ACGPU_CHECK(lo <= hi, "next_in requires lo <= hi, got " << lo << ".." << hi);
+    return lo + next_below(hi - lo + 1);
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli draw with probability p of returning true.
+  bool next_bool(double p) { return next_double() < p; }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(next_below(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4];
+};
+
+/// Derive a child seed from a parent seed and a stream index, so independent
+/// components (corpus, patterns, sampler, ...) get decorrelated streams.
+std::uint64_t derive_seed(std::uint64_t parent, std::uint64_t stream);
+
+}  // namespace acgpu

@@ -1,0 +1,54 @@
+// Streaming summary statistics and simple sample containers.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace acgpu {
+
+/// Streaming accumulator: count/mean/variance via Welford, plus min/max/sum.
+/// O(1) memory; suitable for per-cycle simulator counters.
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double sum() const { return sum_; }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 when fewer than two samples.
+  double variance() const;
+  double stddev() const;
+
+  /// Merge another accumulator into this one (parallel reduction).
+  void merge(const RunningStats& other);
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Retaining sample set with percentile queries; used by benches that want
+/// median/p95 over repeated runs.
+class Samples {
+ public:
+  void add(double x) { xs_.push_back(x); }
+  std::size_t count() const { return xs_.size(); }
+  double mean() const;
+  double min() const;
+  double max() const;
+  /// Percentile in [0,100] by linear interpolation; requires >=1 sample.
+  double percentile(double p) const;
+  double median() const { return percentile(50.0); }
+
+ private:
+  std::vector<double> xs_;
+};
+
+}  // namespace acgpu

@@ -1,0 +1,27 @@
+// Wall-clock stopwatch over std::chrono::steady_clock.
+#pragma once
+
+#include <chrono>
+
+namespace acgpu {
+
+/// Monotonic stopwatch. Started on construction; restart() re-zeroes it.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+
+  void restart() { start_ = clock::now(); }
+
+  /// Elapsed seconds since construction or the last restart().
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  double millis() const { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace acgpu

@@ -1,0 +1,30 @@
+// Console table printer. The figure benches print the same rows/series the
+// paper plots; this keeps them aligned and readable in a terminal.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace acgpu {
+
+/// Accumulates rows of string cells and prints them with per-column widths.
+/// First row added via set_header() is separated by a rule. Numeric-looking
+/// cells are right-aligned, text cells left-aligned.
+class Table {
+ public:
+  void set_header(std::vector<std::string> header);
+  void add_row(std::vector<std::string> row);
+
+  std::size_t row_count() const { return rows_.size(); }
+
+  void print(std::ostream& out) const;
+
+ private:
+  static bool looks_numeric(const std::string& s);
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace acgpu

@@ -1,0 +1,48 @@
+#include "workload/dna.h"
+
+#include <unordered_set>
+#include <vector>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace acgpu::workload {
+
+namespace {
+constexpr char kBases[4] = {'A', 'C', 'G', 'T'};
+}
+
+std::string make_dna_sequence(std::size_t bases, std::uint64_t seed) {
+  ACGPU_CHECK(bases > 0, "make_dna_sequence: zero bases");
+  Rng rng(seed);
+  std::string out(bases, 'A');
+  for (auto& c : out) c = kBases[rng.next_below(4)];
+  return out;
+}
+
+ac::PatternSet extract_dna_motifs(const std::string& genome, std::uint32_t count,
+                                  std::uint32_t length, double mutate_rate,
+                                  std::uint64_t seed) {
+  ACGPU_CHECK(count > 0, "extract_dna_motifs: zero motifs");
+  ACGPU_CHECK(length > 0 && genome.size() >= length,
+              "extract_dna_motifs: motif length " << length
+                  << " does not fit the genome (" << genome.size() << " bases)");
+  Rng rng(seed);
+  std::unordered_set<std::string> seen;
+  std::vector<std::string> motifs;
+  motifs.reserve(count);
+  const std::uint64_t max_attempts = static_cast<std::uint64_t>(count) * 1000;
+  std::uint64_t attempts = 0;
+  while (motifs.size() < count) {
+    ACGPU_CHECK(++attempts <= max_attempts,
+                "extract_dna_motifs: could not find " << count << " distinct motifs");
+    const std::uint64_t pos = rng.next_below(genome.size() - length + 1);
+    std::string motif = genome.substr(static_cast<std::size_t>(pos), length);
+    for (auto& c : motif)
+      if (rng.next_bool(mutate_rate)) c = kBases[rng.next_below(4)];
+    if (seen.insert(motif).second) motifs.push_back(std::move(motif));
+  }
+  return ac::PatternSet(std::move(motifs), /*dedup=*/false);
+}
+
+}  // namespace acgpu::workload

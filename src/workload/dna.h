@@ -1,0 +1,22 @@
+// DNA workload for the bioinformatics example/tests (the paper cites
+// genome/protein matching as a core AC application domain).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "ac/pattern_set.h"
+
+namespace acgpu::workload {
+
+/// Random nucleotide sequence over {A, C, G, T}.
+std::string make_dna_sequence(std::size_t bases, std::uint64_t seed);
+
+/// `count` distinct DNA motifs of the given length, drawn from `genome` with
+/// `mutate_rate` per-base substitution probability (so some motifs match the
+/// genome exactly and some do not — realistic probe behaviour).
+ac::PatternSet extract_dna_motifs(const std::string& genome, std::uint32_t count,
+                                  std::uint32_t length, double mutate_rate,
+                                  std::uint64_t seed);
+
+}  // namespace acgpu::workload

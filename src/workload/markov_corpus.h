@@ -1,0 +1,50 @@
+// Order-2 character Markov generator: synthesises arbitrarily large
+// English-like corpora from a small training text (workload/seed_text.h),
+// standing in for the paper's 50 GB magazine collection.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace acgpu::workload {
+
+class MarkovModel {
+ public:
+  /// Learns P(next char | previous two chars) from `training`. Contexts
+  /// never seen fall back to the unigram distribution.
+  explicit MarkovModel(std::string_view training);
+
+  /// Deterministically generates `bytes` of text for a given seed.
+  std::string generate(std::size_t bytes, std::uint64_t seed) const;
+
+  /// Number of distinct two-character contexts observed.
+  std::size_t context_count() const { return contexts_observed_; }
+
+ private:
+  struct Context {
+    // Cumulative counts over the observed successors, for O(log n) sampling.
+    std::vector<std::uint32_t> cumulative;
+    std::vector<std::uint8_t> symbols;
+    std::uint32_t total = 0;
+  };
+
+  static std::size_t key(std::uint8_t a, std::uint8_t b) {
+    return (static_cast<std::size_t>(a) << 8) | b;
+  }
+
+  std::uint8_t sample(const Context& ctx, Rng& rng) const;
+
+  std::vector<Context> table_;  // 65536 contexts
+  Context unigram_;
+  std::uint8_t start_[2] = {0, 0};  ///< generation starts from the training prefix
+  std::size_t contexts_observed_ = 0;
+};
+
+/// Convenience: the repo-default corpus (seed_text-trained model).
+std::string make_corpus(std::size_t bytes, std::uint64_t seed);
+
+}  // namespace acgpu::workload

@@ -1,0 +1,51 @@
+#include "workload/packet_trace.h"
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace acgpu::workload {
+
+PacketTrace make_packet_trace(std::string_view corpus,
+                              const std::vector<std::string>& attacks,
+                              const PacketTraceConfig& config,
+                              std::vector<std::uint32_t>* injected) {
+  ACGPU_CHECK(config.packets > 0, "make_packet_trace: zero packets");
+  ACGPU_CHECK(config.min_bytes > 0 && config.min_bytes <= config.max_bytes,
+              "make_packet_trace: bad size range [" << config.min_bytes << ", "
+                                                    << config.max_bytes << "]");
+  ACGPU_CHECK(corpus.size() > config.max_bytes,
+              "make_packet_trace: corpus smaller than the largest packet");
+
+  Rng rng(config.seed);
+  PacketTrace trace;
+  trace.offsets.reserve(config.packets + 1);
+  trace.offsets.push_back(0);
+  if (injected) injected->clear();
+
+  const std::uint32_t small_cap = std::min<std::uint32_t>(200, config.max_bytes);
+  std::size_t attack_cursor = 0;
+  for (std::uint32_t i = 0; i < config.packets; ++i) {
+    const bool small = rng.next_bool(config.small_fraction);
+    const std::uint32_t hi = small ? std::max(config.min_bytes, small_cap)
+                                   : config.max_bytes;
+    const auto bytes =
+        static_cast<std::uint32_t>(rng.next_in(config.min_bytes, hi));
+    const std::uint64_t src = rng.next_below(corpus.size() - bytes + 1);
+    std::string payload(corpus.substr(static_cast<std::size_t>(src), bytes));
+
+    if (!attacks.empty() && rng.next_bool(config.attack_rate)) {
+      const std::string& attack = attacks[attack_cursor++ % attacks.size()];
+      if (attack.size() <= payload.size()) {
+        const std::uint64_t pos = rng.next_below(payload.size() - attack.size() + 1);
+        payload.replace(static_cast<std::size_t>(pos), attack.size(), attack);
+        if (injected) injected->push_back(i);
+      }
+    }
+
+    trace.data += payload;
+    trace.offsets.push_back(static_cast<std::uint32_t>(trace.data.size()));
+  }
+  return trace;
+}
+
+}  // namespace acgpu::workload

@@ -1,0 +1,45 @@
+// Synthetic packet traces for the NIDS use case (the paper's motivating
+// application; Gnort [16] batches packets to the GPU). Payloads are cut
+// from the magazine corpus with attack strings injected at a configurable
+// rate, sizes drawn from a bimodal small/large mix like real traffic.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace acgpu::workload {
+
+/// A batch of packets flattened for device upload: payload bytes are
+/// concatenated in `data`; packet i occupies [offsets[i], offsets[i+1]).
+struct PacketTrace {
+  std::string data;
+  std::vector<std::uint32_t> offsets;  ///< size() == packet_count() + 1
+
+  std::size_t packet_count() const { return offsets.empty() ? 0 : offsets.size() - 1; }
+  std::string_view packet(std::size_t i) const {
+    return std::string_view(data).substr(offsets[i], offsets[i + 1] - offsets[i]);
+  }
+};
+
+struct PacketTraceConfig {
+  std::uint32_t packets = 1000;
+  std::uint32_t min_bytes = 64;
+  std::uint32_t max_bytes = 1460;
+  /// Fraction of small (<= 200 B) packets — real traffic is bimodal.
+  double small_fraction = 0.5;
+  /// Probability that a packet gets one attack payload injected.
+  double attack_rate = 0.01;
+  std::uint64_t seed = 0xbadc0de;
+};
+
+/// Builds a trace whose benign bytes come from `corpus` and whose attacks
+/// are drawn round-robin from `attacks` (may be empty -> no injections).
+/// `injected`, when non-null, receives the indices of attacked packets.
+PacketTrace make_packet_trace(std::string_view corpus,
+                              const std::vector<std::string>& attacks,
+                              const PacketTraceConfig& config,
+                              std::vector<std::uint32_t>* injected = nullptr);
+
+}  // namespace acgpu::workload

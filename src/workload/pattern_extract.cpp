@@ -1,0 +1,52 @@
+#include "workload/pattern_extract.h"
+
+#include <unordered_set>
+#include <vector>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace acgpu::workload {
+
+ac::PatternSet extract_patterns(std::string_view corpus, const ExtractConfig& config) {
+  ACGPU_CHECK(config.count > 0, "extract_patterns: zero patterns requested");
+  ACGPU_CHECK(config.min_length > 0 && config.min_length <= config.max_length,
+              "extract_patterns: bad length range [" << config.min_length << ", "
+                                                     << config.max_length << "]");
+  ACGPU_CHECK(corpus.size() >= config.max_length,
+              "extract_patterns: corpus smaller than max pattern length");
+
+  Rng rng(config.seed);
+  std::unordered_set<std::string> seen;
+  std::vector<std::string> patterns;
+  patterns.reserve(config.count);
+
+  // Distinct substrings are abundant in natural text; cap the attempts so a
+  // pathological corpus (e.g. all one character) fails loudly instead of
+  // spinning forever.
+  const std::uint64_t max_attempts = static_cast<std::uint64_t>(config.count) * 1000;
+  std::uint64_t attempts = 0;
+  auto is_boundary = [&](std::uint64_t pos) {
+    if (pos == 0) return true;
+    const char prev = corpus[static_cast<std::size_t>(pos - 1)];
+    return prev == ' ' || prev == '\n' || prev == '\t';
+  };
+
+  while (patterns.size() < config.count) {
+    ACGPU_CHECK(++attempts <= max_attempts,
+                "extract_patterns: could not find " << config.count
+                    << " distinct patterns (corpus too repetitive?)");
+    const std::uint32_t len = static_cast<std::uint32_t>(
+        rng.next_in(config.min_length, config.max_length));
+    std::uint64_t pos = rng.next_below(corpus.size() - len + 1);
+    if (config.word_aligned) {
+      while (pos < corpus.size() - len && !is_boundary(pos)) ++pos;
+      if (!is_boundary(pos)) continue;  // ran off the end: redraw
+    }
+    std::string candidate(corpus.substr(static_cast<std::size_t>(pos), len));
+    if (seen.insert(candidate).second) patterns.push_back(std::move(candidate));
+  }
+  return ac::PatternSet(std::move(patterns), /*dedup=*/false);
+}
+
+}  // namespace acgpu::workload

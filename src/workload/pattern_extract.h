@@ -1,0 +1,32 @@
+// Pattern extraction per the paper's methodology: "we extracted input data
+// and pattern data from the collected data" — i.e. the dictionary is made of
+// substrings of the corpus itself, so matches genuinely occur and the trie
+// shape reflects natural-language statistics.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "ac/pattern_set.h"
+
+namespace acgpu::workload {
+
+struct ExtractConfig {
+  std::uint32_t count = 1000;
+  std::uint32_t min_length = 4;
+  std::uint32_t max_length = 16;
+  std::uint64_t seed = 0x9a77e12;
+  /// Snap pattern starts to word boundaries (position 0 or just after a
+  /// whitespace byte). Natural-language dictionaries are made of words and
+  /// phrases, so they share prefixes heavily — this keeps the trie's hot
+  /// upper levels compact, exactly like a real keyword dictionary. Off for
+  /// non-text corpora (e.g. DNA).
+  bool word_aligned = false;
+};
+
+/// Draws `count` distinct substrings of `corpus` with lengths uniform in
+/// [min_length, max_length]. Throws if the corpus is too small to supply
+/// the requested number of distinct patterns.
+ac::PatternSet extract_patterns(std::string_view corpus, const ExtractConfig& config);
+
+}  // namespace acgpu::workload

@@ -1,0 +1,68 @@
+#include "workload/seed_text.h"
+
+namespace acgpu::workload {
+
+namespace {
+
+// Original prose written for this repository in a newsmagazine register:
+// full sentences, mixed-case, punctuation, numerals — the character
+// statistics that matter for an Aho-Corasick workload on English text.
+constexpr const char kSeed[] =
+    "The city council voted on Tuesday to approve a sweeping plan that would "
+    "reshape the waterfront district over the next fifteen years. Supporters "
+    "of the measure argued that the investment, estimated at 2.4 billion "
+    "dollars, would bring thousands of jobs to a region that has struggled "
+    "since the shipyards closed. Critics countered that the plan favors "
+    "developers over residents, and that rising rents would push working "
+    "families farther from the urban core. The vote, which passed by a narrow "
+    "margin of five to four, followed six hours of public comment from more "
+    "than two hundred speakers.\n"
+    "Scientists announced last week the discovery of a bacterial enzyme that "
+    "breaks down common plastics at room temperature. The finding, published "
+    "in a leading journal, could transform how cities handle the millions of "
+    "tons of packaging waste produced each year. In laboratory trials the "
+    "enzyme digested a plastic bottle in roughly eleven days, a process that "
+    "would otherwise take centuries in a landfill. Researchers cautioned that "
+    "industrial deployment remains years away, and that reducing consumption "
+    "is still the most effective strategy available to governments.\n"
+    "The championship match drew a record television audience on Saturday "
+    "night, with an estimated ninety million viewers watching the final set. "
+    "Analysts attributed the surge to the rivalry between the two young "
+    "champions, whose contrasting styles have revived interest in the sport. "
+    "Ticket prices on the secondary market reached four thousand dollars, the "
+    "highest figure ever recorded for the event. The winner, who grew up "
+    "training on public courts, dedicated the trophy to her grandmother and "
+    "announced a foundation to build facilities in underserved neighborhoods.\n"
+    "Central banks across three continents signaled this month that interest "
+    "rates would remain elevated through the end of the year. Markets "
+    "responded with a broad selloff in technology shares, while energy and "
+    "utility stocks held steady. Economists remain divided over whether the "
+    "tightening cycle has already pushed several economies toward recession, "
+    "or whether resilient consumer spending will carry growth into the next "
+    "quarter. Inflation, which peaked at nine percent, has cooled to just "
+    "above four, still well above the two percent target that policymakers "
+    "consider healthy.\n"
+    "A retrospective of the photographer's work opened at the national museum "
+    "this weekend, spanning five decades of portraits, street scenes, and "
+    "war reportage. Visitors moved slowly through galleries hung with prints "
+    "that had never before been shown in public, including contact sheets "
+    "from the famous harbor series of 1968. The curator described the "
+    "collection as a meditation on attention itself, on what it means to "
+    "look carefully at ordinary people in extraordinary circumstances. The "
+    "exhibition runs through late January and will travel to museums in "
+    "Seoul, Berlin, and Buenos Aires next spring.\n"
+    "Engineers testing the new high-speed rail line reported that the train "
+    "reached 312 kilometers per hour on the coastal segment, ahead of "
+    "schedule and under budget. The project, a decade in the making, links "
+    "four major cities and is expected to remove eighty thousand car trips "
+    "from the highways every day. Environmental groups praised the reduction "
+    "in emissions but raised concerns about habitat fragmentation along the "
+    "inland corridor, where fencing interrupts the seasonal migration of "
+    "deer and smaller mammals. Officials promised wildlife crossings at "
+    "twelve locations before passenger service begins.\n";
+
+}  // namespace
+
+std::string_view seed_text() { return kSeed; }
+
+}  // namespace acgpu::workload

@@ -1,0 +1,16 @@
+// Embedded English seed text for the Markov corpus generator.
+//
+// The paper trained its inputs on ~50 GB of magazine text (TIME, BBC, ...).
+// We can't ship that, so the generator learns character statistics from this
+// embedded magazine-style sample and synthesises arbitrarily large corpora
+// with a similar byte distribution and branching structure.
+#pragma once
+
+#include <string_view>
+
+namespace acgpu::workload {
+
+/// A few KB of original magazine-register English prose.
+std::string_view seed_text();
+
+}  // namespace acgpu::workload

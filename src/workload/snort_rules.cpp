@@ -1,0 +1,129 @@
+#include "workload/snort_rules.h"
+
+#include <cctype>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace acgpu::workload {
+
+namespace {
+
+bool is_hex(char c) {
+  return std::isxdigit(static_cast<unsigned char>(c)) != 0;
+}
+
+int hex_val(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  return c - 'A' + 10;
+}
+
+/// Extracts the value of `option:"..."` occurrences inside the rule body.
+std::vector<std::string> option_values(std::string_view body, std::string_view option) {
+  std::vector<std::string> values;
+  std::size_t pos = 0;
+  const std::string needle = std::string(option) + ":\"";
+  while ((pos = body.find(needle, pos)) != std::string_view::npos) {
+    pos += needle.size();
+    const std::size_t end = body.find('"', pos);
+    ACGPU_CHECK(end != std::string_view::npos,
+                "unterminated " << option << " string in rule body");
+    values.emplace_back(body.substr(pos, end - pos));
+    pos = end + 1;
+  }
+  return values;
+}
+
+}  // namespace
+
+std::string decode_content(std::string_view raw) {
+  std::string out;
+  bool in_hex = false;
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    const char c = raw[i];
+    if (c == '|') {
+      in_hex = !in_hex;
+      continue;
+    }
+    if (!in_hex) {
+      out.push_back(c);
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) continue;
+    ACGPU_CHECK(is_hex(c) && i + 1 < raw.size() && is_hex(raw[i + 1]),
+                "bad hex escape in content '" << std::string(raw) << "'");
+    out.push_back(static_cast<char>(hex_val(c) * 16 + hex_val(raw[i + 1])));
+    ++i;
+  }
+  ACGPU_CHECK(!in_hex, "unterminated |hex| block in content '" << std::string(raw) << "'");
+  return out;
+}
+
+std::vector<SnortRule> parse_snort_rules(std::string_view text) {
+  std::vector<SnortRule> rules;
+  std::size_t line_no = 0;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t nl = text.find('\n', start);
+    if (nl == std::string_view::npos) nl = text.size();
+    std::string_view line = text.substr(start, nl - start);
+    start = nl + 1;
+    ++line_no;
+
+    // Trim and skip comments/blanks.
+    while (!line.empty() && std::isspace(static_cast<unsigned char>(line.front())))
+      line.remove_prefix(1);
+    while (!line.empty() && std::isspace(static_cast<unsigned char>(line.back())))
+      line.remove_suffix(1);
+    if (line.empty() || line.front() == '#') continue;
+
+    const std::size_t open = line.find('(');
+    const std::size_t close = line.rfind(')');
+    ACGPU_CHECK(open != std::string_view::npos && close != std::string_view::npos &&
+                    open < close,
+                "rule on line " << line_no << " has no (...) body");
+
+    SnortRule rule;
+    std::istringstream header{std::string(line.substr(0, open))};
+    header >> rule.action >> rule.protocol;
+    ACGPU_CHECK(!rule.action.empty() && !rule.protocol.empty(),
+                "rule on line " << line_no << " has a malformed header");
+
+    const std::string_view body = line.substr(open + 1, close - open - 1);
+    const auto msgs = option_values(body, "msg");
+    if (!msgs.empty()) rule.message = msgs.front();
+    for (const auto& raw : option_values(body, "content"))
+      rule.contents.push_back(decode_content(raw));
+    rule.nocase = body.find("nocase") != std::string_view::npos;
+    ACGPU_CHECK(!rule.contents.empty(),
+                "rule on line " << line_no << " has no content option (nothing to match)");
+    rules.push_back(std::move(rule));
+  }
+  return rules;
+}
+
+bool all_nocase(const std::vector<SnortRule>& rules) {
+  for (const auto& r : rules)
+    if (!r.nocase) return false;
+  return !rules.empty();
+}
+
+ac::PatternSet rules_to_patterns(const std::vector<SnortRule>& rules,
+                                 std::vector<std::uint32_t>* owner) {
+  std::vector<std::string> patterns;
+  std::vector<std::uint32_t> owners;
+  for (std::size_t r = 0; r < rules.size(); ++r) {
+    for (const auto& content : rules[r].contents) {
+      patterns.push_back(content);
+      owners.push_back(static_cast<std::uint32_t>(r));
+    }
+  }
+  // No dedup: two rules may legitimately share a content string, and the
+  // owner table must stay parallel to the pattern ids.
+  ac::PatternSet set(std::move(patterns), /*dedup=*/false);
+  if (owner) *owner = std::move(owners);
+  return set;
+}
+
+}  // namespace acgpu::workload

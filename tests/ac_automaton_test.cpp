@@ -1,0 +1,130 @@
+#include "ac/automaton.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace acgpu::ac {
+namespace {
+
+Automaton paper_automaton() {
+  return Automaton(PatternSet({"he", "she", "his", "hers"}));
+}
+
+// Fig. 1(b): failure function f(1)=0 f(2)=0 f(3)=0 f(4)=1 f(5)=2 f(6)=0
+// f(7)=3 f(8)=0 f(9)=3.
+TEST(Automaton, PaperFailureFunction) {
+  Automaton a = paper_automaton();
+  EXPECT_EQ(a.fail(1), 0);
+  EXPECT_EQ(a.fail(2), 0);
+  EXPECT_EQ(a.fail(3), 0);
+  EXPECT_EQ(a.fail(4), 1);
+  EXPECT_EQ(a.fail(5), 2);
+  EXPECT_EQ(a.fail(6), 0);
+  EXPECT_EQ(a.fail(7), 3);
+  EXPECT_EQ(a.fail(8), 0);
+  EXPECT_EQ(a.fail(9), 3);
+}
+
+// Fig. 1(c): output(2)={he}, output(5)={she,he}, output(7)={his},
+// output(9)={hers}.
+TEST(Automaton, PaperOutputFunction) {
+  Automaton a = paper_automaton();
+  EXPECT_EQ(a.output(2), (std::vector<std::int32_t>{0}));
+  EXPECT_EQ(a.output(5), (std::vector<std::int32_t>{0, 1}));
+  EXPECT_EQ(a.output(7), (std::vector<std::int32_t>{2}));
+  EXPECT_EQ(a.output(9), (std::vector<std::int32_t>{3}));
+  EXPECT_TRUE(a.output(0).empty());
+  EXPECT_TRUE(a.output(4).empty());
+  EXPECT_EQ(a.total_output_entries(), 5u);
+}
+
+TEST(Automaton, GotoRootNeverFails) {
+  Automaton a = paper_automaton();
+  for (int b = 0; b < 256; ++b) {
+    const State s = a.goto_fn(0, static_cast<std::uint8_t>(b));
+    EXPECT_NE(s, Automaton::kFail);
+  }
+  EXPECT_EQ(a.goto_fn(0, 'h'), 1);
+  EXPECT_EQ(a.goto_fn(0, 's'), 3);
+  EXPECT_EQ(a.goto_fn(0, 'x'), 0);
+}
+
+TEST(Automaton, GotoNonRootFails) {
+  Automaton a = paper_automaton();
+  EXPECT_EQ(a.goto_fn(1, 'e'), 2);
+  EXPECT_EQ(a.goto_fn(2, 'r'), 8);  // "he" -r-> "her"
+  // g(5, 'r') is fail in the goto graph; the paper's "ushers" walk reaches 8
+  // only via f(5)=2 (the DFA compiles this away).
+  EXPECT_EQ(a.goto_fn(5, 'r'), Automaton::kFail);
+  EXPECT_EQ(a.goto_fn(5, 'x'), Automaton::kFail);
+}
+
+TEST(Automaton, BfsOrderStartsAtRootAndCoversAll) {
+  Automaton a = paper_automaton();
+  const auto& order = a.bfs_order();
+  ASSERT_EQ(order.size(), a.state_count());
+  EXPECT_EQ(order.front(), 0);
+  std::vector<bool> seen(a.state_count(), false);
+  for (State s : order) {
+    EXPECT_FALSE(seen[s]);
+    seen[s] = true;
+  }
+}
+
+TEST(Automaton, FailureLinksPointStrictlyShallower) {
+  Rng rng(7);
+  std::vector<std::string> patterns;
+  for (int i = 0; i < 200; ++i) {
+    std::string p;
+    const auto len = rng.next_in(1, 10);
+    for (std::uint64_t j = 0; j < len; ++j)
+      p.push_back(static_cast<char>('a' + rng.next_below(4)));
+    patterns.push_back(std::move(p));
+  }
+  PatternSet set(std::move(patterns));
+  Automaton a(set);
+  const Trie& trie = a.trie();
+  for (State s = 1; s < static_cast<State>(a.state_count()); ++s)
+    EXPECT_LT(trie.depth(a.fail(s)), trie.depth(s));
+}
+
+TEST(Automaton, FailureLinkIsLongestProperSuffix) {
+  // For {"aaaa"}, f of the depth-k "aaa..a" node is the depth k-1 node.
+  Automaton a(PatternSet({"aaaa"}));
+  State s = 0;
+  std::vector<State> chain;
+  for (int i = 0; i < 4; ++i) {
+    s = a.trie().child(s, 'a');
+    chain.push_back(s);
+  }
+  EXPECT_EQ(a.fail(chain[0]), 0);
+  EXPECT_EQ(a.fail(chain[1]), chain[0]);
+  EXPECT_EQ(a.fail(chain[2]), chain[1]);
+  EXPECT_EQ(a.fail(chain[3]), chain[2]);
+}
+
+TEST(Automaton, OutputClosedOverFailureLinks) {
+  // "abab" ends also "bab"? No — but "ab" is a suffix of "abab"? No: suffix
+  // of abab of length 2 is "ab"! Yes. So output(abab) = {abab, ab}.
+  Automaton a(PatternSet({"abab", "ab"}));
+  State s = 0;
+  for (char c : std::string("abab")) s = a.trie().child(s, static_cast<std::uint8_t>(c));
+  EXPECT_EQ(a.output(s), (std::vector<std::int32_t>{0, 1}));
+}
+
+TEST(Automaton, HasOutputMatchesOutput) {
+  Automaton a = paper_automaton();
+  for (State s = 0; s < static_cast<State>(a.state_count()); ++s)
+    EXPECT_EQ(a.has_output(s), !a.output(s).empty());
+}
+
+TEST(Automaton, SinglePattern) {
+  Automaton a(PatternSet({"x"}));
+  EXPECT_EQ(a.state_count(), 2u);
+  EXPECT_EQ(a.fail(1), 0);
+  EXPECT_EQ(a.output(1), (std::vector<std::int32_t>{0}));
+}
+
+}  // namespace
+}  // namespace acgpu::ac

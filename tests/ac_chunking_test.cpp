@@ -1,0 +1,104 @@
+#include "ac/chunking.h"
+
+#include <gtest/gtest.h>
+
+#include "ac/serial_matcher.h"
+#include "util/error.h"
+
+namespace acgpu::ac {
+namespace {
+
+TEST(MakeChunks, EvenSplit) {
+  const auto chunks = make_chunks(100, 25, 3);
+  ASSERT_EQ(chunks.size(), 4u);
+  EXPECT_EQ(chunks[0].begin, 0u);
+  EXPECT_EQ(chunks[0].end, 25u);
+  EXPECT_EQ(chunks[0].scan_end, 28u);
+  EXPECT_EQ(chunks[3].begin, 75u);
+  EXPECT_EQ(chunks[3].end, 100u);
+  EXPECT_EQ(chunks[3].scan_end, 100u);  // clipped at text end
+}
+
+TEST(MakeChunks, RaggedTail) {
+  const auto chunks = make_chunks(10, 4, 2);
+  ASSERT_EQ(chunks.size(), 3u);
+  EXPECT_EQ(chunks[2].begin, 8u);
+  EXPECT_EQ(chunks[2].end, 10u);
+  EXPECT_EQ(chunks[2].scan_end, 10u);
+}
+
+TEST(MakeChunks, SingleChunk) {
+  const auto chunks = make_chunks(5, 100, 7);
+  ASSERT_EQ(chunks.size(), 1u);
+  EXPECT_EQ(chunks[0].end, 5u);
+  EXPECT_EQ(chunks[0].scan_end, 5u);
+}
+
+TEST(MakeChunks, EmptyText) {
+  EXPECT_TRUE(make_chunks(0, 8, 2).empty());
+}
+
+TEST(MakeChunks, ZeroChunkSizeThrows) {
+  EXPECT_THROW(make_chunks(10, 0, 0), Error);
+}
+
+TEST(MakeChunks, ChunksTileTheText) {
+  const auto chunks = make_chunks(1000, 64, 15);
+  std::uint64_t expect_begin = 0;
+  for (const Chunk& c : chunks) {
+    EXPECT_EQ(c.begin, expect_begin);
+    EXPECT_GT(c.end, c.begin);
+    EXPECT_GE(c.scan_end, c.end);
+    EXPECT_LE(c.scan_end, 1000u);
+    expect_begin = c.end;
+  }
+  EXPECT_EQ(expect_begin, 1000u);
+}
+
+TEST(RequiredOverlap, IsMaxLenMinusOne) {
+  EXPECT_EQ(required_overlap(0), 0u);
+  EXPECT_EQ(required_overlap(1), 0u);
+  EXPECT_EQ(required_overlap(16), 15u);
+}
+
+TEST(ChunkOwnsMatch, StartInsideChunk) {
+  const Chunk c{10, 20, 25};
+  EXPECT_TRUE(chunk_owns_match(c, 12, 3));   // start 10
+  EXPECT_TRUE(chunk_owns_match(c, 21, 3));   // start 19, ends in overlap
+  EXPECT_FALSE(chunk_owns_match(c, 22, 3));  // start 20: next chunk's
+  EXPECT_FALSE(chunk_owns_match(c, 11, 3));  // start 9: previous chunk's
+}
+
+TEST(FindAllChunked, BoundaryStraddlingMatchesFound) {
+  Dfa dfa = build_dfa(PatternSet({"abcd"}));
+  // Match straddles every chunk boundary for chunk_size 4.
+  const std::string text = "xxabcdxxabcdxx";
+  const auto expect = find_all(dfa, text);
+  ASSERT_EQ(expect.size(), 2u);
+  for (std::uint64_t cs : {1ull, 2ull, 3ull, 4ull, 5ull, 7ull, 100ull}) {
+    auto got = find_all_chunked(dfa, text, cs);
+    EXPECT_EQ(got, expect) << "chunk size " << cs;
+  }
+}
+
+TEST(FindAllChunked, NoDuplicatesOnRepetitiveText) {
+  Dfa dfa = build_dfa(PatternSet({"aa", "aaa"}));
+  const std::string text(50, 'a');
+  auto expect = find_all(dfa, text);
+  std::sort(expect.begin(), expect.end());
+  for (std::uint64_t cs : {1ull, 2ull, 3ull, 5ull, 8ull, 50ull}) {
+    EXPECT_EQ(find_all_chunked(dfa, text, cs), expect) << "chunk size " << cs;
+  }
+}
+
+TEST(FindAllChunked, PaperExample) {
+  Dfa dfa = build_dfa(PatternSet({"he", "she", "his", "hers"}));
+  const std::string text = "ushers ushers his sheep";
+  auto expect = find_all(dfa, text);
+  std::sort(expect.begin(), expect.end());
+  for (std::uint64_t cs : {2ull, 4ull, 6ull, 16ull})
+    EXPECT_EQ(find_all_chunked(dfa, text, cs), expect);
+}
+
+}  // namespace
+}  // namespace acgpu::ac

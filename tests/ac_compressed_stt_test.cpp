@@ -1,0 +1,101 @@
+#include "ac/compressed_stt.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "ac/serial_matcher.h"
+#include "util/error.h"
+#include "util/rng.h"
+#include "workload/markov_corpus.h"
+#include "workload/pattern_extract.h"
+
+namespace acgpu::ac {
+namespace {
+
+TEST(CompressedStt, EveryTransitionMatchesDense) {
+  const Dfa dfa = build_dfa(PatternSet({"he", "she", "his", "hers"}));
+  const CompressedStt c(dfa);
+  ASSERT_EQ(c.state_count(), dfa.state_count());
+  for (std::uint32_t s = 0; s < dfa.state_count(); ++s)
+    for (int b = 0; b < 256; ++b)
+      EXPECT_EQ(c.next(static_cast<std::int32_t>(s), static_cast<std::uint8_t>(b)),
+                dfa.next(static_cast<std::int32_t>(s), static_cast<std::uint8_t>(b)))
+          << "state " << s << " byte " << b;
+}
+
+TEST(CompressedStt, MatchColumnPreserved) {
+  const Dfa dfa = build_dfa(PatternSet({"ab", "abc", "c"}));
+  const CompressedStt c(dfa);
+  for (std::uint32_t s = 0; s < dfa.state_count(); ++s)
+    EXPECT_EQ(c.output_id(static_cast<std::int32_t>(s)),
+              dfa.stt().output_id(static_cast<std::int32_t>(s)));
+}
+
+TEST(CompressedStt, RandomDfaEquivalence) {
+  Rng rng(3);
+  std::vector<std::string> patterns;
+  for (int i = 0; i < 120; ++i) {
+    std::string p;
+    const auto len = rng.next_in(1, 9);
+    for (std::uint64_t j = 0; j < len; ++j)
+      p.push_back(static_cast<char>('a' + rng.next_below(5)));
+    patterns.push_back(std::move(p));
+  }
+  const Dfa dfa = build_dfa(PatternSet(std::move(patterns)));
+  const CompressedStt c(dfa);
+  for (std::uint32_t s = 0; s < dfa.state_count(); ++s)
+    for (int b = 0; b < 256; ++b)
+      ASSERT_EQ(c.next(static_cast<std::int32_t>(s), static_cast<std::uint8_t>(b)),
+                dfa.next(static_cast<std::int32_t>(s), static_cast<std::uint8_t>(b)));
+}
+
+TEST(CompressedStt, MatcherEqualsSerial) {
+  const std::string corpus = workload::make_corpus(30000, 44);
+  workload::ExtractConfig ec;
+  ec.count = 80;
+  const Dfa dfa = build_dfa(workload::extract_patterns(corpus, ec));
+  const CompressedStt c(dfa);
+  CollectSink sink;
+  match_compressed(c, dfa, corpus, sink);
+  auto got = std::move(sink.matches());
+  std::sort(got.begin(), got.end());
+  auto expect = find_all(dfa, corpus);
+  std::sort(expect.begin(), expect.end());
+  EXPECT_EQ(got, expect);
+}
+
+TEST(CompressedStt, CompressesRealDictionaries) {
+  const std::string corpus = workload::make_corpus(1 << 20, 45);
+  workload::ExtractConfig ec;
+  ec.count = 2000;
+  ec.word_aligned = true;
+  const Dfa dfa = build_dfa(workload::extract_patterns(corpus, ec));
+  const CompressedStt c(dfa);
+  // Deep states differ from the root in ~1 byte, so real dictionaries
+  // compress by an order of magnitude or more.
+  EXPECT_GT(c.compression_ratio(), 5.0);
+  EXPECT_LT(c.size_bytes(), dfa.stt_bytes());
+}
+
+TEST(CompressedStt, SinglePatternExtremeCompression) {
+  const Dfa dfa = build_dfa(PatternSet({"abcdefgh"}));
+  const CompressedStt c(dfa);
+  EXPECT_GT(c.compression_ratio(), 3.0);
+}
+
+TEST(CompressedStt, RootRowFallback) {
+  // Transitions absent everywhere must resolve through the root row.
+  const Dfa dfa = build_dfa(PatternSet({"zz"}));
+  const CompressedStt c(dfa);
+  const std::int32_t s1 = c.next(0, 'z');
+  EXPECT_EQ(c.next(s1, 'a'), 0);   // falls back to root: no 'a' edge anywhere
+  EXPECT_EQ(c.next(s1, 'z'), dfa.next(s1, 'z'));
+}
+
+TEST(CompressedStt, EmptyDfaRejected) {
+  EXPECT_THROW(build_dfa(PatternSet{}), acgpu::Error);
+}
+
+}  // namespace
+}  // namespace acgpu::ac

@@ -1,0 +1,179 @@
+#include "ac/dfa.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "ac/nfa_matcher.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace acgpu::ac {
+namespace {
+
+Dfa paper_dfa() { return build_dfa(PatternSet({"he", "she", "his", "hers"})); }
+
+// Section II's DFA walk of "ushers": 0 -u-> 0 -s-> 3 -h-> 4 -e-> 5 (emit
+// he, she) -r-> 8 -s-> 9 (emit hers).
+TEST(Dfa, PaperUshersWalk) {
+  Dfa dfa = paper_dfa();
+  std::int32_t s = 0;
+  s = dfa.next(s, 'u');
+  EXPECT_EQ(s, 0);
+  s = dfa.next(s, 's');
+  EXPECT_EQ(s, 3);
+  s = dfa.next(s, 'h');
+  EXPECT_EQ(s, 4);
+  s = dfa.next(s, 'e');
+  EXPECT_EQ(s, 5);
+  EXPECT_TRUE(dfa.is_match(5));
+  std::vector<std::int32_t> out(dfa.output_begin(5), dfa.output_end(5));
+  EXPECT_EQ(out, (std::vector<std::int32_t>{0, 1}));  // he, she
+  s = dfa.next(s, 'r');
+  EXPECT_EQ(s, 8);
+  s = dfa.next(s, 's');
+  EXPECT_EQ(s, 9);
+  out.assign(dfa.output_begin(9), dfa.output_end(9));
+  EXPECT_EQ(out, (std::vector<std::int32_t>{3}));  // hers
+}
+
+TEST(Dfa, SttShapeMatchesPaper) {
+  Dfa dfa = paper_dfa();
+  EXPECT_EQ(dfa.state_count(), 10u);
+  EXPECT_EQ(dfa.stt().pitch(), SttMatrix::kColumns);  // 257, unpadded
+  EXPECT_EQ(dfa.stt_bytes(), 10u * 257 * 4);
+}
+
+TEST(Dfa, PitchPadding) {
+  Dfa dfa = build_dfa(PatternSet({"abc"}), /*pad_pitch_to=*/8);
+  EXPECT_EQ(dfa.stt().pitch(), 264u);  // 257 rounded up to a multiple of 8
+  // Transitions unaffected by padding.
+  EXPECT_EQ(dfa.next(0, 'a'), 1);
+}
+
+// The defining DFA property: delta(s, b) agrees with the NFA's
+// goto-with-failure resolution for EVERY state and byte.
+TEST(Dfa, AgreesWithNfaResolutionEverywhere) {
+  PatternSet set({"he", "she", "his", "hers"});
+  Automaton nfa(set);
+  Dfa dfa(nfa, set);
+  for (State s = 0; s < static_cast<State>(nfa.state_count()); ++s) {
+    for (int b = 0; b < 256; ++b) {
+      const auto byte = static_cast<std::uint8_t>(b);
+      State expect = s;
+      State next = nfa.goto_fn(expect, byte);
+      while (next == Automaton::kFail) {
+        expect = nfa.fail(expect);
+        next = nfa.goto_fn(expect, byte);
+      }
+      EXPECT_EQ(dfa.next(s, byte), next) << "state " << s << " byte " << b;
+    }
+  }
+}
+
+TEST(Dfa, MatchColumnConsistentWithAutomatonOutputs) {
+  PatternSet set({"ab", "bc", "abc", "c"});
+  Automaton nfa(set);
+  Dfa dfa(nfa, set);
+  for (State s = 0; s < static_cast<State>(nfa.state_count()); ++s) {
+    EXPECT_EQ(dfa.is_match(s), nfa.has_output(s));
+    std::vector<std::int32_t> got(dfa.output_begin(s), dfa.output_end(s));
+    EXPECT_EQ(got, nfa.output(s));
+  }
+}
+
+TEST(Dfa, PatternLengthsPreserved) {
+  Dfa dfa = paper_dfa();
+  EXPECT_EQ(dfa.pattern_count(), 4u);
+  EXPECT_EQ(dfa.pattern_length(0), 2u);
+  EXPECT_EQ(dfa.pattern_length(3), 4u);
+  EXPECT_EQ(dfa.max_pattern_length(), 4u);
+}
+
+TEST(Dfa, SaveLoadRoundTrip) {
+  Dfa dfa = build_dfa(PatternSet({"he", "she", "his", "hers"}), 8);
+  std::stringstream ss;
+  dfa.save(ss);
+  Dfa loaded = Dfa::load(ss);
+  EXPECT_EQ(loaded.state_count(), dfa.state_count());
+  EXPECT_TRUE(loaded.stt() == dfa.stt());
+  EXPECT_EQ(loaded.max_pattern_length(), dfa.max_pattern_length());
+  EXPECT_EQ(loaded.pattern_lengths(), dfa.pattern_lengths());
+  // Behavioural equality on a sample walk.
+  std::int32_t a = 0, b = 0;
+  for (char c : std::string("xushershishe")) {
+    a = dfa.next(a, static_cast<std::uint8_t>(c));
+    b = loaded.next(b, static_cast<std::uint8_t>(c));
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(dfa.is_match(a), loaded.is_match(b));
+  }
+}
+
+TEST(Dfa, LoadRejectsGarbage) {
+  std::stringstream ss;
+  ss << "not a dfa stream at all";
+  EXPECT_THROW(Dfa::load(ss), Error);
+}
+
+TEST(Dfa, LoadRejectsTruncated) {
+  Dfa dfa = paper_dfa();
+  std::stringstream ss;
+  dfa.save(ss);
+  const std::string full = ss.str();
+  std::stringstream cut(full.substr(0, full.size() / 2));
+  EXPECT_THROW(Dfa::load(cut), Error);
+}
+
+TEST(SttMatrix, SaveLoadRoundTrip) {
+  SttMatrix m(5, 8);
+  m.at(2, 0) = 7;
+  m.at(4, 256) = -3;
+  std::stringstream ss;
+  m.save(ss);
+  const SttMatrix loaded = SttMatrix::load(ss);
+  EXPECT_TRUE(loaded == m);
+}
+
+TEST(SttMatrix, ColumnForByteLayout) {
+  EXPECT_EQ(SttMatrix::column_for_byte(0), 1u);
+  EXPECT_EQ(SttMatrix::column_for_byte(255), 256u);
+}
+
+TEST(SttMatrix, RejectsZeroRows) {
+  EXPECT_THROW(SttMatrix(0), Error);
+}
+
+TEST(BuildDfa, RejectsEmptyPatternSet) {
+  EXPECT_THROW(build_dfa(PatternSet{}), Error);
+}
+
+TEST(Dfa, RootSelfLoopsOnUnmatchedBytes) {
+  Dfa dfa = paper_dfa();
+  EXPECT_EQ(dfa.next(0, 'z'), 0);
+  EXPECT_EQ(dfa.next(0, 0), 0);
+  EXPECT_EQ(dfa.next(0, 255), 0);
+}
+
+// DFA states are never "fail": every transition lands on a real state.
+TEST(Dfa, TotalTransitionFunction) {
+  Rng rng(5);
+  std::vector<std::string> patterns;
+  for (int i = 0; i < 50; ++i) {
+    std::string p;
+    const auto len = rng.next_in(1, 8);
+    for (std::uint64_t j = 0; j < len; ++j)
+      p.push_back(static_cast<char>(rng.next_below(256)));
+    patterns.push_back(std::move(p));
+  }
+  Dfa dfa = build_dfa(PatternSet(std::move(patterns)));
+  for (std::uint32_t s = 0; s < dfa.state_count(); ++s)
+    for (int b = 0; b < 256; ++b) {
+      const std::int32_t n = dfa.next(static_cast<std::int32_t>(s),
+                                      static_cast<std::uint8_t>(b));
+      EXPECT_GE(n, 0);
+      EXPECT_LT(n, static_cast<std::int32_t>(dfa.state_count()));
+    }
+}
+
+}  // namespace
+}  // namespace acgpu::ac

@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "ac/dfa.h"
+#include "ac/naive_matcher.h"
+#include "ac/serial_matcher.h"
+#include "util/rng.h"
+
+namespace acgpu::ac {
+namespace {
+
+TEST(ByteMaps, IdentityIsIdentity) {
+  const ByteMap map = identity_byte_map();
+  for (int b = 0; b < 256; ++b) EXPECT_EQ(map[b], b);
+}
+
+TEST(ByteMaps, AsciiFoldOnlyTouchesUppercase) {
+  const ByteMap map = ascii_fold_map();
+  EXPECT_EQ(map['A'], 'a');
+  EXPECT_EQ(map['Z'], 'z');
+  EXPECT_EQ(map['a'], 'a');
+  EXPECT_EQ(map['0'], '0');
+  EXPECT_EQ(map['@'], '@');  // just below 'A'
+  EXPECT_EQ(map['['], '[');  // just above 'Z'
+  EXPECT_EQ(map[0xff], 0xff);
+}
+
+TEST(FoldedDfa, IdentityMapEqualsPlainBuild) {
+  const PatternSet set({"he", "she", "his", "hers"});
+  const Dfa plain = build_dfa(set);
+  const Dfa mapped = build_dfa_folded(set, identity_byte_map());
+  const std::string text = "ushers his sheep";
+  auto a = find_all(plain, text);
+  auto b = find_all(mapped, text);
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(FoldedDfa, CaseInsensitiveMatching) {
+  const Dfa dfa = build_dfa_folded(PatternSet({"Attack", "EVIL"}), ascii_fold_map());
+  const auto matches = find_all(dfa, "an aTTaCk by eViL actors; ATTACK!");
+  ASSERT_EQ(matches.size(), 3u);
+  EXPECT_EQ(matches[0].pattern, 0);  // aTTaCk
+  EXPECT_EQ(matches[1].pattern, 1);  // eViL
+  EXPECT_EQ(matches[2].pattern, 0);  // ATTACK
+}
+
+TEST(FoldedDfa, MatchesNaiveOnFoldedInputs) {
+  // Oracle: fold both patterns and text by hand, run the naive matcher.
+  Rng rng(9);
+  std::vector<std::string> patterns;
+  for (int i = 0; i < 30; ++i) {
+    std::string p;
+    const auto len = rng.next_in(2, 6);
+    for (std::uint64_t j = 0; j < len; ++j) {
+      const char c = static_cast<char>('a' + rng.next_below(3));
+      p.push_back(rng.next_bool(0.5) ? static_cast<char>(std::toupper(c)) : c);
+    }
+    patterns.push_back(std::move(p));
+  }
+  std::string text;
+  for (int i = 0; i < 2000; ++i) {
+    const char c = static_cast<char>('a' + rng.next_below(3));
+    text.push_back(rng.next_bool(0.5) ? static_cast<char>(std::toupper(c)) : c);
+  }
+
+  const PatternSet set(patterns, /*dedup=*/false);
+  const Dfa dfa = build_dfa_folded(set, ascii_fold_map());
+  auto got = find_all(dfa, text);
+  std::sort(got.begin(), got.end());
+
+  auto fold = [](std::string s) {
+    for (auto& c : s) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    return s;
+  };
+  std::vector<std::string> folded_patterns;
+  for (const auto& p : patterns) folded_patterns.push_back(fold(p));
+  const auto expect = find_all_naive(PatternSet(folded_patterns, false), fold(text));
+  EXPECT_EQ(got, expect);
+}
+
+TEST(FoldedDfa, PatternsFoldingToSameStringBothReported) {
+  const Dfa dfa = build_dfa_folded(PatternSet({"AB", "ab"}, /*dedup=*/false),
+                                   ascii_fold_map());
+  const auto matches = find_all(dfa, "xaBx");
+  ASSERT_EQ(matches.size(), 2u);
+  EXPECT_EQ(matches[0].pattern, 0);
+  EXPECT_EQ(matches[1].pattern, 1);
+  EXPECT_EQ(matches[0].end, matches[1].end);
+}
+
+TEST(FoldedDfa, LengthsReferToOriginalPatterns) {
+  const Dfa dfa = build_dfa_folded(PatternSet({"HeLLo"}), ascii_fold_map());
+  EXPECT_EQ(dfa.pattern_length(0), 5u);
+  EXPECT_EQ(dfa.max_pattern_length(), 5u);
+}
+
+TEST(FoldedDfa, SurvivesSerialisation) {
+  const Dfa dfa = build_dfa_folded(PatternSet({"MiXeD"}), ascii_fold_map(), 8);
+  std::stringstream ss;
+  dfa.save(ss);
+  const Dfa loaded = Dfa::load(ss);
+  EXPECT_EQ(find_all(loaded, "xxmixedXX MIXED").size(), 2u);
+}
+
+}  // namespace
+}  // namespace acgpu::ac

@@ -1,0 +1,85 @@
+#include "ac/parallel_matcher.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "ac/serial_matcher.h"
+#include "workload/markov_corpus.h"
+#include "workload/pattern_extract.h"
+
+namespace acgpu::ac {
+namespace {
+
+Dfa corpus_dfa(const std::string& corpus, std::uint32_t count) {
+  workload::ExtractConfig ec;
+  ec.count = count;
+  return build_dfa(workload::extract_patterns(corpus, ec));
+}
+
+TEST(ParallelMatcher, EqualsSerialOnPaperExample) {
+  const Dfa dfa = build_dfa(PatternSet({"he", "she", "his", "hers"}));
+  const std::string text = "ushers heard his sheep; she ushers hers";
+  auto expect = find_all(dfa, text);
+  std::sort(expect.begin(), expect.end());
+  for (unsigned threads : {1u, 2u, 3u, 7u})
+    EXPECT_EQ(find_all_parallel(dfa, text, threads), expect) << threads << " threads";
+}
+
+TEST(ParallelMatcher, EqualsSerialOnCorpus) {
+  const std::string corpus = workload::make_corpus(200000, 31);
+  const Dfa dfa = corpus_dfa(corpus, 200);
+  auto expect = find_all(dfa, corpus);
+  std::sort(expect.begin(), expect.end());
+  EXPECT_EQ(find_all_parallel(dfa, corpus, 4), expect);
+}
+
+TEST(ParallelMatcher, BoundarySpanningMatches) {
+  // Worker spans split the text; patterns planted across every split for
+  // 1..8 workers of a 1000-byte text must still be found exactly once.
+  const Dfa dfa = build_dfa(PatternSet({"boundary"}));
+  std::string text(1000, 'x');
+  for (std::size_t pos : {121ul, 248ul, 330ul, 496ul, 662ul, 871ul})
+    text.replace(pos, 8, "boundary");
+  auto expect = find_all(dfa, text);
+  ASSERT_EQ(expect.size(), 6u);
+  for (unsigned threads = 1; threads <= 8; ++threads)
+    EXPECT_EQ(find_all_parallel(dfa, text, threads), expect) << threads;
+}
+
+TEST(ParallelMatcher, MoreWorkersThanBytes) {
+  const Dfa dfa = build_dfa(PatternSet({"ab"}));
+  EXPECT_EQ(find_all_parallel(dfa, "ab", 16).size(), 1u);
+}
+
+TEST(ParallelMatcher, EmptyText) {
+  const Dfa dfa = build_dfa(PatternSet({"ab"}));
+  EXPECT_TRUE(find_all_parallel(dfa, "", 4).empty());
+  EXPECT_EQ(count_matches_parallel(dfa, "", 4), 0u);
+}
+
+TEST(ParallelMatcher, CountAgreesWithFindAll) {
+  const std::string corpus = workload::make_corpus(100000, 32);
+  const Dfa dfa = corpus_dfa(corpus, 100);
+  EXPECT_EQ(count_matches_parallel(dfa, corpus, 3),
+            find_all_parallel(dfa, corpus, 3).size());
+  EXPECT_EQ(count_matches_parallel(dfa, corpus, 3), count_matches(dfa, corpus));
+}
+
+TEST(ParallelMatcher, ZeroMeansHardwareConcurrency) {
+  const Dfa dfa = build_dfa(PatternSet({"the"}));
+  const std::string corpus = workload::make_corpus(50000, 33);
+  EXPECT_EQ(find_all_parallel(dfa, corpus, 0).size(), count_matches(dfa, corpus));
+}
+
+TEST(ParallelMatcher, DenseOverlappingMatches) {
+  const Dfa dfa = build_dfa(PatternSet({"aa", "aaa", "a"}));
+  const std::string text(513, 'a');
+  auto expect = find_all(dfa, text);
+  std::sort(expect.begin(), expect.end());
+  for (unsigned threads : {1u, 4u, 9u})
+    EXPECT_EQ(find_all_parallel(dfa, text, threads), expect);
+}
+
+}  // namespace
+}  // namespace acgpu::ac

@@ -1,0 +1,64 @@
+#include "ac/pattern_set.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace acgpu::ac {
+namespace {
+
+TEST(PatternSet, BasicProperties) {
+  PatternSet set({"he", "she", "his", "hers"});
+  EXPECT_EQ(set.size(), 4u);
+  EXPECT_EQ(set[0], "he");
+  EXPECT_EQ(set[3], "hers");
+  EXPECT_EQ(set.min_length(), 2u);
+  EXPECT_EQ(set.max_length(), 4u);
+  EXPECT_EQ(set.total_bytes(), 2u + 3 + 3 + 4);
+}
+
+TEST(PatternSet, EmptySet) {
+  PatternSet set;
+  EXPECT_TRUE(set.empty());
+  EXPECT_EQ(set.max_length(), 0u);
+  EXPECT_EQ(set.min_length(), 0u);
+}
+
+TEST(PatternSet, RejectsEmptyPattern) {
+  EXPECT_THROW(PatternSet({"a", "", "b"}), Error);
+}
+
+TEST(PatternSet, DedupKeepsFirstOccurrence) {
+  PatternSet set({"abc", "xyz", "abc", "abc"});
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_EQ(set[0], "abc");
+  EXPECT_EQ(set[1], "xyz");
+}
+
+TEST(PatternSet, DedupDisabledKeepsDuplicates) {
+  PatternSet set({"abc", "abc"}, /*dedup=*/false);
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(PatternSet, LengthById) {
+  PatternSet set({"a", "abcd"});
+  EXPECT_EQ(set.length(0), 1u);
+  EXPECT_EQ(set.length(1), 4u);
+}
+
+TEST(PatternSet, HandlesBinaryBytes) {
+  // Patterns may contain any byte, including NUL (explicit-length strings).
+  PatternSet set({std::string("\x00\xff\x7f", 3), std::string("\x00\x01", 2)});
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_EQ(set.max_length(), 3u);
+  EXPECT_EQ(set[0][0], '\x00');
+}
+
+TEST(PatternSet, IterationOrderIsInsertionOrder) {
+  PatternSet set({"b", "a", "c"});
+  std::vector<std::string> seen(set.begin(), set.end());
+  EXPECT_EQ(seen, (std::vector<std::string>{"b", "a", "c"}));
+}
+
+}  // namespace
+}  // namespace acgpu::ac

@@ -1,0 +1,99 @@
+#include "ac/pfac.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "ac/dfa.h"
+#include "ac/serial_matcher.h"
+#include "util/error.h"
+
+namespace acgpu::ac {
+namespace {
+
+TEST(Pfac, StateCountEqualsTrieSize) {
+  PfacAutomaton pfac(PatternSet({"he", "she", "his", "hers"}));
+  EXPECT_EQ(pfac.state_count(), 10u);
+}
+
+TEST(Pfac, AbsentEdgesAreDead) {
+  PfacAutomaton pfac(PatternSet({"ab"}));
+  EXPECT_EQ(pfac.next(0, 'x'), PfacAutomaton::kDead);
+  EXPECT_EQ(pfac.next(0, 'b'), PfacAutomaton::kDead);  // no failure to root!
+  EXPECT_NE(pfac.next(0, 'a'), PfacAutomaton::kDead);
+}
+
+TEST(Pfac, RunFromFindsPatternsAtStart) {
+  PfacAutomaton pfac(PatternSet({"he", "hers"}));
+  CollectSink sink;
+  pfac.run_from("hersx", 0, sink);
+  ASSERT_EQ(sink.matches().size(), 2u);
+  EXPECT_EQ(sink.matches()[0], (Match{1, 0}));  // he ends at 1
+  EXPECT_EQ(sink.matches()[1], (Match{3, 1}));  // hers ends at 3
+}
+
+TEST(Pfac, RunFromIgnoresLaterStarts) {
+  PfacAutomaton pfac(PatternSet({"he"}));
+  CollectSink sink;
+  pfac.run_from("xhe", 0, sink);  // "he" starts at 1, not 0
+  EXPECT_TRUE(sink.matches().empty());
+}
+
+TEST(Pfac, RunFromStopsAtMaxPatternLength) {
+  PfacAutomaton pfac(PatternSet({"ab"}));
+  CollectSink sink;
+  // Would die immediately anyway, but verify no out-of-range scanning.
+  pfac.run_from("abababab", 6, sink);
+  ASSERT_EQ(sink.matches().size(), 1u);
+  EXPECT_EQ(sink.matches()[0].end, 7u);
+}
+
+TEST(Pfac, FindAllAgreesWithDfaSerial) {
+  PatternSet set({"he", "she", "his", "hers"});
+  PfacAutomaton pfac(set);
+  Dfa dfa = build_dfa(set);
+  const std::string text = "ushers and sheep hide his herbs; shhe";
+  auto a = find_all_pfac(pfac, text);
+  auto b = find_all(dfa, text);
+  std::sort(b.begin(), b.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(Pfac, OverlappingAndNested) {
+  PatternSet set({"aa", "aaa", "a"});
+  PfacAutomaton pfac(set);
+  Dfa dfa = build_dfa(set);
+  const std::string text = "aaaaa";
+  auto a = find_all_pfac(pfac, text);
+  auto b = find_all(dfa, text);
+  std::sort(b.begin(), b.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(Pfac, SuffixPatternsFoundByOwnInstance) {
+  // "ers" is a suffix of "hers": the PFAC instance at the 'e' finds it.
+  PatternSet set({"hers", "ers"});
+  PfacAutomaton pfac(set);
+  const auto matches = find_all_pfac(pfac, "hers");
+  ASSERT_EQ(matches.size(), 2u);
+  EXPECT_EQ(matches[0], (Match{3, 0}));
+  EXPECT_EQ(matches[1], (Match{3, 1}));
+}
+
+TEST(Pfac, EmptyPatternSetThrows) {
+  EXPECT_THROW(PfacAutomaton(PatternSet{}), Error);
+}
+
+TEST(Pfac, MatchColumnSemantics) {
+  PatternSet set({"ab", "abc"});
+  PfacAutomaton pfac(set);
+  std::int32_t s = pfac.next(0, 'a');
+  EXPECT_EQ(pfac.stt().output_id(s), 0);
+  s = pfac.next(s, 'b');
+  EXPECT_NE(pfac.stt().output_id(s), 0);
+  std::vector<std::int32_t> out(pfac.output_begin(s), pfac.output_end(s));
+  EXPECT_EQ(out, (std::vector<std::int32_t>{0}));
+}
+
+}  // namespace
+}  // namespace acgpu::ac

@@ -1,0 +1,133 @@
+// Property tests: every matcher in the library (DFA serial, NFA, PFAC,
+// chunked decomposition) must agree with the naive O(n*m) oracle on random
+// dictionaries over random texts, across alphabet sizes and match densities.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "ac/chunking.h"
+#include "ac/dfa.h"
+#include "ac/naive_matcher.h"
+#include "ac/nfa_matcher.h"
+#include "ac/pfac.h"
+#include "ac/serial_matcher.h"
+#include "util/rng.h"
+
+namespace acgpu::ac {
+namespace {
+
+struct Scenario {
+  int alphabet;        ///< distinct symbols in text and patterns
+  int pattern_count;
+  int max_pattern_len;
+  int text_len;
+  std::uint64_t seed;
+};
+
+std::string random_string(Rng& rng, int len, int alphabet) {
+  std::string s;
+  s.reserve(static_cast<std::size_t>(len));
+  for (int i = 0; i < len; ++i)
+    s.push_back(static_cast<char>('a' + rng.next_below(static_cast<std::uint64_t>(alphabet))));
+  return s;
+}
+
+class MatcherAgreement : public ::testing::TestWithParam<Scenario> {
+ protected:
+  void SetUp() override {
+    const Scenario& sc = GetParam();
+    Rng rng(sc.seed);
+    std::vector<std::string> patterns;
+    for (int i = 0; i < sc.pattern_count; ++i) {
+      const int len = 1 + static_cast<int>(rng.next_below(
+                              static_cast<std::uint64_t>(sc.max_pattern_len)));
+      patterns.push_back(random_string(rng, len, sc.alphabet));
+    }
+    set_ = PatternSet(std::move(patterns));
+    text_ = random_string(rng, sc.text_len, sc.alphabet);
+    expected_ = find_all_naive(set_, text_);
+  }
+
+  PatternSet set_;
+  std::string text_;
+  std::vector<Match> expected_;
+};
+
+TEST_P(MatcherAgreement, SerialDfaMatchesNaive) {
+  auto got = find_all(build_dfa(set_), text_);
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, expected_);
+}
+
+TEST_P(MatcherAgreement, NfaMatchesNaive) {
+  auto got = find_all_nfa(Automaton(set_), text_);
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, expected_);
+}
+
+TEST_P(MatcherAgreement, PfacMatchesNaive) {
+  EXPECT_EQ(find_all_pfac(PfacAutomaton(set_), text_), expected_);
+}
+
+TEST_P(MatcherAgreement, ChunkedMatchesNaiveAcrossChunkSizes) {
+  const Dfa dfa = build_dfa(set_);
+  for (std::uint64_t cs : {1ull, 3ull, 16ull, 64ull}) {
+    EXPECT_EQ(find_all_chunked(dfa, text_, cs), expected_) << "chunk " << cs;
+  }
+}
+
+TEST_P(MatcherAgreement, DfaWithPaddedPitchMatchesNaive) {
+  auto got = find_all(build_dfa(set_, /*pad_pitch_to=*/8), text_);
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, expected_);
+}
+
+// Dense-match regimes (tiny alphabet), sparse regimes (large alphabet),
+// single patterns, many short patterns, long patterns.
+INSTANTIATE_TEST_SUITE_P(
+    Scenarios, MatcherAgreement,
+    ::testing::Values(
+        Scenario{2, 5, 4, 500, 101},      // binary alphabet: match storm
+        Scenario{2, 20, 8, 800, 102},     // binary, nested/overlapping
+        Scenario{3, 10, 6, 1000, 103},
+        Scenario{4, 50, 10, 1500, 104},
+        Scenario{8, 100, 12, 2000, 105},
+        Scenario{26, 30, 16, 3000, 106},  // English-like sparsity
+        Scenario{26, 1, 5, 500, 107},     // single pattern
+        Scenario{26, 200, 3, 1000, 108},  // many very short patterns
+        Scenario{5, 8, 16, 64, 109},      // patterns comparable to text size
+        Scenario{2, 3, 2, 50, 110}),      // tiny everything
+    [](const ::testing::TestParamInfo<Scenario>& info) {
+      const Scenario& s = info.param;
+      return "a" + std::to_string(s.alphabet) + "_p" + std::to_string(s.pattern_count) +
+             "_l" + std::to_string(s.max_pattern_len) + "_n" +
+             std::to_string(s.text_len);
+    });
+
+// Seed sweep at one mid-size scenario: ten independent universes.
+class MatcherAgreementSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MatcherAgreementSeeds, AllMatchersAgree) {
+  Rng rng(GetParam());
+  std::vector<std::string> patterns;
+  for (int i = 0; i < 40; ++i)
+    patterns.push_back(random_string(rng, 1 + static_cast<int>(rng.next_below(9)), 4));
+  PatternSet set(std::move(patterns));
+  const std::string text = random_string(rng, 1200, 4);
+
+  const auto expected = find_all_naive(set, text);
+  auto serial = find_all(build_dfa(set), text);
+  std::sort(serial.begin(), serial.end());
+  EXPECT_EQ(serial, expected);
+  EXPECT_EQ(find_all_pfac(PfacAutomaton(set), text), expected);
+  EXPECT_EQ(find_all_chunked(build_dfa(set), text, 37), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MatcherAgreementSeeds,
+                         ::testing::Range<std::uint64_t>(9000, 9010));
+
+}  // namespace
+}  // namespace acgpu::ac

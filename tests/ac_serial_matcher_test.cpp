@@ -1,0 +1,118 @@
+#include "ac/serial_matcher.h"
+
+#include <gtest/gtest.h>
+
+#include "ac/naive_matcher.h"
+#include "ac/nfa_matcher.h"
+
+namespace acgpu::ac {
+namespace {
+
+Dfa paper_dfa() { return build_dfa(PatternSet({"he", "she", "his", "hers"})); }
+
+TEST(SerialMatcher, PaperUshersExample) {
+  const auto matches = find_all(paper_dfa(), "ushers");
+  // "she" ends at 3, "he" ends at 3, "hers" ends at 5.
+  ASSERT_EQ(matches.size(), 3u);
+  EXPECT_EQ(matches[0], (Match{3, 0}));  // he
+  EXPECT_EQ(matches[1], (Match{3, 1}));  // she
+  EXPECT_EQ(matches[2], (Match{5, 3}));  // hers
+}
+
+TEST(SerialMatcher, NoMatches) {
+  EXPECT_TRUE(find_all(paper_dfa(), "zzzzzz").empty());
+  EXPECT_EQ(count_matches(paper_dfa(), "zzzzzz"), 0u);
+}
+
+TEST(SerialMatcher, EmptyText) {
+  EXPECT_TRUE(find_all(paper_dfa(), "").empty());
+}
+
+TEST(SerialMatcher, OverlappingOccurrences) {
+  Dfa dfa = build_dfa(PatternSet({"aa"}));
+  const auto matches = find_all(dfa, "aaaa");
+  // "aa" at ends 1, 2, 3.
+  ASSERT_EQ(matches.size(), 3u);
+  EXPECT_EQ(matches[0].end, 1u);
+  EXPECT_EQ(matches[1].end, 2u);
+  EXPECT_EQ(matches[2].end, 3u);
+}
+
+TEST(SerialMatcher, NestedPatterns) {
+  Dfa dfa = build_dfa(PatternSet({"a", "ab", "abc"}));
+  const auto matches = find_all(dfa, "abc");
+  ASSERT_EQ(matches.size(), 3u);
+  EXPECT_EQ(matches[0], (Match{0, 0}));
+  EXPECT_EQ(matches[1], (Match{1, 1}));
+  EXPECT_EQ(matches[2], (Match{2, 2}));
+}
+
+TEST(SerialMatcher, BaseOffsetsReportedEnds) {
+  CollectSink sink;
+  match_serial(paper_dfa(), "ushers", sink, /*base=*/1000);
+  ASSERT_EQ(sink.matches().size(), 3u);
+  EXPECT_EQ(sink.matches()[0].end, 1003u);
+}
+
+TEST(SerialMatcher, ResumableState) {
+  Dfa dfa = paper_dfa();
+  CollectSink sink;
+  // Split "ushers" across two calls, threading the state through.
+  const std::int32_t mid = match_serial(dfa, "ush", sink, 0);
+  match_serial(dfa, "ers", sink, 3, mid);
+  ASSERT_EQ(sink.matches().size(), 3u);
+  EXPECT_EQ(sink.matches()[0].end, 3u);
+  EXPECT_EQ(sink.matches()[2].end, 5u);
+}
+
+TEST(SerialMatcher, CountMatchesAgreesWithFindAll) {
+  Dfa dfa = paper_dfa();
+  const std::string text = "she sells seashells; he hears hers, his and hers";
+  EXPECT_EQ(count_matches(dfa, text), find_all(dfa, text).size());
+}
+
+TEST(SerialMatcher, MatchesAtTextBoundaries) {
+  Dfa dfa = build_dfa(PatternSet({"ab"}));
+  const auto m1 = find_all(dfa, "abxx");
+  ASSERT_EQ(m1.size(), 1u);
+  EXPECT_EQ(m1[0].end, 1u);
+  const auto m2 = find_all(dfa, "xxab");
+  ASSERT_EQ(m2.size(), 1u);
+  EXPECT_EQ(m2[0].end, 3u);
+}
+
+TEST(SerialMatcher, BinaryPatternsAndText) {
+  Dfa dfa = build_dfa(PatternSet({std::string("\x00\x01", 2), std::string("\xff", 1)}));
+  std::string text;
+  text.push_back('\x00');
+  text.push_back('\x01');
+  text.push_back('\xff');
+  const auto matches = find_all(dfa, text);
+  ASSERT_EQ(matches.size(), 2u);
+  EXPECT_EQ(matches[0], (Match{1, 0}));
+  EXPECT_EQ(matches[1], (Match{2, 1}));
+}
+
+TEST(NfaMatcher, AgreesWithSerialOnPaperExample) {
+  PatternSet set({"he", "she", "his", "hers"});
+  Automaton nfa(set);
+  Dfa dfa(nfa, set);
+  const std::string text = "ushers and sheep hide his herbs";
+  auto a = find_all(dfa, text);
+  auto b = find_all_nfa(nfa, text);
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(NaiveMatcher, PaperExampleGroundTruth) {
+  PatternSet set({"he", "she", "his", "hers"});
+  const auto matches = find_all_naive(set, "ushers");
+  ASSERT_EQ(matches.size(), 3u);
+  EXPECT_EQ(matches[0], (Match{3, 0}));
+  EXPECT_EQ(matches[1], (Match{3, 1}));
+  EXPECT_EQ(matches[2], (Match{5, 3}));
+}
+
+}  // namespace
+}  // namespace acgpu::ac

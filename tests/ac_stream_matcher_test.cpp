@@ -1,0 +1,113 @@
+#include "ac/stream_matcher.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "ac/serial_matcher.h"
+#include "util/rng.h"
+#include "workload/markov_corpus.h"
+
+namespace acgpu::ac {
+namespace {
+
+Dfa paper_dfa() { return build_dfa(PatternSet({"he", "she", "his", "hers"})); }
+
+std::vector<Match> feed_in_slices(const Dfa& dfa, std::string_view text,
+                                  std::size_t slice) {
+  StreamMatcher matcher(dfa);
+  CollectSink sink;
+  for (std::size_t pos = 0; pos < text.size(); pos += slice)
+    matcher.feed(text.substr(pos, std::min(slice, text.size() - pos)), sink);
+  return std::move(sink.matches());
+}
+
+TEST(StreamMatcher, SingleFeedEqualsSerial) {
+  const Dfa dfa = paper_dfa();
+  const std::string text = "ushers heard his sheep";
+  EXPECT_EQ(feed_in_slices(dfa, text, text.size()), find_all(dfa, text));
+}
+
+TEST(StreamMatcher, MatchStraddlingFeedBoundary) {
+  const Dfa dfa = paper_dfa();
+  StreamMatcher matcher(dfa);
+  CollectSink sink;
+  matcher.feed("us", sink);
+  matcher.feed("he", sink);  // "she"/"he" straddle the boundary
+  matcher.feed("rs", sink);  // "hers" completes here
+  ASSERT_EQ(sink.matches().size(), 3u);
+  EXPECT_EQ(sink.matches()[0].end, 3u);
+  EXPECT_EQ(sink.matches()[2].end, 5u);
+}
+
+TEST(StreamMatcher, EverySliceSizeEqualsSerial) {
+  const Dfa dfa = paper_dfa();
+  const std::string text = workload::make_corpus(4000, 5) + " ushers hers his";
+  const auto expect = find_all(dfa, text);
+  for (std::size_t slice : {1ul, 2ul, 3ul, 7ul, 64ul, 1000ul})
+    EXPECT_EQ(feed_in_slices(dfa, text, slice), expect) << "slice " << slice;
+}
+
+TEST(StreamMatcher, TracksConsumedBytes) {
+  const Dfa dfa = paper_dfa();
+  StreamMatcher matcher(dfa);
+  CountSink sink;
+  matcher.feed("abc", sink);
+  matcher.feed("defgh", sink);
+  EXPECT_EQ(matcher.bytes_consumed(), 8u);
+}
+
+TEST(StreamMatcher, StateCarriesAcrossFeeds) {
+  const Dfa dfa = paper_dfa();
+  StreamMatcher matcher(dfa);
+  CountSink sink;
+  matcher.feed("sh", sink);
+  EXPECT_NE(matcher.state(), 0);  // mid-pattern
+}
+
+TEST(StreamMatcher, ResetForgetsHistory) {
+  const Dfa dfa = paper_dfa();
+  StreamMatcher matcher(dfa);
+  CollectSink sink;
+  matcher.feed("sh", sink);
+  matcher.reset();
+  EXPECT_EQ(matcher.state(), 0);
+  EXPECT_EQ(matcher.bytes_consumed(), 0u);
+  matcher.feed("e", sink);  // does NOT complete "she": history was dropped
+  EXPECT_TRUE(sink.matches().empty());
+}
+
+TEST(StreamMatcher, EmptyFeedIsNoop) {
+  const Dfa dfa = paper_dfa();
+  StreamMatcher matcher(dfa);
+  CountSink sink;
+  matcher.feed("sh", sink);
+  const auto state = matcher.state();
+  matcher.feed("", sink);
+  EXPECT_EQ(matcher.state(), state);
+  EXPECT_EQ(matcher.bytes_consumed(), 2u);
+}
+
+TEST(StreamMatcher, RandomisedSliceFuzz) {
+  Rng rng(77);
+  const Dfa dfa = build_dfa(PatternSet({"ab", "aba", "bb", "aaab"}));
+  for (int round = 0; round < 10; ++round) {
+    std::string text;
+    for (int i = 0; i < 600; ++i)
+      text.push_back(rng.next_bool(0.5) ? 'a' : 'b');
+    const auto expect = find_all(dfa, text);
+    StreamMatcher matcher(dfa);
+    CollectSink sink;
+    std::size_t pos = 0;
+    while (pos < text.size()) {
+      const std::size_t n =
+          std::min<std::size_t>(text.size() - pos, 1 + rng.next_below(37));
+      matcher.feed(std::string_view(text).substr(pos, n), sink);
+      pos += n;
+    }
+    EXPECT_EQ(sink.matches(), expect) << "round " << round;
+  }
+}
+
+}  // namespace
+}  // namespace acgpu::ac

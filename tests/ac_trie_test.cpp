@@ -1,0 +1,92 @@
+#include "ac/trie.h"
+
+#include <gtest/gtest.h>
+
+namespace acgpu::ac {
+namespace {
+
+// The paper's running example. Inserted in this order, the node numbering
+// matches Fig. 1: h->1, he->2, s->3, sh->4, she->5, hi->6, his->7, her->8,
+// hers->9.
+Trie paper_trie() {
+  return Trie(PatternSet({"he", "she", "his", "hers"}));
+}
+
+TEST(Trie, PaperExampleNodeCount) {
+  EXPECT_EQ(paper_trie().node_count(), 10u);
+}
+
+TEST(Trie, PaperExampleStructure) {
+  Trie t = paper_trie();
+  EXPECT_EQ(t.child(0, 'h'), 1);
+  EXPECT_EQ(t.child(1, 'e'), 2);
+  EXPECT_EQ(t.child(0, 's'), 3);
+  EXPECT_EQ(t.child(3, 'h'), 4);
+  EXPECT_EQ(t.child(4, 'e'), 5);
+  EXPECT_EQ(t.child(1, 'i'), 6);
+  EXPECT_EQ(t.child(6, 's'), 7);
+  EXPECT_EQ(t.child(2, 'r'), 8);
+  EXPECT_EQ(t.child(8, 's'), 9);
+}
+
+TEST(Trie, AbsentEdgesReturnNoChild) {
+  Trie t = paper_trie();
+  EXPECT_EQ(t.child(0, 'x'), Trie::kNoChild);
+  EXPECT_EQ(t.child(1, 'h'), Trie::kNoChild);
+  EXPECT_EQ(t.child(9, 's'), Trie::kNoChild);
+}
+
+TEST(Trie, TerminalsMarkPatternEnds) {
+  Trie t = paper_trie();
+  EXPECT_EQ(t.terminal_patterns(2), (std::vector<std::int32_t>{0}));  // he
+  EXPECT_EQ(t.terminal_patterns(5), (std::vector<std::int32_t>{1}));  // she
+  EXPECT_EQ(t.terminal_patterns(7), (std::vector<std::int32_t>{2}));  // his
+  EXPECT_EQ(t.terminal_patterns(9), (std::vector<std::int32_t>{3}));  // hers
+  EXPECT_TRUE(t.terminal_patterns(0).empty());
+  EXPECT_TRUE(t.terminal_patterns(1).empty());
+}
+
+TEST(Trie, DepthEqualsStringLength) {
+  Trie t = paper_trie();
+  EXPECT_EQ(t.depth(0), 0u);
+  EXPECT_EQ(t.depth(1), 1u);
+  EXPECT_EQ(t.depth(2), 2u);
+  EXPECT_EQ(t.depth(5), 3u);
+  EXPECT_EQ(t.depth(9), 4u);
+}
+
+TEST(Trie, SharedPrefixesShareNodes) {
+  Trie t(PatternSet({"abcde", "abcxy", "abc"}));
+  // Root + abc (3 nodes) + de (2) + xy (2) = 8.
+  EXPECT_EQ(t.node_count(), 8u);
+}
+
+TEST(Trie, DuplicateTerminalIdsWhenNoDedup) {
+  Trie t(PatternSet({"ab", "ab"}, /*dedup=*/false));
+  EXPECT_EQ(t.terminal_patterns(t.child(t.child(0, 'a'), 'b')),
+            (std::vector<std::int32_t>{0, 1}));
+}
+
+TEST(Trie, SingleCharPatterns) {
+  Trie t(PatternSet({"a", "b"}));
+  EXPECT_EQ(t.node_count(), 3u);
+  EXPECT_EQ(t.terminal_patterns(t.child(0, 'a')), (std::vector<std::int32_t>{0}));
+}
+
+TEST(Trie, BinaryAlphabetEdges) {
+  PatternSet set({std::string("\x00\xff", 2)}, true);
+  Trie t(set);
+  const State s1 = t.child(0, 0x00);
+  ASSERT_NE(s1, Trie::kNoChild);
+  EXPECT_NE(t.child(s1, 0xff), Trie::kNoChild);
+}
+
+TEST(Trie, ChildrenMapExposesAllEdges) {
+  Trie t = paper_trie();
+  EXPECT_EQ(t.children(0).size(), 2u);  // h, s
+  EXPECT_EQ(t.children(1).size(), 2u);  // e, i
+  EXPECT_EQ(t.children(9).size(), 0u);
+}
+
+}  // namespace
+}  // namespace acgpu::ac

@@ -1,0 +1,87 @@
+#include "gpusim/coalescer.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/error.h"
+
+namespace acgpu::gpusim {
+namespace {
+
+TEST(Coalescer, PerfectlyCoalescedWarp) {
+  // 32 consecutive 4-byte words starting at a 128B boundary: one segment.
+  std::vector<DevAddr> addrs;
+  for (int l = 0; l < 32; ++l) addrs.push_back(1024 + l * 4);
+  const auto r = coalesce(addrs, 4, 128);
+  EXPECT_EQ(r.transactions, 1u);
+  EXPECT_EQ(r.bytes, 128u);
+}
+
+TEST(Coalescer, MisalignedWarpTouchesTwoSegments) {
+  std::vector<DevAddr> addrs;
+  for (int l = 0; l < 32; ++l) addrs.push_back(1024 + 64 + l * 4);
+  EXPECT_EQ(coalesce(addrs, 4, 128).transactions, 2u);
+}
+
+TEST(Coalescer, StridedBytesAreTerrible) {
+  // The global-only kernel's pattern: lane l reads byte at l*chunk (chunk
+  // = 64): two lanes per 128B segment -> 16 transactions for 32 bytes used.
+  std::vector<DevAddr> addrs;
+  for (int l = 0; l < 32; ++l) addrs.push_back(static_cast<DevAddr>(l) * 64);
+  const auto r = coalesce(addrs, 1, 128);
+  EXPECT_EQ(r.transactions, 16u);
+  EXPECT_EQ(r.bytes, 16u * 128);
+}
+
+TEST(Coalescer, AllLanesSameAddress) {
+  std::vector<DevAddr> addrs(32, 4096);
+  EXPECT_EQ(coalesce(addrs, 4, 128).transactions, 1u);
+}
+
+TEST(Coalescer, AccessStraddlingSegmentBoundary) {
+  // A 4-byte access at 126 touches segments [0,128) and [128,256).
+  std::vector<DevAddr> addrs = {126};
+  EXPECT_EQ(coalesce(addrs, 4, 128).transactions, 2u);
+}
+
+TEST(Coalescer, SingleLane) {
+  std::vector<DevAddr> addrs = {500};
+  const auto r = coalesce(addrs, 1, 128);
+  EXPECT_EQ(r.transactions, 1u);
+  EXPECT_EQ(r.bytes, 128u);
+}
+
+TEST(Coalescer, EmptyAccessList) {
+  std::vector<DevAddr> addrs;
+  EXPECT_EQ(coalesce(addrs, 4, 128).transactions, 0u);
+}
+
+TEST(Coalescer, WorstCaseFullyScattered) {
+  std::vector<DevAddr> addrs;
+  for (int l = 0; l < 32; ++l) addrs.push_back(static_cast<DevAddr>(l) * 4096);
+  EXPECT_EQ(coalesce(addrs, 4, 128).transactions, 32u);
+}
+
+TEST(DistinctSegments, SortedAndDeduped) {
+  std::vector<DevAddr> addrs = {300, 100, 130, 310};
+  const auto segs = distinct_segments(addrs, 4, 128);
+  EXPECT_EQ(segs, (std::vector<DevAddr>{0, 128, 256}));
+}
+
+TEST(Coalescer, SegmentSizeValidation) {
+  std::vector<DevAddr> addrs = {0};
+  EXPECT_THROW(coalesce(addrs, 4, 100), Error);  // not a power of two
+  EXPECT_THROW(coalesce(addrs, 0, 128), Error);  // zero width
+}
+
+TEST(Coalescer, SmallerSegmentsMoreTransactions) {
+  std::vector<DevAddr> addrs;
+  for (int l = 0; l < 32; ++l) addrs.push_back(l * 4);
+  EXPECT_EQ(coalesce(addrs, 4, 128).transactions, 1u);
+  EXPECT_EQ(coalesce(addrs, 4, 64).transactions, 2u);
+  EXPECT_EQ(coalesce(addrs, 4, 32).transactions, 4u);
+}
+
+}  // namespace
+}  // namespace acgpu::gpusim

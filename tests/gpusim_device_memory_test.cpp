@@ -1,0 +1,104 @@
+#include "gpusim/device_memory.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace acgpu::gpusim {
+namespace {
+
+TEST(DeviceMemory, AllocAligns) {
+  DeviceMemory mem(4096);
+  const DevAddr a = mem.alloc(10);
+  const DevAddr b = mem.alloc(10);
+  EXPECT_EQ(a % 256, 0u);
+  EXPECT_EQ(b % 256, 0u);
+  EXPECT_GT(b, a);
+}
+
+TEST(DeviceMemory, AllocCustomAlignment) {
+  DeviceMemory mem(4096);
+  mem.alloc(3, 1);
+  const DevAddr b = mem.alloc(8, 64);
+  EXPECT_EQ(b % 64, 0u);
+}
+
+TEST(DeviceMemory, AllocRejectsNonPowerOfTwoAlign) {
+  DeviceMemory mem(1024);
+  EXPECT_THROW(mem.alloc(8, 3), Error);
+  EXPECT_THROW(mem.alloc(8, 0), Error);
+}
+
+TEST(DeviceMemory, OutOfMemoryThrows) {
+  DeviceMemory mem(1024);
+  mem.alloc(512);
+  EXPECT_THROW(mem.alloc(1024), Error);
+}
+
+TEST(DeviceMemory, LoadStoreRoundTrip) {
+  DeviceMemory mem(1024);
+  const DevAddr a = mem.alloc(64);
+  mem.store_u32(a, 0xdeadbeef);
+  EXPECT_EQ(mem.load_u32(a), 0xdeadbeefu);
+  mem.store_u8(a + 4, 0x7f);
+  EXPECT_EQ(mem.load_u8(a + 4), 0x7f);
+  mem.store_i32(a + 8, -12345);
+  EXPECT_EQ(mem.load_i32(a + 8), -12345);
+}
+
+TEST(DeviceMemory, LittleEndianLayout) {
+  DeviceMemory mem(1024);
+  const DevAddr a = mem.alloc(8);
+  mem.store_u32(a, 0x04030201);
+  EXPECT_EQ(mem.load_u8(a + 0), 1);
+  EXPECT_EQ(mem.load_u8(a + 1), 2);
+  EXPECT_EQ(mem.load_u8(a + 2), 3);
+  EXPECT_EQ(mem.load_u8(a + 3), 4);
+}
+
+TEST(DeviceMemory, CopyInOut) {
+  DeviceMemory mem(1024);
+  const DevAddr a = mem.alloc(16);
+  const char src[] = "hello, device!!";
+  mem.copy_in(a, src, sizeof src);
+  char dst[sizeof src] = {};
+  mem.copy_out(dst, a, sizeof src);
+  EXPECT_STREQ(dst, src);
+}
+
+TEST(DeviceMemory, FillSetsBytes) {
+  DeviceMemory mem(1024);
+  const DevAddr a = mem.alloc(8);
+  mem.fill(a, 0xab, 8);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(mem.load_u8(a + i), 0xab);
+}
+
+TEST(DeviceMemory, BoundsChecked) {
+  DeviceMemory mem(64);
+  EXPECT_THROW(mem.load_u32(62), Error);
+  EXPECT_THROW(mem.store_u8(64, 1), Error);
+  EXPECT_THROW(mem.load_u8(100), Error);
+}
+
+TEST(DeviceMemory, MarkReleaseReusesSpace) {
+  DeviceMemory mem(1024);
+  mem.alloc(128);
+  const std::size_t m = mem.mark();
+  const DevAddr a = mem.alloc(256);
+  mem.release(m);
+  const DevAddr b = mem.alloc(256);
+  EXPECT_EQ(a, b);
+}
+
+TEST(DeviceMemory, ReleaseAboveMarkThrows) {
+  DeviceMemory mem(1024);
+  const std::size_t m = mem.mark();
+  EXPECT_THROW(mem.release(m + 1), Error);
+}
+
+TEST(DeviceMemory, ZeroCapacityThrows) {
+  EXPECT_THROW(DeviceMemory(0), Error);
+}
+
+}  // namespace
+}  // namespace acgpu::gpusim

@@ -1,0 +1,130 @@
+#include "gpusim/shared_memory.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/error.h"
+
+namespace acgpu::gpusim {
+namespace {
+
+std::vector<std::uint32_t> addrs_from_words(std::initializer_list<std::uint32_t> words) {
+  std::vector<std::uint32_t> out;
+  for (auto w : words) out.push_back(w * 4);
+  return out;
+}
+
+TEST(BankConflicts, ConflictFreeHalfWarp) {
+  // 16 lanes on 16 successive words: one word per bank.
+  std::vector<std::uint32_t> addrs;
+  for (std::uint32_t l = 0; l < 16; ++l) addrs.push_back(l * 4);
+  const auto c = bank_conflicts(addrs, 16, 16);
+  EXPECT_EQ(c.groups, 1u);
+  EXPECT_EQ(c.total_degree, 1u);
+  EXPECT_EQ(c.max_degree, 1u);
+}
+
+TEST(BankConflicts, FullWarpTwoGroups) {
+  std::vector<std::uint32_t> addrs;
+  for (std::uint32_t l = 0; l < 32; ++l) addrs.push_back(l * 4);
+  const auto c = bank_conflicts(addrs, 16, 16);
+  EXPECT_EQ(c.groups, 2u);
+  EXPECT_EQ(c.total_degree, 2u);  // each half-warp conflict-free
+}
+
+TEST(BankConflicts, SixteenWayConflict) {
+  // The naive layout's disaster: 16 lanes, stride 16 words -> same bank.
+  std::vector<std::uint32_t> addrs;
+  for (std::uint32_t l = 0; l < 16; ++l) addrs.push_back(l * 16 * 4);
+  const auto c = bank_conflicts(addrs, 16, 16);
+  EXPECT_EQ(c.total_degree, 16u);
+  EXPECT_EQ(c.max_degree, 16u);
+}
+
+TEST(BankConflicts, BroadcastSameWordIsFree) {
+  std::vector<std::uint32_t> addrs(16, 128);
+  const auto c = bank_conflicts(addrs, 16, 16);
+  EXPECT_EQ(c.total_degree, 1u);
+}
+
+TEST(BankConflicts, SameWordDifferentBytesBroadcasts) {
+  // Sub-word byte accesses into ONE 32-bit word broadcast too.
+  std::vector<std::uint32_t> addrs = {100, 101, 102, 103};
+  const auto c = bank_conflicts(addrs, 16, 16);
+  EXPECT_EQ(c.total_degree, 1u);
+}
+
+TEST(BankConflicts, TwoWayConflict) {
+  // Lanes 0..15 on words 0..15, except lane 15 reads word 16+0 -> bank 0
+  // twice (words 0 and 16): degree 2.
+  std::vector<std::uint32_t> addrs;
+  for (std::uint32_t l = 0; l < 15; ++l) addrs.push_back(l * 4);
+  addrs.push_back(16 * 4);
+  const auto c = bank_conflicts(addrs, 16, 16);
+  EXPECT_EQ(c.max_degree, 2u);
+  EXPECT_EQ(c.total_degree, 2u);
+}
+
+TEST(BankConflicts, StrideTwoIsTwoWay) {
+  // Stride-2 words: banks 0,2,4,... each hit twice over 16 lanes.
+  std::vector<std::uint32_t> addrs;
+  for (std::uint32_t l = 0; l < 16; ++l) addrs.push_back(l * 2 * 4);
+  EXPECT_EQ(bank_conflicts(addrs, 16, 16).max_degree, 2u);
+}
+
+TEST(BankConflicts, GroupsProcessedIndependently) {
+  // First half-warp conflict-free, second half-warp 16-way.
+  std::vector<std::uint32_t> addrs;
+  for (std::uint32_t l = 0; l < 16; ++l) addrs.push_back(l * 4);
+  for (std::uint32_t l = 0; l < 16; ++l) addrs.push_back(l * 16 * 4);
+  const auto c = bank_conflicts(addrs, 16, 16);
+  EXPECT_EQ(c.groups, 2u);
+  EXPECT_EQ(c.total_degree, 1u + 16u);
+  EXPECT_EQ(c.max_degree, 16u);
+}
+
+TEST(BankConflicts, PartialGroup) {
+  const auto c = bank_conflicts(addrs_from_words({0, 1, 2}), 16, 16);
+  EXPECT_EQ(c.groups, 1u);
+  EXPECT_EQ(c.total_degree, 1u);
+}
+
+TEST(BankConflicts, EmptyAccess) {
+  std::vector<std::uint32_t> addrs;
+  const auto c = bank_conflicts(addrs, 16, 16);
+  EXPECT_EQ(c.groups, 0u);
+  EXPECT_EQ(c.total_degree, 0u);
+}
+
+TEST(BankConflicts, ValidatesArguments) {
+  std::vector<std::uint32_t> addrs = {0};
+  EXPECT_THROW(bank_conflicts(addrs, 0, 16), Error);
+  EXPECT_THROW(bank_conflicts(addrs, 16, 0), Error);
+  EXPECT_THROW(bank_conflicts(addrs, 16, 64), Error);
+}
+
+TEST(SharedMemory, LoadStoreRoundTrip) {
+  SharedMemory smem(1024);
+  smem.store_u32(0, 0x11223344);
+  EXPECT_EQ(smem.load_u32(0), 0x11223344u);
+  EXPECT_EQ(smem.load_u8(0), 0x44);  // little-endian
+  smem.store_u8(100, 0x5a);
+  EXPECT_EQ(smem.load_u8(100), 0x5a);
+}
+
+TEST(SharedMemory, BoundsChecked) {
+  SharedMemory smem(64);
+  EXPECT_THROW(smem.load_u32(62), Error);
+  EXPECT_THROW(smem.store_u8(64, 1), Error);
+}
+
+TEST(SharedMemory, ClearZeroes) {
+  SharedMemory smem(16);
+  smem.store_u32(4, 123);
+  smem.clear();
+  EXPECT_EQ(smem.load_u32(4), 0u);
+}
+
+}  // namespace
+}  // namespace acgpu::gpusim

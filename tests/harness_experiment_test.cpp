@@ -1,0 +1,138 @@
+#include "harness/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+
+#include "harness/result_cache.h"
+#include "util/byte_units.h"
+#include "util/error.h"
+
+namespace acgpu::harness {
+namespace {
+
+// One tiny sweep shared by all tests in this file (runs the real pipeline:
+// corpus -> patterns -> DFA -> serial model -> three simulated kernels).
+class SweepTest : public ::testing::Test {
+ protected:
+  static SweepConfig tiny_config() {
+    SweepConfig c;
+    c.sizes = {50 * kKiB, 200 * kKiB};
+    c.pattern_counts = {20, 200};
+    c.cpu_sample_bytes = 50 * kKiB;
+    c.device_bytes = 64 * kMiB;
+    c.sample_waves = 2;
+    // Keep the full 30-SM GTX 285: the paper's shared > global ordering
+    // depends on the uncoalesced traffic saturating the memory system,
+    // which a cut-down SM count would mask.
+    return c;
+  }
+
+  static const std::vector<PointResult>& results() {
+    static const std::vector<PointResult> r = run_sweep(tiny_config(), nullptr);
+    return r;
+  }
+};
+
+TEST_F(SweepTest, GridIsComplete) {
+  EXPECT_EQ(results().size(), 4u);
+  for (const auto& r : results()) {
+    EXPECT_GT(r.dfa_states, 0u);
+    EXPECT_GT(r.serial_seconds, 0.0);
+    EXPECT_GT(r.global.seconds, 0.0);
+    EXPECT_GT(r.shared.seconds, 0.0);
+    EXPECT_GT(r.shared_naive.seconds, 0.0);
+    EXPECT_GT(r.match_count, 0u);
+  }
+}
+
+TEST_F(SweepTest, PaperOrderingHolds) {
+  for (const auto& r : results()) {
+    // shared < global < serial (the paper's headline ordering).
+    EXPECT_LT(r.shared.seconds, r.global.seconds)
+        << format_bytes(r.text_bytes) << "/" << r.pattern_count;
+    EXPECT_LT(r.global.seconds, r.serial_seconds)
+        << format_bytes(r.text_bytes) << "/" << r.pattern_count;
+    // Diagonal store beats the naive store.
+    EXPECT_LT(r.shared.seconds, r.shared_naive.seconds);
+  }
+}
+
+TEST_F(SweepTest, SerialModelDegradesWithPatterns) {
+  const auto& rs = results();
+  // Same size, more patterns -> more serial cycles/byte.
+  EXPECT_GT(rs[2].serial_cycles_per_byte, rs[0].serial_cycles_per_byte);
+}
+
+TEST_F(SweepTest, DerivedMetricsConsistent) {
+  for (const auto& r : results()) {
+    EXPECT_NEAR(r.serial_gbps(),
+                static_cast<double>(r.text_bytes) * 8 / r.serial_seconds / 1e9, 1e-9);
+    EXPECT_NEAR(r.speedup_shared(), r.serial_seconds / r.shared.seconds, 1e-12);
+    EXPECT_GE(r.shared.tex_hit_rate, 0.0);
+    EXPECT_LE(r.shared.tex_hit_rate, 1.0);
+  }
+}
+
+TEST_F(SweepTest, CacheRoundTrips) {
+  namespace fs = std::filesystem;
+  const auto dir = fs::temp_directory_path() / "acgpu_cache_test";
+  fs::create_directories(dir);
+  setenv("ACGPU_CACHE_DIR", dir.c_str(), 1);
+  const SweepConfig config = tiny_config();
+  store_cached(config, results());
+  const auto loaded = load_cached(config);
+  unsetenv("ACGPU_CACHE_DIR");
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->size(), results().size());
+  for (std::size_t i = 0; i < loaded->size(); ++i) {
+    EXPECT_EQ((*loaded)[i].text_bytes, results()[i].text_bytes);
+    EXPECT_EQ((*loaded)[i].pattern_count, results()[i].pattern_count);
+    EXPECT_DOUBLE_EQ((*loaded)[i].serial_seconds, results()[i].serial_seconds);
+    EXPECT_DOUBLE_EQ((*loaded)[i].shared.seconds, results()[i].shared.seconds);
+    EXPECT_EQ((*loaded)[i].shared.warp_instructions,
+              results()[i].shared.warp_instructions);
+  }
+  fs::remove_all(dir);
+}
+
+TEST_F(SweepTest, CacheMissOnDifferentConfig) {
+  namespace fs = std::filesystem;
+  const auto dir = fs::temp_directory_path() / "acgpu_cache_test2";
+  fs::create_directories(dir);
+  setenv("ACGPU_CACHE_DIR", dir.c_str(), 1);
+  SweepConfig config = tiny_config();
+  store_cached(config, results());
+  config.seed += 1;  // different config -> different key -> miss
+  EXPECT_FALSE(load_cached(config).has_value());
+  unsetenv("ACGPU_CACHE_DIR");
+  fs::remove_all(dir);
+}
+
+TEST(SweepConfigTest, CacheKeyIsStableAndSensitive) {
+  const SweepConfig a = SweepConfig::paper();
+  const SweepConfig b = SweepConfig::paper();
+  EXPECT_EQ(a.cache_key(), b.cache_key());
+  SweepConfig c = SweepConfig::paper();
+  c.chunk_bytes = 128;
+  EXPECT_NE(a.cache_key(), c.cache_key());
+  EXPECT_NE(a.cache_key(), SweepConfig::quick().cache_key());
+}
+
+TEST(SweepConfigTest, PaperGridMatchesPaperRanges) {
+  const SweepConfig paper = SweepConfig::paper();
+  EXPECT_EQ(paper.sizes.front(), 50 * kKiB);
+  EXPECT_EQ(paper.sizes.back(), 200 * kMiB);
+  EXPECT_EQ(paper.pattern_counts.front(), 100u);
+  EXPECT_EQ(paper.pattern_counts.back(), 20000u);
+}
+
+TEST(SweepConfigTest, EmptyGridRejected) {
+  SweepConfig c = SweepConfig::quick();
+  c.sizes.clear();
+  EXPECT_THROW(run_sweep(c, nullptr), acgpu::Error);
+}
+
+}  // namespace
+}  // namespace acgpu::harness

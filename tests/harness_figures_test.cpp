@@ -1,0 +1,102 @@
+#include "harness/figures.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/byte_units.h"
+#include "util/error.h"
+
+namespace acgpu::harness {
+namespace {
+
+PointResult make_point(std::uint64_t bytes, std::uint32_t patterns,
+                       double serial, double global, double shared,
+                       double naive) {
+  PointResult r;
+  r.text_bytes = bytes;
+  r.pattern_count = patterns;
+  r.serial_seconds = serial;
+  r.global.seconds = global;
+  r.shared.seconds = shared;
+  r.shared_naive.seconds = naive;
+  return r;
+}
+
+std::vector<PointResult> fake_results() {
+  return {
+      make_point(kMiB, 100, 1.0, 0.1, 0.01, 0.02),
+      make_point(kMiB, 1000, 2.0, 0.4, 0.015, 0.04),
+      make_point(2 * kMiB, 100, 2.0, 0.2, 0.02, 0.04),
+      make_point(2 * kMiB, 1000, 4.0, 0.8, 0.03, 0.08),
+  };
+}
+
+TEST(Figures, AllPaperFiguresDefined) {
+  const auto& specs = paper_figures();
+  ASSERT_EQ(specs.size(), 10u);
+  for (const char* id : {"fig13", "fig14", "fig15", "fig16", "fig17", "fig18",
+                         "fig20", "fig21", "fig22", "fig23"})
+    EXPECT_NO_THROW(figure(id));
+}
+
+TEST(Figures, UnknownIdThrows) {
+  EXPECT_THROW(figure("fig99"), Error);
+}
+
+TEST(Figures, SpeedupValuesComputed) {
+  const auto results = fake_results();
+  EXPECT_DOUBLE_EQ(figure("fig20").value(results[0]), 10.0);   // serial/global
+  EXPECT_DOUBLE_EQ(figure("fig21").value(results[0]), 100.0);  // serial/shared
+  EXPECT_DOUBLE_EQ(figure("fig22").value(results[0]), 10.0);   // global/shared
+  EXPECT_DOUBLE_EQ(figure("fig23").value(results[0]), 2.0);    // naive/diag
+}
+
+TEST(Figures, ThroughputValues) {
+  const auto results = fake_results();
+  // fig16: 1MiB * 8 bits / 1s / 1e9.
+  EXPECT_NEAR(figure("fig16").value(results[0]),
+              static_cast<double>(kMiB) * 8 / 1e9, 1e-12);
+}
+
+TEST(Figures, TableHasGridShape) {
+  const Table t = figure_table(figure("fig21"), fake_results());
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("1MB"), std::string::npos);
+  EXPECT_NE(out.find("2MB"), std::string::npos);
+  EXPECT_NE(out.find("100"), std::string::npos);
+  EXPECT_NE(out.find("1000"), std::string::npos);
+  EXPECT_NE(out.find("100.0x"), std::string::npos);
+}
+
+TEST(Figures, TableMarksMissingPoints) {
+  auto results = fake_results();
+  results.pop_back();  // drop (2MB, 1000)
+  const Table t = figure_table(figure("fig21"), results);
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find('-'), std::string::npos);
+}
+
+TEST(Figures, RangeOverGrid) {
+  const auto range = figure_range(figure("fig21"), fake_results());
+  EXPECT_NEAR(range.min, 100.0, 1e-9);
+  EXPECT_NEAR(range.max, 4.0 / 0.03, 1e-9);
+}
+
+TEST(Figures, RangeOfEmptyResultsThrows) {
+  EXPECT_THROW(figure_range(figure("fig13"), {}), Error);
+}
+
+TEST(Figures, EverySpecHasPaperExpectation) {
+  for (const auto& spec : paper_figures()) {
+    EXPECT_FALSE(spec.title.empty()) << spec.id;
+    EXPECT_FALSE(spec.unit.empty()) << spec.id;
+    EXPECT_FALSE(spec.paper_expectation.empty()) << spec.id;
+  }
+}
+
+}  // namespace
+}  // namespace acgpu::harness

@@ -1,0 +1,84 @@
+#include "harness/report.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "util/byte_units.h"
+#include "util/csv.h"
+#include "util/error.h"
+
+namespace acgpu::harness {
+namespace {
+
+PointResult fake_point(std::uint64_t bytes, std::uint32_t patterns, double serial,
+                       double global, double shared) {
+  PointResult r;
+  r.text_bytes = bytes;
+  r.pattern_count = patterns;
+  r.serial_seconds = serial;
+  r.global.seconds = global;
+  r.shared.seconds = shared;
+  r.shared_naive.seconds = shared * 2;
+  return r;
+}
+
+std::vector<PointResult> fake_results() {
+  return {fake_point(kMiB, 100, 1.0, 0.2, 0.02),
+          fake_point(kMiB, 1000, 2.0, 0.5, 0.04),
+          fake_point(4 * kMiB, 100, 4.0, 0.6, 0.05),
+          fake_point(4 * kMiB, 1000, 8.0, 1.5, 0.08)};
+}
+
+TEST(Report, PrintFigureMentionsEverything) {
+  testing::internal::CaptureStdout();
+  print_figure(figure("fig21"), fake_results(), /*from_cache=*/true);
+  const std::string out = testing::internal::GetCapturedStdout();
+  EXPECT_NE(out.find("fig21"), std::string::npos);
+  EXPECT_NE(out.find("loaded from cache"), std::string::npos);
+  EXPECT_NE(out.find("measured range"), std::string::npos);
+  EXPECT_NE(out.find("paper reports"), std::string::npos);
+  EXPECT_NE(out.find("1MB"), std::string::npos);
+}
+
+TEST(Report, PrintFigureComputedVariant) {
+  testing::internal::CaptureStdout();
+  print_figure(figure("fig13"), fake_results(), /*from_cache=*/false);
+  const std::string out = testing::internal::GetCapturedStdout();
+  EXPECT_NE(out.find("sweep computed"), std::string::npos);
+}
+
+TEST(Report, CsvExportRoundTrips) {
+  namespace fs = std::filesystem;
+  const auto path = fs::temp_directory_path() / "acgpu_fig_test.csv";
+  export_figure_csv(figure("fig21"), fake_results(), path.string());
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(parse_csv_line(line),
+            (std::vector<std::string>{"text_bytes", "pattern_count", "speedup"}));
+  std::size_t rows = 0;
+  double first_value = 0;
+  while (std::getline(in, line)) {
+    const auto fields = parse_csv_line(line);
+    ASSERT_EQ(fields.size(), 3u);
+    if (rows == 0) first_value = std::stod(fields[2]);
+    ++rows;
+  }
+  EXPECT_EQ(rows, 4u);
+  EXPECT_DOUBLE_EQ(first_value, 50.0);  // 1.0 / 0.02
+  fs::remove(path);
+}
+
+TEST(Report, CsvExportToUnwritablePathThrows) {
+  EXPECT_THROW(export_figure_csv(figure("fig13"), fake_results(),
+                                 "/nonexistent-dir/x.csv"),
+               Error);
+}
+
+}  // namespace
+}  // namespace acgpu::harness

@@ -1,0 +1,223 @@
+// End-to-end correctness and model-behaviour tests for the two paper
+// kernels, run in Functional mode so every block executes.
+#include "kernels/ac_kernel.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "ac/naive_matcher.h"
+#include "ac/serial_matcher.h"
+#include "util/error.h"
+#include "util/rng.h"
+#include "workload/markov_corpus.h"
+#include "workload/pattern_extract.h"
+
+namespace acgpu::kernels {
+namespace {
+
+struct Fixture {
+  gpusim::GpuConfig cfg;
+  gpusim::DeviceMemory mem;
+  ac::PatternSet patterns;
+  ac::Dfa dfa;
+  DeviceDfa ddfa;
+  gpusim::DevAddr text_addr;
+  std::string text;
+
+  Fixture(std::vector<std::string> pats, std::string text_in,
+          std::uint32_t num_sms = 4)
+      : cfg(gpusim::GpuConfig::gtx285()),
+        mem(64 << 20),
+        patterns(std::move(pats)),
+        dfa(ac::build_dfa(patterns, 8)),
+        ddfa(mem, dfa),
+        text_addr(0),
+        text(std::move(text_in)) {
+    cfg.num_sms = num_sms;
+    text_addr = upload_text(mem, text);
+  }
+
+  AcLaunchOutcome run(Approach approach, StoreScheme scheme,
+                      std::uint32_t chunk = 32, std::uint32_t tpb = 64,
+                      std::uint32_t capacity = 64) {
+    AcLaunchSpec spec;
+    spec.approach = approach;
+    spec.scheme = scheme;
+    spec.chunk_bytes = chunk;
+    spec.threads_per_block = tpb;
+    spec.match_capacity = capacity;
+    spec.sim.mode = gpusim::SimMode::Functional;
+    const std::size_t mark = mem.mark();
+    auto out = run_ac_kernel(cfg, mem, ddfa, text_addr, text.size(), spec);
+    mem.release(mark);
+    return out;
+  }
+
+  std::vector<ac::Match> expected() const {
+    auto m = ac::find_all(dfa, text);
+    std::sort(m.begin(), m.end());
+    return m;
+  }
+};
+
+TEST(AcKernel, GlobalOnlyMatchesSerialOnPaperExample) {
+  Fixture f({"he", "she", "his", "hers"}, "ushers ushers his sheep hers");
+  const auto out = f.run(Approach::kGlobalOnly, StoreScheme::kDiagonal);
+  EXPECT_FALSE(out.matches.overflowed);
+  EXPECT_EQ(out.matches.matches, f.expected());
+}
+
+TEST(AcKernel, SharedDiagonalMatchesSerialOnPaperExample) {
+  Fixture f({"he", "she", "his", "hers"}, "ushers ushers his sheep hers");
+  const auto out = f.run(Approach::kShared, StoreScheme::kDiagonal);
+  EXPECT_EQ(out.matches.matches, f.expected());
+}
+
+TEST(AcKernel, SharedNaiveAndSequentialProduceSameMatches) {
+  Fixture f({"he", "she", "his", "hers"}, "ushers and sheep hide his herbs");
+  const auto expect = f.expected();
+  EXPECT_EQ(f.run(Approach::kShared, StoreScheme::kCoalescedNaive).matches.matches,
+            expect);
+  EXPECT_EQ(f.run(Approach::kShared, StoreScheme::kSequential).matches.matches,
+            expect);
+}
+
+TEST(AcKernel, MatchesStraddlingChunkAndBlockBoundaries) {
+  // chunk 32, tpb 64: block boundary at byte 2048. Place patterns across
+  // every kind of boundary.
+  std::string text(5000, 'x');
+  const std::string needle = "boundary";
+  for (std::size_t pos : {30ul, 31ul, 63ul, 64ul, 2040ul, 2047ul, 4090ul})
+    text.replace(pos, needle.size(), needle);
+  Fixture f({"boundary", "ound"}, text);
+  for (auto approach : {Approach::kGlobalOnly, Approach::kShared}) {
+    const auto out = f.run(approach, StoreScheme::kDiagonal);
+    EXPECT_EQ(out.matches.matches, f.expected()) << to_string(approach);
+  }
+}
+
+TEST(AcKernel, RaggedTailText) {
+  // Text length not a multiple of chunk, block, or word size.
+  Fixture f({"ab", "abc"}, workload::make_corpus(3001, 11) + "ab");
+  for (auto approach : {Approach::kGlobalOnly, Approach::kShared}) {
+    const auto out = f.run(approach, StoreScheme::kDiagonal);
+    EXPECT_EQ(out.matches.matches, f.expected()) << to_string(approach);
+  }
+}
+
+TEST(AcKernel, EnglishCorpusWithExtractedPatterns) {
+  const std::string corpus = workload::make_corpus(20000, 77);
+  workload::ExtractConfig ec;
+  ec.count = 50;
+  ec.min_length = 4;
+  ec.max_length = 12;
+  const ac::PatternSet patterns = workload::extract_patterns(corpus, ec);
+  std::vector<std::string> pats(patterns.begin(), patterns.end());
+  Fixture f(std::move(pats), corpus);
+  ASSERT_GT(f.expected().size(), 0u);  // extracted patterns must occur
+  for (auto approach : {Approach::kGlobalOnly, Approach::kShared}) {
+    const auto out = f.run(approach, StoreScheme::kDiagonal, 64, 128, 128);
+    EXPECT_EQ(out.matches.matches, f.expected()) << to_string(approach);
+  }
+}
+
+TEST(AcKernel, DenseMatchesBinaryAlphabet) {
+  Rng rng(5);
+  std::string text(4096, 'a');
+  for (auto& c : text) c = rng.next_bool(0.5) ? 'a' : 'b';
+  Fixture f({"a", "ab", "ba", "aba", "bb"}, text);
+  const auto out = f.run(Approach::kShared, StoreScheme::kDiagonal, 32, 64, 96);
+  EXPECT_FALSE(out.matches.overflowed);
+  EXPECT_EQ(out.matches.matches, f.expected());
+}
+
+TEST(AcKernel, OverflowIsReportedNotSilent) {
+  // Capacity 1 with a text full of matches must flag overflow.
+  Fixture f({"a"}, std::string(512, 'a'));
+  const auto out = f.run(Approach::kShared, StoreScheme::kDiagonal, 32, 64,
+                         /*capacity=*/1);
+  EXPECT_TRUE(out.matches.overflowed);
+  EXPECT_EQ(out.matches.total_reported, 512u);  // counts are still exact
+}
+
+TEST(AcKernel, DiagonalEliminatesMatchPhaseConflicts) {
+  const std::string corpus = workload::make_corpus(16384, 3);
+  Fixture f({"the", "and", "tion"}, corpus);
+  const auto naive = f.run(Approach::kShared, StoreScheme::kCoalescedNaive, 64, 128);
+  const auto diag = f.run(Approach::kShared, StoreScheme::kDiagonal, 64, 128);
+  // The naive layout's matching loads are 16-way conflicts; diagonal is
+  // conflict-free except rare boundary effects.
+  EXPECT_GT(naive.sim.metrics.shared_conflict_cycles, 0u);
+  EXPECT_LT(diag.sim.metrics.shared_conflict_cycles,
+            naive.sim.metrics.shared_conflict_cycles / 8);
+  EXPECT_LT(diag.sim.cycles, naive.sim.cycles);
+}
+
+TEST(AcKernel, SharedApproachCutsGlobalTraffic) {
+  const std::string corpus = workload::make_corpus(16384, 4);
+  Fixture f({"the", "and"}, corpus);
+  const auto global = f.run(Approach::kGlobalOnly, StoreScheme::kDiagonal, 64, 128);
+  const auto shared = f.run(Approach::kShared, StoreScheme::kDiagonal, 64, 128);
+  // Global-only re-reads every byte with terrible coalescing; shared stages
+  // each byte once with coalesced words.
+  EXPECT_GT(global.sim.metrics.global_transactions,
+            shared.sim.metrics.global_transactions * 4);
+  EXPECT_LT(shared.sim.cycles, global.sim.cycles);
+}
+
+TEST(AcKernel, SequentialStagingCoalescesWorseThanCooperative) {
+  const std::string corpus = workload::make_corpus(16384, 5);
+  Fixture f({"qzk"}, corpus);  // rare pattern: staging dominates
+  const auto seq = f.run(Approach::kShared, StoreScheme::kSequential, 64, 128);
+  const auto coop = f.run(Approach::kShared, StoreScheme::kDiagonal, 64, 128);
+  EXPECT_GT(seq.sim.metrics.global_transactions,
+            coop.sim.metrics.global_transactions * 2);
+}
+
+TEST(AcKernel, ValidatesSpec) {
+  Fixture f({"abcdefgh"}, "some text with abcdefgh inside");
+  AcLaunchSpec spec;
+  spec.chunk_bytes = 30;  // not a multiple of 4
+  EXPECT_THROW(run_ac_kernel(f.cfg, f.mem, f.ddfa, f.text_addr, f.text.size(), spec),
+               Error);
+  spec.chunk_bytes = 4;  // overlap (7) would exceed the chunk
+  EXPECT_THROW(run_ac_kernel(f.cfg, f.mem, f.ddfa, f.text_addr, f.text.size(), spec),
+               Error);
+  spec.chunk_bytes = 64;
+  spec.threads_per_block = 0;
+  EXPECT_THROW(run_ac_kernel(f.cfg, f.mem, f.ddfa, f.text_addr, f.text.size(), spec),
+               Error);
+}
+
+TEST(AcKernel, UploadTextPadsForWordLoads) {
+  gpusim::DeviceMemory mem(1 << 16);
+  const auto addr = upload_text(mem, "abc");
+  EXPECT_EQ(mem.load_u8(addr + 0), 'a');
+  EXPECT_EQ(mem.load_u8(addr + 2), 'c');
+  // Whole-word load at the text end must not fault.
+  EXPECT_NO_THROW(mem.load_u32(addr + 3));
+}
+
+TEST(AcKernel, TimedModeProducesStableExtrapolation) {
+  const std::string corpus = workload::make_corpus(2 << 20, 9);
+  Fixture f({"the", "and", "ing"}, corpus, /*num_sms=*/30);
+  AcLaunchSpec spec;
+  spec.chunk_bytes = 64;
+  spec.threads_per_block = 128;
+  spec.sim.mode = gpusim::SimMode::Timed;
+  spec.sim.sample_waves = 2;
+  const std::size_t mark = f.mem.mark();
+  const auto timed = run_ac_kernel(f.cfg, f.mem, f.ddfa, f.text_addr,
+                                   f.text.size(), spec);
+  f.mem.release(mark);
+  spec.sim.mode = gpusim::SimMode::Functional;
+  const auto full = run_ac_kernel(f.cfg, f.mem, f.ddfa, f.text_addr,
+                                  f.text.size(), spec);
+  EXPECT_LT(timed.sim.simulated_blocks, full.sim.simulated_blocks);
+  // Extrapolated timing within 30% of the fully simulated makespan.
+  EXPECT_NEAR(timed.sim.cycles / full.sim.cycles, 1.0, 0.3);
+}
+
+}  // namespace
+}  // namespace acgpu::kernels

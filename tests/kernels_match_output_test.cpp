@@ -1,0 +1,73 @@
+#include "kernels/match_output.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace acgpu::kernels {
+namespace {
+
+TEST(MatchBuffer, EmptyCollect) {
+  gpusim::DeviceMemory mem(1 << 16);
+  MatchBuffer buf(mem, 8, 4);
+  const auto c = buf.collect(mem);
+  EXPECT_TRUE(c.matches.empty());
+  EXPECT_EQ(c.total_reported, 0u);
+  EXPECT_FALSE(c.overflowed);
+}
+
+TEST(MatchBuffer, CollectReadsRecords) {
+  gpusim::DeviceMemory mem(1 << 16);
+  MatchBuffer buf(mem, 4, 4);
+  // Thread 2 reports two matches.
+  mem.store_u32(buf.count_addr(2), 2);
+  mem.store_u32(buf.record_addr(2, 0), 100);     // end
+  mem.store_u32(buf.record_addr(2, 0) + 4, 7);   // pattern
+  mem.store_u32(buf.record_addr(2, 1), 50);
+  mem.store_u32(buf.record_addr(2, 1) + 4, 3);
+  const auto c = buf.collect(mem);
+  ASSERT_EQ(c.matches.size(), 2u);
+  // Sorted by (end, pattern).
+  EXPECT_EQ(c.matches[0], (ac::Match{50, 3}));
+  EXPECT_EQ(c.matches[1], (ac::Match{100, 7}));
+  EXPECT_EQ(c.total_reported, 2u);
+}
+
+TEST(MatchBuffer, OverflowDetected) {
+  gpusim::DeviceMemory mem(1 << 16);
+  MatchBuffer buf(mem, 2, 2);
+  mem.store_u32(buf.count_addr(0), 5);  // thread counted 5, capacity 2
+  mem.store_u32(buf.record_addr(0, 0), 1);
+  mem.store_u32(buf.record_addr(0, 1), 2);
+  const auto c = buf.collect(mem);
+  EXPECT_TRUE(c.overflowed);
+  EXPECT_EQ(c.total_reported, 5u);
+  EXPECT_EQ(c.matches.size(), 2u);  // only the stored records
+}
+
+TEST(MatchBuffer, RecordAddressLayout) {
+  gpusim::DeviceMemory mem(1 << 16);
+  MatchBuffer buf(mem, 4, 3);
+  EXPECT_EQ(buf.count_addr(1) - buf.count_addr(0), 4u);
+  EXPECT_EQ(buf.record_addr(0, 1) - buf.record_addr(0, 0), 8u);
+  EXPECT_EQ(buf.record_addr(1, 0) - buf.record_addr(0, 0), 3u * 8);
+}
+
+TEST(MatchBuffer, CountsZeroInitialised) {
+  gpusim::DeviceMemory mem(1 << 16);
+  // Dirty the memory first to prove the constructor clears counts.
+  const auto probe = mem.alloc(64);
+  mem.fill(probe, 0xff, 64);
+  MatchBuffer buf(mem, 16, 2);
+  for (std::uint64_t t = 0; t < 16; ++t)
+    EXPECT_EQ(mem.load_u32(buf.count_addr(t)), 0u);
+}
+
+TEST(MatchBuffer, ValidatesArguments) {
+  gpusim::DeviceMemory mem(1 << 16);
+  EXPECT_THROW(MatchBuffer(mem, 0, 4), Error);
+  EXPECT_THROW(MatchBuffer(mem, 4, 0), Error);
+}
+
+}  // namespace
+}  // namespace acgpu::kernels

@@ -1,0 +1,113 @@
+#include "util/arg_parser.h"
+
+#include <gtest/gtest.h>
+
+#include "util/byte_units.h"
+#include "util/error.h"
+
+namespace acgpu {
+namespace {
+
+ArgParser make_parser() {
+  ArgParser p("test tool");
+  p.add_flag("size", "input size", "1MB");
+  p.add_flag("count", "pattern count", "100");
+  p.add_flag("rate", "a ratio", "0.5");
+  p.add_bool_flag("verbose", "chatty output");
+  return p;
+}
+
+TEST(ArgParser, DefaultsApply) {
+  ArgParser p = make_parser();
+  const char* argv[] = {"tool"};
+  ASSERT_TRUE(p.parse(1, argv));
+  EXPECT_EQ(p.get("size"), "1MB");
+  EXPECT_EQ(p.get_int("count"), 100);
+  EXPECT_DOUBLE_EQ(p.get_double("rate"), 0.5);
+  EXPECT_FALSE(p.get_bool("verbose"));
+}
+
+TEST(ArgParser, EqualsSyntax) {
+  ArgParser p = make_parser();
+  const char* argv[] = {"tool", "--size=2MB", "--count=5"};
+  ASSERT_TRUE(p.parse(3, argv));
+  EXPECT_EQ(p.get_bytes("size"), 2 * kMiB);
+  EXPECT_EQ(p.get_int("count"), 5);
+}
+
+TEST(ArgParser, SpaceSyntax) {
+  ArgParser p = make_parser();
+  const char* argv[] = {"tool", "--size", "4KB"};
+  ASSERT_TRUE(p.parse(3, argv));
+  EXPECT_EQ(p.get_bytes("size"), 4 * kKiB);
+}
+
+TEST(ArgParser, BoolFlagForms) {
+  {
+    ArgParser p = make_parser();
+    const char* argv[] = {"tool", "--verbose"};
+    ASSERT_TRUE(p.parse(2, argv));
+    EXPECT_TRUE(p.get_bool("verbose"));
+  }
+  {
+    ArgParser p = make_parser();
+    const char* argv[] = {"tool", "--verbose=false"};
+    ASSERT_TRUE(p.parse(2, argv));
+    EXPECT_FALSE(p.get_bool("verbose"));
+  }
+}
+
+TEST(ArgParser, PositionalArguments) {
+  ArgParser p = make_parser();
+  const char* argv[] = {"tool", "input.txt", "--count=3", "more.txt"};
+  ASSERT_TRUE(p.parse(4, argv));
+  EXPECT_EQ(p.positional(), (std::vector<std::string>{"input.txt", "more.txt"}));
+}
+
+TEST(ArgParser, UnknownFlagThrows) {
+  ArgParser p = make_parser();
+  const char* argv[] = {"tool", "--bogus=1"};
+  EXPECT_THROW(p.parse(2, argv), Error);
+}
+
+TEST(ArgParser, MissingValueThrows) {
+  ArgParser p = make_parser();
+  const char* argv[] = {"tool", "--size"};
+  EXPECT_THROW(p.parse(2, argv), Error);
+}
+
+TEST(ArgParser, MalformedNumbersThrow) {
+  ArgParser p = make_parser();
+  const char* argv[] = {"tool", "--count=12abc"};
+  ASSERT_TRUE(p.parse(2, argv));
+  EXPECT_THROW(p.get_int("count"), Error);
+}
+
+TEST(ArgParser, HelpShortCircuits) {
+  ArgParser p = make_parser();
+  const char* argv[] = {"tool", "--help"};
+  EXPECT_FALSE(p.parse(2, argv));
+}
+
+TEST(ArgParser, HelpTextMentionsFlags) {
+  ArgParser p = make_parser();
+  const std::string help = p.help_text();
+  EXPECT_NE(help.find("--size"), std::string::npos);
+  EXPECT_NE(help.find("--verbose"), std::string::npos);
+  EXPECT_NE(help.find("--help"), std::string::npos);
+}
+
+TEST(ArgParser, DuplicateRegistrationThrows) {
+  ArgParser p("x");
+  p.add_flag("a", "h", "1");
+  EXPECT_THROW(p.add_flag("a", "h", "2"), Error);
+  EXPECT_THROW(p.add_bool_flag("a", "h"), Error);
+}
+
+TEST(ArgParser, UnregisteredGetThrows) {
+  ArgParser p("x");
+  EXPECT_THROW(p.get("nope"), Error);
+}
+
+}  // namespace
+}  // namespace acgpu

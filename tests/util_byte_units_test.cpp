@@ -1,0 +1,79 @@
+#include "util/byte_units.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace acgpu {
+namespace {
+
+TEST(FormatBytes, ExactUnits) {
+  EXPECT_EQ(format_bytes(0), "0B");
+  EXPECT_EQ(format_bytes(512), "512B");
+  EXPECT_EQ(format_bytes(50 * kKiB), "50KB");
+  EXPECT_EQ(format_bytes(200 * kMiB), "200MB");
+  EXPECT_EQ(format_bytes(kGiB), "1GB");
+}
+
+TEST(FormatBytes, FractionalUnits) {
+  EXPECT_EQ(format_bytes(1536), "1.5KB");
+  EXPECT_EQ(format_bytes(kMiB + kMiB / 2), "1.5MB");
+}
+
+TEST(ParseBytes, PlainAndUnits) {
+  EXPECT_EQ(parse_bytes("123"), 123u);
+  EXPECT_EQ(parse_bytes("50KB"), 50 * kKiB);
+  EXPECT_EQ(parse_bytes("200MB"), 200 * kMiB);
+  EXPECT_EQ(parse_bytes("1GB"), kGiB);
+  EXPECT_EQ(parse_bytes("2G"), 2 * kGiB);
+}
+
+TEST(ParseBytes, CaseAndWhitespaceInsensitive) {
+  EXPECT_EQ(parse_bytes("50kb"), 50 * kKiB);
+  EXPECT_EQ(parse_bytes("50 KB"), 50 * kKiB);
+  EXPECT_EQ(parse_bytes("1 MiB"), kMiB);
+}
+
+TEST(ParseBytes, FractionalValues) {
+  EXPECT_EQ(parse_bytes("0.5KB"), 512u);
+  EXPECT_EQ(parse_bytes("1.5MB"), kMiB + kMiB / 2);
+}
+
+TEST(ParseBytes, RoundTripsFormat) {
+  for (std::uint64_t v :
+       {std::uint64_t{1}, std::uint64_t{512}, 50 * kKiB, 3 * kMiB, 200 * kMiB, kGiB})
+    EXPECT_EQ(parse_bytes(format_bytes(v)), v);
+}
+
+TEST(ParseBytes, RejectsJunk) {
+  EXPECT_THROW(parse_bytes(""), Error);
+  EXPECT_THROW(parse_bytes("abc"), Error);
+  EXPECT_THROW(parse_bytes("5XB"), Error);
+}
+
+TEST(ToGbps, MatchesHandComputation) {
+  // 200 MB in 0.0132s ~ the paper's 127 Gbps headline point.
+  const double gbps = to_gbps(200 * kMiB, 0.01321);
+  EXPECT_NEAR(gbps, 127.0, 1.0);
+}
+
+TEST(ToGbps, RejectsNonPositiveTime) {
+  EXPECT_THROW(to_gbps(100, 0.0), Error);
+  EXPECT_THROW(to_gbps(100, -1.0), Error);
+}
+
+TEST(FormatGbps, PrecisionByMagnitude) {
+  EXPECT_EQ(format_gbps(127.3), "127");
+  EXPECT_EQ(format_gbps(12.34), "12.3");
+  EXPECT_EQ(format_gbps(0.5678), "0.568");
+}
+
+TEST(FormatSeconds, AdaptiveUnits) {
+  EXPECT_EQ(format_seconds(0.0000005), "0us");
+  EXPECT_EQ(format_seconds(0.000831), "831us");
+  EXPECT_EQ(format_seconds(0.0124), "12.40ms");
+  EXPECT_EQ(format_seconds(3.02), "3.02s");
+}
+
+}  // namespace
+}  // namespace acgpu

@@ -1,0 +1,71 @@
+#include "util/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/error.h"
+
+namespace acgpu {
+namespace {
+
+std::string write_one(const std::vector<std::string>& row) {
+  std::ostringstream os;
+  CsvWriter(os).write_row(row);
+  return os.str();
+}
+
+TEST(CsvWriter, PlainFields) {
+  EXPECT_EQ(write_one({"a", "b", "c"}), "a,b,c\n");
+}
+
+TEST(CsvWriter, EmptyFields) {
+  EXPECT_EQ(write_one({"", "", ""}), ",,\n");
+}
+
+TEST(CsvWriter, QuotesCommas) {
+  EXPECT_EQ(write_one({"a,b", "c"}), "\"a,b\",c\n");
+}
+
+TEST(CsvWriter, DoublesQuotes) {
+  EXPECT_EQ(write_one({"say \"hi\""}), "\"say \"\"hi\"\"\"\n");
+}
+
+TEST(CsvWriter, QuotesNewlines) {
+  EXPECT_EQ(write_one({"a\nb"}), "\"a\nb\"\n");
+}
+
+TEST(ParseCsvLine, Plain) {
+  EXPECT_EQ(parse_csv_line("a,b,c"), (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(ParseCsvLine, EmptyFields) {
+  EXPECT_EQ(parse_csv_line(",,"), (std::vector<std::string>{"", "", ""}));
+  EXPECT_EQ(parse_csv_line(""), (std::vector<std::string>{""}));
+}
+
+TEST(ParseCsvLine, QuotedFields) {
+  EXPECT_EQ(parse_csv_line("\"a,b\",c"), (std::vector<std::string>{"a,b", "c"}));
+  EXPECT_EQ(parse_csv_line("\"say \"\"hi\"\"\""), (std::vector<std::string>{"say \"hi\""}));
+}
+
+TEST(ParseCsvLine, ToleratesCarriageReturn) {
+  EXPECT_EQ(parse_csv_line("a,b\r"), (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(ParseCsvLine, UnterminatedQuoteThrows) {
+  EXPECT_THROW(parse_csv_line("\"abc"), Error);
+}
+
+TEST(Csv, RoundTripsArbitraryContent) {
+  const std::vector<std::string> row = {"plain", "with,comma", "with\"quote",
+                                        "", "multi\nline", "  spaces  "};
+  std::ostringstream os;
+  CsvWriter(os).write_row(row);
+  std::string line = os.str();
+  line.pop_back();  // trailing newline
+  EXPECT_EQ(parse_csv_line(line), row);
+}
+
+}  // namespace
+}  // namespace acgpu

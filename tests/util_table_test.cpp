@@ -1,0 +1,74 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace acgpu {
+namespace {
+
+std::string render(const Table& t) {
+  std::ostringstream os;
+  t.print(os);
+  return os.str();
+}
+
+TEST(Table, EmptyPrintsNothing) {
+  Table t;
+  EXPECT_EQ(render(t), "");
+}
+
+TEST(Table, AlignsColumns) {
+  Table t;
+  t.set_header({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "1000"});
+  const std::string out = render(t);
+  // Every line has the same width.
+  std::istringstream is(out);
+  std::string line;
+  std::getline(is, line);
+  const std::size_t w = line.size();
+  EXPECT_EQ(line, "name   value");
+  std::getline(is, line);  // rule
+  EXPECT_EQ(line, std::string(w, '-'));
+}
+
+TEST(Table, RightAlignsNumbers) {
+  Table t;
+  t.add_row({"x", "1"});
+  t.add_row({"y", "1000"});
+  const std::string out = render(t);
+  EXPECT_NE(out.find("   1\n"), std::string::npos);
+  EXPECT_NE(out.find("1000\n"), std::string::npos);
+}
+
+TEST(Table, LeftAlignsText) {
+  Table t;
+  t.add_row({"short", "z"});
+  t.add_row({"a-much-longer-cell", "z"});
+  const std::string out = render(t);
+  EXPECT_NE(out.find("short             "), std::string::npos);
+}
+
+TEST(Table, HandlesRaggedRows) {
+  Table t;
+  t.set_header({"a", "b", "c"});
+  t.add_row({"1"});
+  t.add_row({"1", "2", "3"});
+  EXPECT_NO_THROW(render(t));
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Table, NumericDetection) {
+  Table t;
+  // "12.5x" and "50KB" count as numeric-ish (right aligned); "abc" does not.
+  t.add_row({"abc", "12.5"});
+  t.add_row({"de", "3"});
+  const std::string out = render(t);
+  EXPECT_NE(out.find("12.5\n"), std::string::npos);
+  EXPECT_NE(out.find("   3\n"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace acgpu

@@ -1,0 +1,92 @@
+#include "workload/markov_corpus.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cctype>
+
+#include "util/error.h"
+#include "workload/seed_text.h"
+
+namespace acgpu::workload {
+namespace {
+
+TEST(SeedText, IsSubstantialEnglish) {
+  const auto seed = seed_text();
+  EXPECT_GT(seed.size(), 3000u);
+  // Mixed case, digits, punctuation all present.
+  bool upper = false, lower = false, digit = false, space = false;
+  for (char c : seed) {
+    upper |= std::isupper(static_cast<unsigned char>(c)) != 0;
+    lower |= std::islower(static_cast<unsigned char>(c)) != 0;
+    digit |= std::isdigit(static_cast<unsigned char>(c)) != 0;
+    space |= c == ' ';
+  }
+  EXPECT_TRUE(upper && lower && digit && space);
+}
+
+TEST(MarkovModel, DeterministicForSeed) {
+  const MarkovModel model(seed_text());
+  EXPECT_EQ(model.generate(5000, 1), model.generate(5000, 1));
+  EXPECT_NE(model.generate(5000, 1), model.generate(5000, 2));
+}
+
+TEST(MarkovModel, ExactRequestedLength) {
+  const MarkovModel model(seed_text());
+  for (std::size_t n : {1ul, 2ul, 3ul, 100ul, 4097ul})
+    EXPECT_EQ(model.generate(n, 3).size(), n);
+}
+
+TEST(MarkovModel, OutputAlphabetSubsetOfTraining) {
+  const MarkovModel model(seed_text());
+  std::array<bool, 256> in_training{};
+  for (char c : seed_text()) in_training[static_cast<unsigned char>(c)] = true;
+  for (char c : model.generate(20000, 4))
+    EXPECT_TRUE(in_training[static_cast<unsigned char>(c)]);
+}
+
+TEST(MarkovModel, EnglishLikeLetterFrequency) {
+  const std::string text = make_corpus(100000, 5);
+  std::size_t spaces = 0, es = 0, zs = 0;
+  for (char c : text) {
+    spaces += c == ' ';
+    es += c == 'e';
+    zs += c == 'z';
+  }
+  // English prose: ~15-20% spaces, 'e' far more common than 'z'.
+  EXPECT_GT(spaces, text.size() / 10);
+  EXPECT_GT(es, zs * 5);
+}
+
+TEST(MarkovModel, ContextCountReflectsTraining) {
+  const MarkovModel model(seed_text());
+  EXPECT_GT(model.context_count(), 300u);
+  EXPECT_LT(model.context_count(), 65536u);
+}
+
+TEST(MarkovModel, TinyTrainingTextStillWorks) {
+  const MarkovModel model("abcabcabc");
+  const std::string out = model.generate(1000, 6);
+  EXPECT_EQ(out.size(), 1000u);
+  for (char c : out) EXPECT_TRUE(c == 'a' || c == 'b' || c == 'c');
+}
+
+TEST(MarkovModel, RejectsDegenerateInput) {
+  EXPECT_THROW(MarkovModel("ab"), Error);
+  const MarkovModel model(seed_text());
+  EXPECT_THROW(model.generate(0, 1), Error);
+}
+
+TEST(MakeCorpus, StableAcrossCalls) {
+  EXPECT_EQ(make_corpus(10000, 42), make_corpus(10000, 42));
+}
+
+TEST(MakeCorpus, PrefixProperty) {
+  // Slicing one large corpus (as the sweep does) must equal the prefix.
+  const std::string big = make_corpus(20000, 43);
+  const std::string small = make_corpus(5000, 43);
+  EXPECT_EQ(big.substr(0, 5000), small);
+}
+
+}  // namespace
+}  // namespace acgpu::workload

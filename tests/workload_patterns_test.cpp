@@ -1,0 +1,122 @@
+#include "workload/pattern_extract.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "ac/naive_matcher.h"
+#include "util/error.h"
+#include "workload/dna.h"
+#include "workload/markov_corpus.h"
+
+namespace acgpu::workload {
+namespace {
+
+TEST(ExtractPatterns, CountAndLengthBounds) {
+  const std::string corpus = make_corpus(100000, 1);
+  ExtractConfig ec;
+  ec.count = 500;
+  ec.min_length = 4;
+  ec.max_length = 16;
+  const ac::PatternSet set = extract_patterns(corpus, ec);
+  EXPECT_EQ(set.size(), 500u);
+  EXPECT_GE(set.min_length(), 4u);
+  EXPECT_LE(set.max_length(), 16u);
+}
+
+TEST(ExtractPatterns, PatternsAreSubstringsOfCorpus) {
+  const std::string corpus = make_corpus(50000, 2);
+  ExtractConfig ec;
+  ec.count = 100;
+  const ac::PatternSet set = extract_patterns(corpus, ec);
+  for (const auto& p : set)
+    EXPECT_NE(corpus.find(p), std::string::npos) << "pattern not in corpus: " << p;
+}
+
+TEST(ExtractPatterns, PatternsAreDistinct) {
+  const std::string corpus = make_corpus(50000, 3);
+  ExtractConfig ec;
+  ec.count = 300;
+  const ac::PatternSet set = extract_patterns(corpus, ec);
+  std::set<std::string> unique(set.begin(), set.end());
+  EXPECT_EQ(unique.size(), set.size());
+}
+
+TEST(ExtractPatterns, DeterministicForSeed) {
+  const std::string corpus = make_corpus(50000, 4);
+  ExtractConfig ec;
+  ec.count = 50;
+  ec.seed = 1234;
+  const ac::PatternSet a = extract_patterns(corpus, ec);
+  const ac::PatternSet b = extract_patterns(corpus, ec);
+  EXPECT_TRUE(std::equal(a.begin(), a.end(), b.begin(), b.end()));
+}
+
+TEST(ExtractPatterns, ExtractedPatternsActuallyMatch) {
+  const std::string corpus = make_corpus(20000, 5);
+  ExtractConfig ec;
+  ec.count = 20;
+  const ac::PatternSet set = extract_patterns(corpus, ec);
+  EXPECT_GE(ac::find_all_naive(set, corpus).size(), set.size());
+}
+
+TEST(ExtractPatterns, FailsLoudlyOnRepetitiveCorpus) {
+  ExtractConfig ec;
+  ec.count = 100;
+  ec.min_length = 4;
+  ec.max_length = 4;
+  // Only one distinct 4-substring exists.
+  EXPECT_THROW(extract_patterns(std::string(1000, 'a'), ec), Error);
+}
+
+TEST(ExtractPatterns, ValidatesConfig) {
+  const std::string corpus = make_corpus(1000, 6);
+  ExtractConfig ec;
+  ec.count = 0;
+  EXPECT_THROW(extract_patterns(corpus, ec), Error);
+  ec.count = 1;
+  ec.min_length = 8;
+  ec.max_length = 4;
+  EXPECT_THROW(extract_patterns(corpus, ec), Error);
+  ec.min_length = 4;
+  ec.max_length = 2000;
+  EXPECT_THROW(extract_patterns(corpus, ec), Error);
+}
+
+TEST(Dna, SequenceUsesOnlyBases) {
+  const std::string dna = make_dna_sequence(10000, 7);
+  EXPECT_EQ(dna.size(), 10000u);
+  for (char c : dna) EXPECT_TRUE(c == 'A' || c == 'C' || c == 'G' || c == 'T');
+}
+
+TEST(Dna, SequenceRoughlyUniform) {
+  const std::string dna = make_dna_sequence(40000, 8);
+  std::size_t a = 0;
+  for (char c : dna) a += c == 'A';
+  EXPECT_NEAR(static_cast<double>(a) / dna.size(), 0.25, 0.02);
+}
+
+TEST(Dna, MotifsDistinctAndCorrectLength) {
+  const std::string genome = make_dna_sequence(50000, 9);
+  const ac::PatternSet motifs = extract_dna_motifs(genome, 200, 12, 0.1, 10);
+  EXPECT_EQ(motifs.size(), 200u);
+  EXPECT_EQ(motifs.min_length(), 12u);
+  EXPECT_EQ(motifs.max_length(), 12u);
+}
+
+TEST(Dna, ZeroMutationMotifsAllMatch) {
+  const std::string genome = make_dna_sequence(20000, 11);
+  const ac::PatternSet motifs = extract_dna_motifs(genome, 20, 10, 0.0, 12);
+  EXPECT_GE(ac::find_all_naive(motifs, genome).size(), motifs.size());
+}
+
+TEST(Dna, ValidatesArguments) {
+  const std::string genome = make_dna_sequence(100, 13);
+  EXPECT_THROW(extract_dna_motifs(genome, 0, 10, 0.0, 1), Error);
+  EXPECT_THROW(extract_dna_motifs(genome, 5, 200, 0.0, 1), Error);
+  EXPECT_THROW(make_dna_sequence(0, 1), Error);
+}
+
+}  // namespace
+}  // namespace acgpu::workload

@@ -1,0 +1,116 @@
+#include "workload/snort_rules.h"
+
+#include <gtest/gtest.h>
+
+#include "ac/dfa.h"
+#include "ac/serial_matcher.h"
+#include "util/error.h"
+
+namespace acgpu::workload {
+namespace {
+
+constexpr const char* kRules = R"(
+# Example mini ruleset
+alert tcp any any -> any 80 (msg:"shellcode NOP sled"; content:"|90 90 90 90|";)
+alert tcp any any -> any any (msg:"suspicious UA"; content:"evil-agent/1.0";)
+
+log udp any any -> any 53 (msg:"dns tunnel marker"; content:"tunnel"; content:"|0d 0a|";)
+)";
+
+TEST(SnortRules, ParsesRuleFile) {
+  const auto rules = parse_snort_rules(kRules);
+  ASSERT_EQ(rules.size(), 3u);
+  EXPECT_EQ(rules[0].action, "alert");
+  EXPECT_EQ(rules[0].protocol, "tcp");
+  EXPECT_EQ(rules[0].message, "shellcode NOP sled");
+  EXPECT_EQ(rules[2].action, "log");
+  EXPECT_EQ(rules[2].protocol, "udp");
+}
+
+TEST(SnortRules, DecodesHexContent) {
+  const auto rules = parse_snort_rules(kRules);
+  ASSERT_EQ(rules[0].contents.size(), 1u);
+  EXPECT_EQ(rules[0].contents[0], std::string("\x90\x90\x90\x90", 4));
+}
+
+TEST(SnortRules, MultipleContentsPerRule) {
+  const auto rules = parse_snort_rules(kRules);
+  ASSERT_EQ(rules[2].contents.size(), 2u);
+  EXPECT_EQ(rules[2].contents[0], "tunnel");
+  EXPECT_EQ(rules[2].contents[1], "\r\n");
+}
+
+TEST(SnortRules, CommentsAndBlanksIgnored) {
+  EXPECT_TRUE(parse_snort_rules("# just a comment\n\n   \n").empty());
+}
+
+TEST(DecodeContent, MixedLiteralAndHex) {
+  EXPECT_EQ(decode_content("GET |20 2f| HTTP"), "GET  / HTTP");
+  EXPECT_EQ(decode_content("plain"), "plain");
+  EXPECT_EQ(decode_content("|41 42 43|"), "ABC");
+}
+
+TEST(DecodeContent, HexWhitespaceFlexible) {
+  EXPECT_EQ(decode_content("|4142  43|"), "ABC");
+}
+
+TEST(DecodeContent, RejectsBadHex) {
+  EXPECT_THROW(decode_content("|4g|"), Error);
+  EXPECT_THROW(decode_content("|414|"), Error);   // odd nibble
+  EXPECT_THROW(decode_content("|41"), Error);     // unterminated
+}
+
+TEST(SnortRules, MalformedRulesThrowWithLineInfo) {
+  try {
+    parse_snort_rules("alert tcp any any -> any any missing body\n");
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 1"), std::string::npos);
+  }
+  EXPECT_THROW(parse_snort_rules("alert tcp a b (msg:\"no content\";)"), Error);
+}
+
+TEST(RulesToPatterns, FlattensWithOwners) {
+  const auto rules = parse_snort_rules(kRules);
+  std::vector<std::uint32_t> owner;
+  const ac::PatternSet set = rules_to_patterns(rules, &owner);
+  ASSERT_EQ(set.size(), 4u);
+  ASSERT_EQ(owner.size(), 4u);
+  EXPECT_EQ(owner[0], 0u);
+  EXPECT_EQ(owner[1], 1u);
+  EXPECT_EQ(owner[2], 2u);
+  EXPECT_EQ(owner[3], 2u);
+  EXPECT_EQ(set[1], "evil-agent/1.0");
+}
+
+TEST(RulesToPatterns, NullOwnerAccepted) {
+  const auto rules = parse_snort_rules(kRules);
+  EXPECT_EQ(rules_to_patterns(rules, nullptr).size(), 4u);
+}
+
+TEST(SnortRules, NocaseModifierParsed) {
+  const auto rules = parse_snort_rules(
+      "alert tcp any any -> any any (msg:\"a\"; content:\"CmD.eXe\"; nocase;)\n"
+      "alert tcp any any -> any any (msg:\"b\"; content:\"exact\";)\n");
+  ASSERT_EQ(rules.size(), 2u);
+  EXPECT_TRUE(rules[0].nocase);
+  EXPECT_FALSE(rules[1].nocase);
+  EXPECT_FALSE(all_nocase(rules));
+}
+
+TEST(SnortRules, AllNocaseEnablesFoldedDictionary) {
+  const auto rules = parse_snort_rules(
+      "alert tcp any any -> any any (msg:\"a\"; content:\"Attack\"; nocase;)\n"
+      "alert tcp any any -> any any (msg:\"b\"; content:\"EVIL\"; nocase;)\n");
+  ASSERT_TRUE(all_nocase(rules));
+  const ac::PatternSet set = rules_to_patterns(rules, nullptr);
+  const ac::Dfa dfa = ac::build_dfa_folded(set, ac::ascii_fold_map());
+  EXPECT_EQ(ac::count_matches(dfa, "an aTTaCk by eViL actors"), 2u);
+}
+
+TEST(SnortRules, AllNocaseFalseForEmptyRuleset) {
+  EXPECT_FALSE(all_nocase({}));
+}
+
+}  // namespace
+}  // namespace acgpu::workload
