@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Builds the conformance harness under ASan+UBSan and runs the smoke sweep.
+# Every future perf PR should pass this before touching a matcher hot path:
+#
+#   bench/run_conformance_asan.sh                 # 50 workloads, seed 1
+#   ITERATIONS=500 SEED=42 bench/run_conformance_asan.sh   # pre-merge gate
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${ROOT}/build-asan"
+
+cmake -B "${BUILD}" -S "${ROOT}" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DACGPU_SANITIZE=address,undefined
+cmake --build "${BUILD}" -j "$(nproc)" --target ac_conformance
+
+UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
+ASAN_OPTIONS="detect_leaks=1" \
+  "${BUILD}/examples/ac_conformance" \
+    --iterations "${ITERATIONS:-50}" --seed "${SEED:-1}"

@@ -1,6 +1,7 @@
 // Match records and sink concepts shared by every matcher in the library.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -17,6 +18,24 @@ struct Match {
   friend bool operator==(const Match&, const Match&) = default;
   friend auto operator<=>(const Match&, const Match&) = default;
 };
+
+/// Canonical normalized order for cross-matcher comparison: ascending by
+/// (end, pattern).
+///
+/// Output-ordering contract. The *batch* matchers (find_all_parallel,
+/// find_all_chunked, find_all_pfac, find_all_naive, and every kernel's
+/// collected output) return this normalized form. The *incremental* paths —
+/// match_serial/match_nfa sinks and StreamMatcher::feed — emit in discovery
+/// order: ends ascend, and several patterns ending on the same byte are
+/// emitted in the state's output-set order. Output sets happen to be stored
+/// id-sorted today, making discovery order coincide with normalized order,
+/// but that is an implementation detail, not a promise: anything comparing
+/// two matchers' outputs (the conformance oracle above all) must normalize
+/// both sides with this function first and compare multisets.
+inline std::vector<Match>& normalize_matches(std::vector<Match>& matches) {
+  std::sort(matches.begin(), matches.end());
+  return matches;
+}
 
 /// Sink that retains every match (tests, small inputs).
 class CollectSink {

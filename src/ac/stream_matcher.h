@@ -18,7 +18,10 @@ class StreamMatcher {
   explicit StreamMatcher(const Dfa& dfa) : dfa_(&dfa) {}
 
   /// Scans the next slice; reported match ends are absolute offsets into
-  /// the concatenation of everything fed so far.
+  /// the concatenation of everything fed so far. Matches are emitted in
+  /// discovery (feed) order — see the ordering contract in ac/match.h:
+  /// normalize with ac::normalize_matches before comparing against a batch
+  /// matcher's output.
   template <typename Sink>
   void feed(std::string_view slice, Sink&& sink) {
     const auto* stt = &dfa_->stt();

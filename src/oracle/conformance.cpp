@@ -1,0 +1,57 @@
+#include "oracle/conformance.h"
+
+#include <ostream>
+
+#include "oracle/workload_gen.h"
+#include "util/rng.h"
+
+namespace acgpu::oracle {
+
+ConformanceResult run_conformance(const ConformanceOptions& options,
+                                  const std::vector<const Matcher*>& matchers) {
+  ConformanceResult result;
+  for (std::uint64_t i = 0; i < options.iterations; ++i) {
+    const Workload workload = generate_workload(options.seed, i);
+    const std::uint64_t salt = derive_seed(options.seed, ~i);
+    const CompiledWorkload compiled(workload);
+    const DifferentialReport report = run_differential(compiled, matchers, salt);
+    ++result.iterations;
+    result.comparisons += report.matchers_run;
+    result.reference_matches += report.reference_count;
+    if (options.log && (i + 1) % 50 == 0)
+      *options.log << "  ... " << (i + 1) << "/" << options.iterations
+                   << " workloads, " << result.comparisons << " comparisons, "
+                   << result.divergences.size() << " divergences\n";
+    for (const Divergence& d : report.divergences) {
+      if (options.log) *options.log << "DIVERGENCE: " << describe(d) << "\n";
+      result.divergences.push_back(d);
+      if (options.minimize) {
+        const Matcher* diverged = nullptr;
+        for (const Matcher* m : matchers)
+          if (m->name() == d.matcher) diverged = m;
+        if (auto repro =
+                diverged ? minimize_divergence(workload, *diverged, salt)
+                         : std::nullopt) {
+          if (options.log)
+            *options.log << "minimized to " << repro->workload.patterns.size()
+                         << " pattern(s), " << repro->workload.text.size()
+                         << "-byte text:\n"
+                         << to_cpp_test(*repro);
+          result.reproducers.push_back(std::move(*repro));
+        }
+      }
+      if (result.divergences.size() >= options.max_failures) return result;
+    }
+  }
+  return result;
+}
+
+ConformanceResult run_conformance(const ConformanceOptions& options) {
+  const auto owned = make_matchers(options.matchers);
+  std::vector<const Matcher*> matchers;
+  matchers.reserve(owned.size());
+  for (const auto& m : owned) matchers.push_back(m.get());
+  return run_conformance(options, matchers);
+}
+
+}  // namespace acgpu::oracle

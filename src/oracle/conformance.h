@@ -1,0 +1,48 @@
+// Top-level conformance loop: generate seeded workloads, run them through
+// every registered matcher differentially, optionally minimize each
+// divergence to a reproducer. The library behind examples/ac_conformance
+// and the tier-1 conformance smoke test.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "oracle/differential.h"
+#include "oracle/minimize.h"
+
+namespace acgpu::oracle {
+
+struct ConformanceOptions {
+  std::uint64_t seed = 42;
+  std::uint64_t iterations = 100;
+  /// Registered matcher names to run; empty means all of them.
+  std::vector<std::string> matchers;
+  /// Shrink each divergence to a minimal reproducer (slower on failure,
+  /// free when everything conforms).
+  bool minimize = false;
+  /// Stop after this many diverging (workload, matcher) pairs.
+  std::size_t max_failures = 10;
+  /// Progress/divergence log (nullptr = silent).
+  std::ostream* log = nullptr;
+};
+
+struct ConformanceResult {
+  std::uint64_t iterations = 0;        ///< workloads executed
+  std::uint64_t comparisons = 0;       ///< matcher runs diffed
+  std::uint64_t reference_matches = 0; ///< total matches in the references
+  std::vector<Divergence> divergences;
+  std::vector<Reproducer> reproducers;  ///< parallel to divergences when minimizing
+  bool ok() const { return divergences.empty(); }
+};
+
+/// Runs the loop with the registry's adapters (options.matchers selects).
+ConformanceResult run_conformance(const ConformanceOptions& options);
+
+/// Same loop over caller-supplied adapters — how tests inject a broken
+/// matcher and assert the harness catches it.
+ConformanceResult run_conformance(const ConformanceOptions& options,
+                                  const std::vector<const Matcher*>& matchers);
+
+}  // namespace acgpu::oracle

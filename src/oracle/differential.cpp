@@ -1,0 +1,93 @@
+#include "oracle/differential.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "ac/serial_matcher.h"
+
+namespace acgpu::oracle {
+namespace {
+
+/// Serial DFA state after consuming text[0..offset] (inclusive).
+std::int32_t state_after(const CompiledWorkload& workload, std::uint64_t offset) {
+  const std::string_view text = workload.text();
+  if (text.empty()) return 0;
+  const std::size_t end = std::min<std::size_t>(offset + 1, text.size());
+  std::int32_t state = 0;
+  for (std::size_t i = 0; i < end; ++i)
+    state = workload.dfa().next(state, static_cast<std::uint8_t>(text[i]));
+  return state;
+}
+
+}  // namespace
+
+std::optional<Divergence> diff_matches(const CompiledWorkload& workload,
+                                       const std::string& matcher_name,
+                                       std::uint64_t salt,
+                                       const std::vector<ac::Match>& reference,
+                                       const std::vector<ac::Match>& got) {
+  const std::size_t common = std::min(reference.size(), got.size());
+  std::size_t index = common;
+  for (std::size_t i = 0; i < common; ++i) {
+    if (reference[i] != got[i]) {
+      index = i;
+      break;
+    }
+  }
+  if (index == common && reference.size() == got.size()) return std::nullopt;
+
+  Divergence d;
+  d.workload = workload.name();
+  d.matcher = matcher_name;
+  d.salt = salt;
+  d.index = index;
+  if (index < reference.size()) d.expected = reference[index];
+  if (index < got.size()) d.got = got[index];
+  d.reference_count = reference.size();
+  d.matcher_count = got.size();
+  std::uint64_t offset = 0;
+  if (d.expected && d.got)
+    offset = std::min(d.expected->end, d.got->end);
+  else if (d.expected)
+    offset = d.expected->end;
+  else if (d.got)
+    offset = d.got->end;
+  if (!workload.text().empty())
+    offset = std::min<std::uint64_t>(offset, workload.text().size() - 1);
+  d.byte_offset = offset;
+  d.dfa_state = state_after(workload, offset);
+  return d;
+}
+
+std::string describe(const Divergence& d) {
+  auto render = [](const std::optional<ac::Match>& m) {
+    if (!m) return std::string("<none>");
+    std::ostringstream os;
+    os << "(end=" << m->end << ", pattern=" << m->pattern << ")";
+    return os.str();
+  };
+  std::ostringstream os;
+  os << d.matcher << " diverges from serial reference on " << d.workload
+     << " (salt " << d.salt << "): at sorted index " << d.index << " expected "
+     << render(d.expected) << " got " << render(d.got) << "; counts "
+     << d.reference_count << " vs " << d.matcher_count << "; byte offset "
+     << d.byte_offset << ", DFA state " << d.dfa_state;
+  return os.str();
+}
+
+DifferentialReport run_differential(const CompiledWorkload& workload,
+                                    const std::vector<const Matcher*>& matchers,
+                                    std::uint64_t salt) {
+  DifferentialReport report;
+  const std::vector<ac::Match> reference = reference_matches(workload);
+  report.reference_count = reference.size();
+  for (const Matcher* matcher : matchers) {
+    const std::vector<ac::Match> got = matcher->run(workload, salt);
+    ++report.matchers_run;
+    if (auto d = diff_matches(workload, matcher->name(), salt, reference, got))
+      report.divergences.push_back(std::move(*d));
+  }
+  return report;
+}
+
+}  // namespace acgpu::oracle

@@ -1,0 +1,61 @@
+// Differential runner: executes one workload across a set of matcher
+// adapters and diffs every adapter's normalized match multiset against the
+// serial-DFA reference, reporting the first divergence with enough context
+// (byte offset, DFA state, expected-vs-got record) to debug it.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "oracle/matcher.h"
+
+namespace acgpu::oracle {
+
+/// First point where one matcher's normalized output differs from the
+/// reference's. `expected`/`got` are the records at the first differing
+/// index of the two sorted vectors; a missing `expected` means the matcher
+/// produced extra matches past the reference's end (and vice versa).
+struct Divergence {
+  std::string workload;      ///< Workload::name
+  std::string matcher;       ///< diverging adapter
+  std::uint64_t salt = 0;    ///< salt the adapter ran with (replays it)
+  std::size_t index = 0;     ///< first differing index in normalized order
+  std::optional<ac::Match> expected;  ///< reference[index], if in range
+  std::optional<ac::Match> got;       ///< matcher[index], if in range
+  std::size_t reference_count = 0;
+  std::size_t matcher_count = 0;
+  /// Text index of the divergence: the smaller of the two records' ends
+  /// (clamped to the text) — where to start staring at the input.
+  std::uint64_t byte_offset = 0;
+  /// Serial DFA state after consuming text[0..byte_offset] — pinpoints the
+  /// automaton context the diverging matcher mishandled.
+  std::int32_t dfa_state = 0;
+};
+
+/// Diffs a matcher's normalized output against the normalized reference.
+/// Returns nullopt when they are identical multisets.
+std::optional<Divergence> diff_matches(const CompiledWorkload& workload,
+                                       const std::string& matcher_name,
+                                       std::uint64_t salt,
+                                       const std::vector<ac::Match>& reference,
+                                       const std::vector<ac::Match>& got);
+
+/// One-line human-readable rendering of a divergence.
+std::string describe(const Divergence& divergence);
+
+struct DifferentialReport {
+  std::vector<Divergence> divergences;  ///< at most one per matcher
+  std::size_t matchers_run = 0;
+  std::size_t reference_count = 0;  ///< matches in the reference multiset
+  bool ok() const { return divergences.empty(); }
+};
+
+/// Runs every adapter on the workload (all with the same salt) and diffs
+/// each against the serial reference.
+DifferentialReport run_differential(const CompiledWorkload& workload,
+                                    const std::vector<const Matcher*>& matchers,
+                                    std::uint64_t salt);
+
+}  // namespace acgpu::oracle

@@ -1,0 +1,33 @@
+#include "oracle/matcher.h"
+
+#include "ac/serial_matcher.h"
+#include "util/error.h"
+
+namespace acgpu::oracle {
+
+CompiledWorkload::CompiledWorkload(Workload workload)
+    : workload_(std::move(workload)),
+      patterns_(workload_.patterns),
+      automaton_(patterns_),
+      dfa_(automaton_, patterns_, /*pad_pitch_to=*/8) {
+  ACGPU_CHECK(!patterns_.empty(),
+              "CompiledWorkload '" << workload_.name << "': empty pattern set");
+}
+
+const ac::CompressedStt& CompiledWorkload::compressed() const {
+  if (!compressed_) compressed_ = std::make_unique<ac::CompressedStt>(dfa_);
+  return *compressed_;
+}
+
+const ac::PfacAutomaton& CompiledWorkload::pfac() const {
+  if (!pfac_) pfac_ = std::make_unique<ac::PfacAutomaton>(patterns_);
+  return *pfac_;
+}
+
+std::vector<ac::Match> reference_matches(const CompiledWorkload& workload) {
+  auto matches = ac::find_all(workload.dfa(), workload.text());
+  ac::normalize_matches(matches);
+  return matches;
+}
+
+}  // namespace acgpu::oracle

@@ -1,0 +1,97 @@
+// Cross-matcher conformance oracle: a uniform adapter interface over every
+// matcher variant in the repo plus a registry, so the differential runner
+// (oracle/differential.h) can prove that all of them produce the same match
+// multiset. The paper's evaluation (Figs 13-23) compares runtimes of
+// implementations it *assumes* are equivalent; this subsystem is where that
+// assumption is enforced.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ac/automaton.h"
+#include "ac/compressed_stt.h"
+#include "ac/dfa.h"
+#include "ac/match.h"
+#include "ac/pattern_set.h"
+#include "ac/pfac.h"
+
+namespace acgpu::oracle {
+
+/// One differential-testing input: a dictionary plus a text. Plain data so
+/// the minimizer can mutate it freely.
+struct Workload {
+  std::string name;                   ///< family tag, for reports
+  std::vector<std::string> patterns;  ///< non-empty byte strings
+  std::string text;                   ///< may be empty (a target edge case)
+};
+
+/// Shared compiled artifacts, built once per workload and reused by every
+/// adapter so a differential run compiles each structure exactly once. The
+/// compressed table and the failureless (PFAC) automaton are compiled
+/// lazily — only the matchers that need them pay for them.
+class CompiledWorkload {
+ public:
+  /// Throws acgpu::Error on an empty pattern list (no automaton to build).
+  explicit CompiledWorkload(Workload workload);
+
+  const Workload& raw() const { return workload_; }
+  const std::string& name() const { return workload_.name; }
+  std::string_view text() const { return workload_.text; }
+
+  const ac::PatternSet& patterns() const { return patterns_; }
+  const ac::Automaton& automaton() const { return automaton_; }
+  const ac::Dfa& dfa() const { return dfa_; }
+  const ac::CompressedStt& compressed() const;  ///< built on first use
+  const ac::PfacAutomaton& pfac() const;        ///< built on first use
+
+ private:
+  Workload workload_;
+  ac::PatternSet patterns_;
+  ac::Automaton automaton_;
+  ac::Dfa dfa_;
+  mutable std::unique_ptr<ac::CompressedStt> compressed_;
+  mutable std::unique_ptr<ac::PfacAutomaton> pfac_;
+};
+
+/// Adapter over one matcher variant. Implementations must return the
+/// normalized multiset (ac::normalize_matches order) of every occurrence in
+/// the workload's text, and must be deterministic for a given (workload,
+/// salt) pair. `salt` decorrelates randomized internals between iterations:
+/// the stream adapter draws its feed-slice boundaries from it, the chunked
+/// and parallel adapters their decomposition sizes. Adapters with no
+/// randomized internals ignore it.
+class Matcher {
+ public:
+  virtual ~Matcher() = default;
+  virtual const std::string& name() const = 0;
+  virtual std::vector<ac::Match> run(const CompiledWorkload& workload,
+                                     std::uint64_t salt) const = 0;
+};
+
+/// The reference the differential runner diffs every adapter against: one
+/// serial DFA pass (ac::match_serial), normalized. Using the DFA scan (and
+/// diffing the naive substring matcher against it) cross-validates the DFA
+/// construction itself.
+std::vector<ac::Match> reference_matches(const CompiledWorkload& workload);
+
+/// Registry of the built-in adapters. Names (one per variant):
+///   naive, nfa, serial, chunked, parallel, stream, compressed, pfac,
+///   gpu-global, gpu-shared, gpu-shared-naive, gpu-compressed, gpu-pfac
+const std::vector<std::string>& registered_matcher_names();
+
+/// Instantiates one registered adapter; throws acgpu::Error on an unknown
+/// name (the error message lists the valid ones).
+std::unique_ptr<Matcher> make_matcher(std::string_view name);
+
+/// All registered adapters, in registry order.
+std::vector<std::unique_ptr<Matcher>> make_all_matchers();
+
+/// Adapters for a selection of names; an empty list means all of them.
+std::vector<std::unique_ptr<Matcher>> make_matchers(
+    const std::vector<std::string>& names);
+
+}  // namespace acgpu::oracle

@@ -1,0 +1,367 @@
+// The built-in adapters: one per matcher variant in the repo. Each wraps
+// compile + match + normalization behind the uniform Matcher interface so
+// the differential runner can treat a CPU scan and a simulated kernel
+// launch identically.
+#include <algorithm>
+#include <sstream>
+
+#include "ac/chunking.h"
+#include "ac/naive_matcher.h"
+#include "ac/nfa_matcher.h"
+#include "ac/parallel_matcher.h"
+#include "ac/serial_matcher.h"
+#include "ac/stream_matcher.h"
+#include "gpusim/device_memory.h"
+#include "kernels/ac_kernel.h"
+#include "kernels/compressed_kernel.h"
+#include "kernels/pfac_kernel.h"
+#include "oracle/matcher.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace acgpu::oracle {
+namespace {
+
+// ---------------------------------------------------------------------------
+// CPU adapters
+// ---------------------------------------------------------------------------
+
+class NaiveMatcher final : public Matcher {
+ public:
+  const std::string& name() const override {
+    static const std::string n = "naive";
+    return n;
+  }
+  std::vector<ac::Match> run(const CompiledWorkload& w, std::uint64_t) const override {
+    auto out = ac::find_all_naive(w.patterns(), w.text());
+    ac::normalize_matches(out);
+    return out;
+  }
+};
+
+class NfaMatcher final : public Matcher {
+ public:
+  const std::string& name() const override {
+    static const std::string n = "nfa";
+    return n;
+  }
+  std::vector<ac::Match> run(const CompiledWorkload& w, std::uint64_t) const override {
+    auto out = ac::find_all_nfa(w.automaton(), w.text());
+    ac::normalize_matches(out);
+    return out;
+  }
+};
+
+class SerialMatcher final : public Matcher {
+ public:
+  const std::string& name() const override {
+    static const std::string n = "serial";
+    return n;
+  }
+  std::vector<ac::Match> run(const CompiledWorkload& w, std::uint64_t) const override {
+    auto out = ac::find_all(w.dfa(), w.text());
+    ac::normalize_matches(out);
+    return out;
+  }
+};
+
+/// CPU reference decomposition (fresh state per chunk + ownership rule),
+/// with the chunk size drawn from the salt so successive iterations probe
+/// different boundary positions.
+class ChunkedMatcher final : public Matcher {
+ public:
+  const std::string& name() const override {
+    static const std::string n = "chunked";
+    return n;
+  }
+  std::vector<ac::Match> run(const CompiledWorkload& w, std::uint64_t salt) const override {
+    if (w.text().empty()) return {};
+    Rng rng(derive_seed(salt, /*stream=*/1));
+    // Bias toward small chunks (boundaries everywhere) but occasionally use
+    // a chunk larger than the whole text (single-chunk degenerate case).
+    const std::uint64_t cap =
+        rng.next_bool(0.25) ? w.text().size() + 16 : std::min<std::uint64_t>(w.text().size(), 64);
+    const std::uint64_t chunk = rng.next_in(1, std::max<std::uint64_t>(1, cap));
+    auto out = ac::find_all_chunked(w.dfa(), w.text(), chunk);
+    ac::normalize_matches(out);
+    return out;
+  }
+};
+
+class ParallelMatcher final : public Matcher {
+ public:
+  const std::string& name() const override {
+    static const std::string n = "parallel";
+    return n;
+  }
+  std::vector<ac::Match> run(const CompiledWorkload& w, std::uint64_t salt) const override {
+    static constexpr unsigned kThreadChoices[] = {1, 2, 3, 7, 16, 64};
+    Rng rng(derive_seed(salt, /*stream=*/2));
+    const unsigned threads = kThreadChoices[rng.next_below(std::size(kThreadChoices))];
+    auto out = ac::find_all_parallel(w.dfa(), w.text(), threads);
+    ac::normalize_matches(out);
+    return out;
+  }
+};
+
+/// Feeds the text in salt-derived random slices (including empty feeds and
+/// 1-byte feeds) — every slice boundary is a potential straddle bug.
+class StreamAdapter final : public Matcher {
+ public:
+  const std::string& name() const override {
+    static const std::string n = "stream";
+    return n;
+  }
+  std::vector<ac::Match> run(const CompiledWorkload& w, std::uint64_t salt) const override {
+    ac::StreamMatcher stream(w.dfa());
+    ac::CollectSink sink;
+    const std::string_view text = w.text();
+    Rng rng(derive_seed(salt, /*stream=*/3));
+    std::size_t pos = 0;
+    while (pos < text.size()) {
+      std::size_t len = 0;
+      switch (rng.next_below(4)) {
+        case 0: len = 0; break;                          // empty feed
+        case 1: len = 1; break;                          // byte-at-a-time
+        case 2: len = 1 + rng.next_below(16); break;     // small slices
+        default: len = 1 + rng.next_below(256); break;   // packet-sized
+      }
+      len = std::min(len, text.size() - pos);
+      stream.feed(text.substr(pos, len), sink);
+      pos += len;
+    }
+    auto out = std::move(sink.matches());
+    ac::normalize_matches(out);
+    return out;
+  }
+};
+
+class CompressedMatcher final : public Matcher {
+ public:
+  const std::string& name() const override {
+    static const std::string n = "compressed";
+    return n;
+  }
+  std::vector<ac::Match> run(const CompiledWorkload& w, std::uint64_t) const override {
+    ac::CollectSink sink;
+    ac::match_compressed(w.compressed(), w.dfa(), w.text(), sink);
+    auto out = std::move(sink.matches());
+    ac::normalize_matches(out);
+    return out;
+  }
+};
+
+class PfacMatcher final : public Matcher {
+ public:
+  const std::string& name() const override {
+    static const std::string n = "pfac";
+    return n;
+  }
+  std::vector<ac::Match> run(const CompiledWorkload& w, std::uint64_t) const override {
+    auto out = ac::find_all_pfac(w.pfac(), w.text());
+    ac::normalize_matches(out);
+    return out;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Simulated-GPU adapters
+// ---------------------------------------------------------------------------
+
+/// Smallest legal chunk for a dictionary: a multiple of 4 strictly larger
+/// than the overlap (the kernels reject anything else), with a floor so
+/// typical workloads still exercise many chunk boundaries.
+std::uint32_t pick_chunk_bytes(const CompiledWorkload& w, std::uint32_t floor_bytes) {
+  const std::uint32_t overlap = ac::required_overlap(w.dfa().max_pattern_length());
+  const std::uint32_t chunk = std::max(floor_bytes, overlap + 1);
+  return (chunk + 3) / 4 * 4;
+}
+
+/// Simulated device sized for this run: tables + text + match buffer, plus
+/// slack for the 256-byte allocation alignment. Fresh per run so repeated
+/// conformance iterations never leak device allocations into each other.
+gpusim::DeviceMemory make_device(const CompiledWorkload& w, std::uint64_t threads,
+                                std::uint32_t capacity, std::size_t table_bytes) {
+  const std::size_t buffer = threads * (4 + 8ull * capacity);
+  return gpusim::DeviceMemory((4u << 20) + w.text().size() + 2 * table_bytes +
+                              2 * buffer);
+}
+
+gpusim::GpuConfig sim_config() {
+  gpusim::GpuConfig cfg = gpusim::GpuConfig::gtx285();
+  cfg.num_sms = 4;  // functional-mode runs simulate every block; keep it quick
+  return cfg;
+}
+
+/// Runs `launch(capacity)` with doubling match capacity until the device
+/// buffer stops overflowing (dense workloads like an all-'a' text overflow
+/// the default). `Launch` returns a MatchBuffer::Collected.
+template <typename Launch>
+std::vector<ac::Match> collect_with_retry(const char* who, Launch&& launch) {
+  for (std::uint32_t capacity = 64; capacity <= (1u << 14); capacity *= 4) {
+    auto collected = launch(capacity);
+    if (!collected.overflowed) {
+      ac::normalize_matches(collected.matches);
+      return std::move(collected.matches);
+    }
+  }
+  ACGPU_CHECK(false, who << ": match buffer overflow at capacity " << (1u << 14));
+  return {};
+}
+
+class GpuAcMatcher final : public Matcher {
+ public:
+  GpuAcMatcher(std::string name, kernels::Approach approach,
+               kernels::StoreScheme scheme)
+      : name_(std::move(name)), approach_(approach), scheme_(scheme) {}
+
+  const std::string& name() const override { return name_; }
+
+  std::vector<ac::Match> run(const CompiledWorkload& w, std::uint64_t) const override {
+    if (w.text().empty()) return {};
+    const gpusim::GpuConfig cfg = sim_config();
+    kernels::AcLaunchSpec spec;
+    spec.approach = approach_;
+    spec.scheme = scheme_;
+    spec.chunk_bytes = pick_chunk_bytes(w, 32);
+    spec.threads_per_block = 64;
+    spec.sim.mode = gpusim::SimMode::Functional;
+    const std::uint64_t threads =
+        (w.text().size() + spec.chunk_bytes - 1) / spec.chunk_bytes +
+        spec.threads_per_block;
+    return collect_with_retry(name_.c_str(), [&](std::uint32_t capacity) {
+      spec.match_capacity = capacity;
+      gpusim::DeviceMemory mem = make_device(w, threads, capacity, w.dfa().stt_bytes());
+      const kernels::DeviceDfa ddfa(mem, w.dfa());
+      const auto addr = kernels::upload_text(mem, w.text());
+      return kernels::run_ac_kernel(cfg, mem, ddfa, addr, w.text().size(), spec)
+          .matches;
+    });
+  }
+
+ private:
+  std::string name_;
+  kernels::Approach approach_;
+  kernels::StoreScheme scheme_;
+};
+
+class GpuCompressedMatcher final : public Matcher {
+ public:
+  const std::string& name() const override {
+    static const std::string n = "gpu-compressed";
+    return n;
+  }
+  std::vector<ac::Match> run(const CompiledWorkload& w, std::uint64_t) const override {
+    if (w.text().empty()) return {};
+    const gpusim::GpuConfig cfg = sim_config();
+    kernels::CompressedLaunchSpec spec;
+    spec.chunk_bytes = pick_chunk_bytes(w, 32);
+    spec.threads_per_block = 64;
+    spec.sim.mode = gpusim::SimMode::Functional;
+    const std::uint64_t threads =
+        (w.text().size() + spec.chunk_bytes - 1) / spec.chunk_bytes +
+        spec.threads_per_block;
+    return collect_with_retry("gpu-compressed", [&](std::uint32_t capacity) {
+      spec.match_capacity = capacity;
+      gpusim::DeviceMemory mem =
+          make_device(w, threads, capacity, w.compressed().size_bytes() + (1u << 20));
+      const kernels::DeviceCompressedDfa dcdfa(mem, w.compressed(), w.dfa());
+      const auto addr = kernels::upload_text(mem, w.text());
+      return kernels::run_compressed_kernel(cfg, mem, dcdfa, addr, w.text().size(),
+                                            spec)
+          .matches;
+    });
+  }
+};
+
+class GpuPfacMatcher final : public Matcher {
+ public:
+  const std::string& name() const override {
+    static const std::string n = "gpu-pfac";
+    return n;
+  }
+  std::vector<ac::Match> run(const CompiledWorkload& w, std::uint64_t) const override {
+    if (w.text().empty()) return {};
+    const gpusim::GpuConfig cfg = sim_config();
+    kernels::PfacLaunchSpec spec;
+    spec.threads_per_block = 64;
+    spec.sim.mode = gpusim::SimMode::Functional;
+    const std::uint64_t threads = w.text().size() + spec.threads_per_block;
+    return collect_with_retry("gpu-pfac", [&](std::uint32_t capacity) {
+      spec.match_capacity = capacity;
+      gpusim::DeviceMemory mem =
+          make_device(w, threads, capacity, w.pfac().stt().size_bytes());
+      const kernels::DevicePfac dpfac(mem, w.pfac());
+      const auto addr = kernels::upload_text(mem, w.text());
+      return kernels::run_pfac_kernel(cfg, mem, dpfac, addr, w.text().size(), spec)
+          .matches;
+    });
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<Matcher> instantiate(std::string_view name) {
+  if (name == "naive") return std::make_unique<NaiveMatcher>();
+  if (name == "nfa") return std::make_unique<NfaMatcher>();
+  if (name == "serial") return std::make_unique<SerialMatcher>();
+  if (name == "chunked") return std::make_unique<ChunkedMatcher>();
+  if (name == "parallel") return std::make_unique<ParallelMatcher>();
+  if (name == "stream") return std::make_unique<StreamAdapter>();
+  if (name == "compressed") return std::make_unique<CompressedMatcher>();
+  if (name == "pfac") return std::make_unique<PfacMatcher>();
+  if (name == "gpu-global")
+    return std::make_unique<GpuAcMatcher>("gpu-global", kernels::Approach::kGlobalOnly,
+                                          kernels::StoreScheme::kDiagonal);
+  if (name == "gpu-shared")
+    return std::make_unique<GpuAcMatcher>("gpu-shared", kernels::Approach::kShared,
+                                          kernels::StoreScheme::kDiagonal);
+  if (name == "gpu-shared-naive")
+    return std::make_unique<GpuAcMatcher>("gpu-shared-naive",
+                                          kernels::Approach::kShared,
+                                          kernels::StoreScheme::kCoalescedNaive);
+  if (name == "gpu-compressed") return std::make_unique<GpuCompressedMatcher>();
+  if (name == "gpu-pfac") return std::make_unique<GpuPfacMatcher>();
+  return nullptr;
+}
+
+}  // namespace
+
+const std::vector<std::string>& registered_matcher_names() {
+  static const std::vector<std::string> names = {
+      "naive",      "nfa",        "serial",         "chunked",
+      "parallel",   "stream",     "compressed",     "pfac",
+      "gpu-global", "gpu-shared", "gpu-shared-naive", "gpu-compressed",
+      "gpu-pfac",
+  };
+  return names;
+}
+
+std::unique_ptr<Matcher> make_matcher(std::string_view name) {
+  auto matcher = instantiate(name);
+  if (!matcher) {
+    std::ostringstream known;
+    for (const auto& n : registered_matcher_names()) known << " " << n;
+    ACGPU_CHECK(false, "unknown matcher '" << name << "'; registered:" << known.str());
+  }
+  return matcher;
+}
+
+std::vector<std::unique_ptr<Matcher>> make_all_matchers() {
+  std::vector<std::unique_ptr<Matcher>> out;
+  for (const auto& name : registered_matcher_names())
+    out.push_back(make_matcher(name));
+  return out;
+}
+
+std::vector<std::unique_ptr<Matcher>> make_matchers(
+    const std::vector<std::string>& names) {
+  if (names.empty()) return make_all_matchers();
+  std::vector<std::unique_ptr<Matcher>> out;
+  for (const auto& name : names) out.push_back(make_matcher(name));
+  return out;
+}
+
+}  // namespace acgpu::oracle

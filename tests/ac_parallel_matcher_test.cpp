@@ -4,6 +4,7 @@
 
 #include <algorithm>
 
+#include "ac/chunking.h"
 #include "ac/serial_matcher.h"
 #include "workload/markov_corpus.h"
 #include "workload/pattern_extract.h"
@@ -70,6 +71,47 @@ TEST(ParallelMatcher, ZeroMeansHardwareConcurrency) {
   const Dfa dfa = build_dfa(PatternSet({"the"}));
   const std::string corpus = workload::make_corpus(50000, 33);
   EXPECT_EQ(find_all_parallel(dfa, corpus, 0).size(), count_matches(dfa, corpus));
+}
+
+TEST(ParallelMatcher, ThreadCountBySizeMatrix) {
+  // The conformance matrix from the decomposition spec: thread counts
+  // {1, 2, 7, 64} crossed with texts smaller than one chunk, exactly one
+  // chunk, and chunk+overlap-1 bytes. The worker span is ceil(size/threads),
+  // so with 64 threads most workers idle on these texts; with 7 the spans
+  // land at awkward non-power-of-two offsets. maxlen=8 -> overlap=7, and the
+  // repeated-"abcdefgh" filler plants a suffix chain across every possible
+  // span boundary.
+  const Dfa dfa = build_dfa(PatternSet({"abcdefgh", "fgh", "h"}));
+  constexpr std::size_t kChunk = 32;
+  const std::uint32_t overlap = required_overlap(dfa.max_pattern_length());
+  ASSERT_EQ(overlap, 7u);
+  std::string filler;
+  while (filler.size() < kChunk + overlap) filler += "abcdefgh";
+  for (std::size_t size : {kChunk - 1, kChunk, kChunk + overlap - 1}) {
+    const std::string text = filler.substr(0, size);
+    auto expect = find_all(dfa, text);
+    std::sort(expect.begin(), expect.end());
+    ASSERT_FALSE(expect.empty());
+    for (unsigned threads : {1u, 2u, 7u, 64u}) {
+      EXPECT_EQ(find_all_parallel(dfa, text, threads), expect)
+          << size << " bytes, " << threads << " threads";
+      EXPECT_EQ(count_matches_parallel(dfa, text, threads), expect.size())
+          << size << " bytes, " << threads << " threads";
+    }
+  }
+}
+
+TEST(ParallelMatcher, SixtyFourThreadsOnTinyTexts) {
+  // Heavily oversubscribed: every text byte gets its own worker (or less).
+  const Dfa dfa = build_dfa(PatternSet({"ab", "b"}));
+  for (std::size_t size : {1ul, 2ul, 3ul, 63ul}) {
+    std::string text;
+    while (text.size() < size) text += "ab";
+    text.resize(size);
+    auto expect = find_all(dfa, text);
+    std::sort(expect.begin(), expect.end());
+    EXPECT_EQ(find_all_parallel(dfa, text, 64), expect) << size << " bytes";
+  }
 }
 
 TEST(ParallelMatcher, DenseOverlappingMatches) {

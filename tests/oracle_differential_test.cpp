@@ -1,0 +1,188 @@
+// Tests for the differential runner, the minimizer, and the conformance
+// loop — including the acceptance gate that an intentionally-broken matcher
+// is caught and shrunk to a minimal reproducer.
+#include "oracle/differential.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "oracle/conformance.h"
+#include "oracle/minimize.h"
+#include "oracle/workload_gen.h"
+
+namespace acgpu::oracle {
+namespace {
+
+/// Deliberately broken matcher: a serial scan that DROPS every match whose
+/// end falls in the last two bytes of a 32-byte "chunk" — the classic
+/// boundary/overlap bug class this harness exists to catch.
+class BoundaryDropMatcher final : public Matcher {
+ public:
+  const std::string& name() const override {
+    static const std::string n = "broken-boundary";
+    return n;
+  }
+  std::vector<ac::Match> run(const CompiledWorkload& w, std::uint64_t) const override {
+    auto out = reference_matches(w);
+    out.erase(std::remove_if(out.begin(), out.end(),
+                             [](const ac::Match& m) { return m.end % 32 >= 30; }),
+              out.end());
+    return out;
+  }
+};
+
+/// Broken differently: duplicates every match at an even end index — the
+/// multiset (not set) comparison must flag it.
+class DuplicatingMatcher final : public Matcher {
+ public:
+  const std::string& name() const override {
+    static const std::string n = "broken-duplicate";
+    return n;
+  }
+  std::vector<ac::Match> run(const CompiledWorkload& w, std::uint64_t) const override {
+    auto out = reference_matches(w);
+    std::vector<ac::Match> doubled;
+    for (const auto& m : out) {
+      doubled.push_back(m);
+      if (m.end % 2 == 0) doubled.push_back(m);
+    }
+    ac::normalize_matches(doubled);
+    return doubled;
+  }
+};
+
+CompiledWorkload boundary_workload() {
+  // One match ends at byte 31 (inside the dropped zone), one at byte 10.
+  std::string text(64, 'x');
+  text.replace(8, 3, "abc");   // ends at 10 — survives the broken matcher
+  text.replace(29, 3, "abc");  // ends at 31 — dropped by the broken matcher
+  return CompiledWorkload(Workload{"boundary-case", {"abc"}, text});
+}
+
+TEST(Differential, CleanMatchersProduceNoDivergence) {
+  const CompiledWorkload w = boundary_workload();
+  const auto owned = make_matchers({"serial", "stream", "parallel"});
+  std::vector<const Matcher*> matchers;
+  for (const auto& m : owned) matchers.push_back(m.get());
+  const DifferentialReport report = run_differential(w, matchers, 9);
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.matchers_run, 3u);
+  EXPECT_EQ(report.reference_count, 2u);
+}
+
+TEST(Differential, BrokenMatcherIsCaughtWithFirstDivergenceContext) {
+  const CompiledWorkload w = boundary_workload();
+  const BoundaryDropMatcher broken;
+  const DifferentialReport report = run_differential(w, {&broken}, 9);
+  ASSERT_EQ(report.divergences.size(), 1u);
+  const Divergence& d = report.divergences[0];
+  EXPECT_EQ(d.matcher, "broken-boundary");
+  EXPECT_EQ(d.reference_count, 2u);
+  EXPECT_EQ(d.matcher_count, 1u);
+  // The surviving (10, 0) record agrees; index 1 is the dropped match.
+  EXPECT_EQ(d.index, 1u);
+  ASSERT_TRUE(d.expected.has_value());
+  EXPECT_EQ(d.expected->end, 31u);
+  EXPECT_EQ(d.expected->pattern, 0);
+  EXPECT_FALSE(d.got.has_value());
+  EXPECT_EQ(d.byte_offset, 31u);
+  // After consuming ...'c' at offset 31 the DFA sits in the "abc" match
+  // state — a non-root state.
+  EXPECT_NE(d.dfa_state, 0);
+  const std::string rendered = describe(d);
+  EXPECT_NE(rendered.find("broken-boundary"), std::string::npos);
+  EXPECT_NE(rendered.find("end=31"), std::string::npos);
+}
+
+TEST(Differential, DuplicateEmissionsAreDivergences) {
+  const CompiledWorkload w = boundary_workload();
+  const DuplicatingMatcher broken;
+  const DifferentialReport report = run_differential(w, {&broken}, 9);
+  ASSERT_EQ(report.divergences.size(), 1u);
+  EXPECT_EQ(report.divergences[0].matcher_count, 3u);
+  EXPECT_EQ(report.divergences[0].reference_count, 2u);
+}
+
+TEST(Minimizer, ShrinksBrokenMatcherToMinimalReproducer) {
+  // Start from a big noisy workload: long text, decoy patterns.
+  std::string text(1200, 'y');
+  text.replace(317, 3, "abc");
+  text.replace(606, 3, "abc");  // ends at 608... not in drop zone
+  text.replace(989, 3, "abc");  // ends at 991: 991 % 32 == 31 -> dropped
+  const Workload noisy{"noisy", {"abc", "decoy", "unused"}, text};
+
+  const BoundaryDropMatcher broken;
+  const auto repro = minimize_divergence(noisy, broken, /*salt=*/4);
+  ASSERT_TRUE(repro.has_value());
+  // Everything irrelevant is gone: one pattern, and a text just long enough
+  // to reach a drop-zone end offset (>= 31 bytes, far below the original).
+  EXPECT_EQ(repro->workload.patterns.size(), 1u);
+  EXPECT_LE(repro->workload.text.size(), 64u);
+  EXPECT_GE(repro->workload.text.size(), 31u);
+  EXPECT_EQ(repro->matcher, "broken-boundary");
+
+  // The reproducer still diverges, end-to-end.
+  const CompiledWorkload compiled(repro->workload);
+  EXPECT_NE(broken.run(compiled, repro->salt), reference_matches(compiled));
+
+  // And renders as a paste-ready regression test.
+  const std::string test = to_cpp_test(*repro);
+  EXPECT_NE(test.find("TEST(ConformanceRegression,"), std::string::npos);
+  EXPECT_NE(test.find("broken-boundary"), std::string::npos);
+  EXPECT_NE(test.find("reference_matches"), std::string::npos);
+}
+
+TEST(Minimizer, ReturnsNulloptWhenNothingDiverges) {
+  const auto serial = make_matcher("serial");
+  const Workload w{"fine", {"ab"}, "xxabxx"};
+  EXPECT_FALSE(minimize_divergence(w, *serial, 1).has_value());
+}
+
+TEST(Minimizer, OctalEscapingRoundTripsBinaryBytes) {
+  std::string text(40, 'z');
+  text[33] = '\0';
+  text.replace(29, 3, "abc");
+  Reproducer r;
+  r.workload = Workload{"bin", {std::string("\x00\xff", 2)}, text};
+  r.matcher = "serial";
+  r.salt = 1;
+  const std::string test = to_cpp_test(r);
+  // 0x00 -> \000, 0xff -> \377; no raw control bytes in the rendering.
+  EXPECT_NE(test.find("\\000\\377"), std::string::npos);
+  for (const char c : test) EXPECT_TRUE(c == '\n' || (c >= 0x20 && c < 0x7f));
+}
+
+TEST(Conformance, LoopCatchesInjectedBrokenMatcherAmongRealOnes) {
+  const auto serial = make_matcher("serial");
+  const auto stream = make_matcher("stream");
+  const BoundaryDropMatcher broken;
+  ConformanceOptions options;
+  options.seed = 3;
+  options.iterations = 16;  // one full family cycle x2
+  options.minimize = true;
+  options.max_failures = 3;
+  const ConformanceResult result =
+      run_conformance(options, {serial.get(), stream.get(), &broken});
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.divergences.size(), result.reproducers.size());
+  for (const auto& d : result.divergences) EXPECT_EQ(d.matcher, "broken-boundary");
+  for (const auto& r : result.reproducers) {
+    EXPECT_EQ(r.matcher, "broken-boundary");
+    EXPECT_LE(r.workload.text.size(), 200u);
+  }
+}
+
+TEST(Conformance, MiniSweepOverAllRegisteredMatchersIsClean) {
+  ConformanceOptions options;
+  options.seed = 1234;
+  options.iterations = 8;  // one full family cycle
+  const ConformanceResult result = run_conformance(options);
+  EXPECT_TRUE(result.ok())
+      << (result.ok() ? std::string() : describe(result.divergences.front()));
+  EXPECT_EQ(result.iterations, 8u);
+  EXPECT_EQ(result.comparisons, 8 * registered_matcher_names().size());
+}
+
+}  // namespace
+}  // namespace acgpu::oracle

@@ -1,0 +1,105 @@
+// Golden-vector conformance tests: a checked-in corpus of (patterns, text,
+// expected matches) triples with hand-computed expectations, run against
+// every registered matcher. The vectors target the paper's 257-column STT
+// edge cases — byte 0x00 (whose transitions live in column 1, next to the
+// column-0 match flag), byte 0xFF (column 256, the last one), and states
+// whose match flag must fire exactly once per end position.
+#include <gtest/gtest.h>
+
+#include "oracle/matcher.h"
+
+namespace acgpu::oracle {
+namespace {
+
+struct GoldenVector {
+  const char* tag;
+  std::vector<std::string> patterns;
+  std::string text;
+  std::vector<ac::Match> expected;  ///< normalized (end, pattern-id) multiset
+};
+
+std::vector<GoldenVector> golden_vectors() {
+  using std::string;
+  std::vector<GoldenVector> v;
+
+  // The paper's running example (Fig. 1): "ushers" emits he+she at 3, hers
+  // at 5. Pattern ids follow insertion order.
+  v.push_back({"paper-ushers",
+               {"he", "she", "his", "hers"},
+               "ushers",
+               {{3, 0}, {3, 1}, {5, 3}}});
+
+  // Byte 0x00 inside a pattern: column_for_byte(0x00) == 1 must not be
+  // confused with the match column 0.
+  v.push_back({"nul-inside-pattern",
+               {string("a\0b", 3)},
+               string("xa\0ba\0b", 7),
+               {{3, 0}, {6, 0}}});
+
+  // A 1-byte NUL pattern matching at text start and interior.
+  v.push_back({"nul-single-byte",
+               {string("\0", 1)},
+               string("\0a\0", 3),
+               {{0, 0}, {2, 0}}});
+
+  // Byte 0xFF: the STT's last column (256); overlapping self-matches.
+  v.push_back({"ff-overlapping",
+               {string("\xff\xff", 2)},
+               string(4, '\xff'),
+               {{1, 0}, {2, 0}, {3, 0}}});
+
+  // 0xFF -> 0x00 adjacency: both extremes on one transition path.
+  v.push_back({"ff-nul-pair",
+               {string("\xff\0", 2)},
+               string("a\xff\0b\xff\0", 6),
+               {{2, 0}, {5, 0}}});
+
+  // Suffix-of-suffix output chain: reaching "aaa" must emit a, aa, aaa.
+  v.push_back({"suffix-chain",
+               {"a", "aa", "aaa"},
+               "aaaa",
+               {{0, 0}, {1, 0}, {1, 1}, {2, 0}, {2, 1}, {2, 2},
+                {3, 0}, {3, 1}, {3, 2}}});
+
+  // Interleaved overlapping matches via failure transitions.
+  v.push_back({"interleaved-ab",
+               {"ab", "ba"},
+               "ababa",
+               {{1, 0}, {2, 1}, {3, 0}, {4, 1}}});
+
+  // No matches at all: the match flag must never misfire.
+  v.push_back({"no-matches", {"zzz"}, "the quick brown fox", {}});
+
+  return v;
+}
+
+TEST(OracleGolden, ReferenceMatchesHandComputedVectors) {
+  for (const auto& g : golden_vectors()) {
+    const CompiledWorkload w(Workload{g.tag, g.patterns, g.text});
+    EXPECT_EQ(reference_matches(w), g.expected) << g.tag;
+  }
+}
+
+TEST(OracleGolden, EveryRegisteredMatcherReproducesEveryVector) {
+  const auto matchers = make_all_matchers();
+  for (const auto& g : golden_vectors()) {
+    const CompiledWorkload w(Workload{g.tag, g.patterns, g.text});
+    for (const auto& matcher : matchers)
+      EXPECT_EQ(matcher->run(w, /*salt=*/17), g.expected)
+          << g.tag << " via " << matcher->name();
+  }
+}
+
+TEST(OracleGolden, VectorsAreStableAcrossSalts) {
+  const auto matchers = make_all_matchers();
+  for (const auto& g : golden_vectors()) {
+    const CompiledWorkload w(Workload{g.tag, g.patterns, g.text});
+    for (const std::uint64_t salt : {0ull, 1ull, 0xdeadbeefull})
+      for (const auto& matcher : matchers)
+        EXPECT_EQ(matcher->run(w, salt), g.expected)
+            << g.tag << " via " << matcher->name() << " salt " << salt;
+  }
+}
+
+}  // namespace
+}  // namespace acgpu::oracle

@@ -1,0 +1,129 @@
+// Tests for the conformance oracle's adapter layer: registry contents,
+// per-adapter agreement on the paper's example, degenerate inputs, and
+// salt determinism for the randomized adapters.
+#include "oracle/matcher.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace acgpu::oracle {
+namespace {
+
+CompiledWorkload paper_workload() {
+  return CompiledWorkload(
+      Workload{"paper", {"he", "she", "his", "hers"},
+               "ushers and sheep hide his herbs ushers"});
+}
+
+TEST(OracleRegistry, HasAtLeastEightVariantsAndNoDuplicates) {
+  auto names = registered_matcher_names();
+  EXPECT_GE(names.size(), 8u);
+  std::sort(names.begin(), names.end());
+  EXPECT_EQ(std::adjacent_find(names.begin(), names.end()), names.end());
+}
+
+TEST(OracleRegistry, CoversEveryImplementationFamily) {
+  const auto& names = registered_matcher_names();
+  for (const char* required :
+       {"naive", "nfa", "serial", "parallel", "stream", "pfac", "compressed",
+        "gpu-global", "gpu-shared", "gpu-compressed", "gpu-pfac"})
+    EXPECT_NE(std::find(names.begin(), names.end(), required), names.end())
+        << required;
+}
+
+TEST(OracleRegistry, MakeMatcherRoundTripsEveryName) {
+  for (const auto& name : registered_matcher_names()) {
+    const auto matcher = make_matcher(name);
+    ASSERT_NE(matcher, nullptr);
+    EXPECT_EQ(matcher->name(), name);
+  }
+}
+
+TEST(OracleRegistry, UnknownNameThrowsListingValidOnes) {
+  try {
+    make_matcher("definitely-not-a-matcher");
+    FAIL() << "expected acgpu::Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("gpu-shared"), std::string::npos);
+  }
+}
+
+TEST(OracleRegistry, SelectionPicksSubset) {
+  const auto subset = make_matchers({"serial", "stream"});
+  ASSERT_EQ(subset.size(), 2u);
+  EXPECT_EQ(subset[0]->name(), "serial");
+  EXPECT_EQ(subset[1]->name(), "stream");
+  EXPECT_EQ(make_matchers({}).size(), registered_matcher_names().size());
+}
+
+TEST(OracleMatchers, AllAgreeWithReferenceOnPaperExample) {
+  const CompiledWorkload w = paper_workload();
+  const auto reference = reference_matches(w);
+  ASSERT_FALSE(reference.empty());
+  for (const auto& matcher : make_all_matchers())
+    EXPECT_EQ(matcher->run(w, /*salt=*/7), reference) << matcher->name();
+}
+
+TEST(OracleMatchers, AllReturnEmptyOnEmptyText) {
+  const CompiledWorkload w(Workload{"empty", {"ab", "ba"}, ""});
+  for (const auto& matcher : make_all_matchers())
+    EXPECT_TRUE(matcher->run(w, 3).empty()) << matcher->name();
+}
+
+TEST(OracleMatchers, SingleByteTextAndPattern) {
+  const CompiledWorkload w(Workload{"one", {"a"}, "a"});
+  const std::vector<ac::Match> expected = {{0, 0}};
+  for (const auto& matcher : make_all_matchers())
+    EXPECT_EQ(matcher->run(w, 11), expected) << matcher->name();
+}
+
+TEST(OracleMatchers, RandomizedAdaptersAreSaltDeterministic) {
+  const CompiledWorkload w = paper_workload();
+  for (const char* name : {"stream", "chunked", "parallel"}) {
+    const auto matcher = make_matcher(name);
+    const auto a = matcher->run(w, 123);
+    const auto b = matcher->run(w, 123);
+    EXPECT_EQ(a, b) << name;
+  }
+}
+
+TEST(OracleMatchers, StreamAgreesAcrossManySlicings) {
+  const CompiledWorkload w = paper_workload();
+  const auto reference = reference_matches(w);
+  const auto stream = make_matcher("stream");
+  for (std::uint64_t salt = 0; salt < 32; ++salt)
+    EXPECT_EQ(stream->run(w, salt), reference) << "salt " << salt;
+}
+
+TEST(OracleMatchers, PatternLongerThanGpuChunkFloor) {
+  // 48 bytes > the adapters' 32-byte chunk floor: they must widen the chunk.
+  const std::string pattern(48, 'q');
+  std::string text(400, 'x');
+  text.replace(30, pattern.size(), pattern);
+  text.replace(200, pattern.size(), pattern);
+  const CompiledWorkload w(Workload{"long", {pattern}, text});
+  const auto reference = reference_matches(w);
+  ASSERT_EQ(reference.size(), 2u);
+  for (const auto& matcher : make_all_matchers())
+    EXPECT_EQ(matcher->run(w, 5), reference) << matcher->name();
+}
+
+TEST(OracleCompiledWorkload, RejectsEmptyPatternSet) {
+  EXPECT_THROW(CompiledWorkload(Workload{"bad", {}, "text"}), Error);
+}
+
+TEST(OracleCompiledWorkload, LazyTablesCompileOnceAndAgree) {
+  const CompiledWorkload w = paper_workload();
+  const auto& compressed = w.compressed();
+  EXPECT_EQ(&compressed, &w.compressed());  // cached
+  EXPECT_EQ(compressed.state_count(), w.dfa().state_count());
+  const auto& pfac = w.pfac();
+  EXPECT_EQ(&pfac, &w.pfac());
+  EXPECT_EQ(pfac.max_pattern_length(), w.dfa().max_pattern_length());
+}
+
+}  // namespace
+}  // namespace acgpu::oracle
