@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Builds the host-parallel matchers under ThreadSanitizer and runs everything
+# that exercises real threads: the parallel/stream matcher test suites plus a
+# conformance sweep (whose chunked-parallel adapter fans work out across a
+# thread pool). Any perf PR touching ac/parallel_matcher.* or the stream
+# matcher should pass this first:
+#
+#   bench/run_parallel_tsan.sh                           # default sweep
+#   ITERATIONS=200 SEED=42 bench/run_parallel_tsan.sh    # pre-merge gate
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${ROOT}/build-tsan"
+
+cmake -B "${BUILD}" -S "${ROOT}" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DACGPU_TSAN=ON
+cmake --build "${BUILD}" -j "$(nproc)" --target acgpu_ac_tests ac_conformance
+
+export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1"
+
+"${BUILD}/tests/acgpu_ac_tests" --gtest_filter='ParallelMatcher.*:StreamMatcher.*'
+
+"${BUILD}/examples/ac_conformance" \
+  --iterations "${ITERATIONS:-50}" --seed "${SEED:-1}"
+
+echo "run_parallel_tsan: clean"

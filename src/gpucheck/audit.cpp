@@ -1,0 +1,407 @@
+#include "gpucheck/audit.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "ac/chunking.h"
+#include "ac/serial_matcher.h"
+#include "kernels/ac_kernel.h"
+#include "kernels/compressed_kernel.h"
+#include "kernels/packet_kernel.h"
+#include "kernels/pfac_kernel.h"
+#include "oracle/workload_gen.h"
+#include "util/error.h"
+
+namespace acgpu::gpucheck {
+namespace {
+
+using oracle::CompiledWorkload;
+
+struct TargetInfo {
+  AuditTarget target;
+  const char* name;
+  Budget budget;
+};
+
+constexpr Budget kNoBudget{};
+constexpr Budget kDiagonalBudget{1, false, true, 64};
+constexpr Budget kNaiveBudget{0, true, true, 64};
+constexpr Budget kStagingOnlyBudget{0, false, true, 64};
+
+const TargetInfo kTargets[] = {
+    {AuditTarget::kAcGlobal, "ac-global", kNoBudget},
+    {AuditTarget::kAcSharedDiagonal, "ac-shared-diagonal", kDiagonalBudget},
+    {AuditTarget::kAcSharedNaive, "ac-shared-naive", kNaiveBudget},
+    {AuditTarget::kAcSharedSequential, "ac-shared-sequential", kNoBudget},
+    {AuditTarget::kAcDbDiagonal, "ac-db-diagonal", kDiagonalBudget},
+    {AuditTarget::kAcDbNaive, "ac-db-naive", kNaiveBudget},
+    {AuditTarget::kCompressed, "compressed", kStagingOnlyBudget},
+    {AuditTarget::kPfac, "pfac", kNoBudget},
+    {AuditTarget::kPacket, "packet", kNoBudget},
+};
+
+const TargetInfo& info_of(AuditTarget target) {
+  for (const TargetInfo& info : kTargets)
+    if (info.target == target) return info;
+  ACGPU_CHECK(false, "unknown audit target id "
+                         << static_cast<unsigned>(target));
+  return kTargets[0];
+}
+
+/// Chunk for the shared-staging targets: a multiple of 64 bytes (16 words on
+/// the 16-bank model — the diagonal degree-1 invariant needs chunk_words to
+/// be a bank-count multiple) strictly above the dictionary's overlap.
+std::uint32_t pick_chunk(const CompiledWorkload& w, std::uint32_t floor_bytes) {
+  const std::uint32_t overlap =
+      ac::required_overlap(w.dfa().max_pattern_length());
+  const std::uint32_t chunk = std::max(floor_bytes, overlap + 1);
+  return (chunk + 63) / 64 * 64;
+}
+
+gpusim::DeviceMemory make_device(std::size_t text_bytes, std::uint64_t threads,
+                                 std::uint32_t capacity,
+                                 std::size_t table_bytes) {
+  const std::size_t buffer = threads * (4 + 8ull * capacity);
+  return gpusim::DeviceMemory((8u << 20) + text_bytes + 2 * table_bytes +
+                              2 * buffer);
+}
+
+gpusim::GpuConfig audit_config() {
+  gpusim::GpuConfig cfg = gpusim::GpuConfig::gtx285();
+  cfg.num_sms = 4;  // functional-mode audits simulate every block
+  return cfg;
+}
+
+void push_budget_hazard(AuditReport& report, HazardKind kind,
+                        std::string message, AccessSite site,
+                        std::size_t max_hazards) {
+  ++report.occurrences[static_cast<std::size_t>(kind)];
+  if (report.hazards.size() >= max_hazards) {
+    ++report.dropped_hazards;
+    return;
+  }
+  Hazard h;
+  h.kind = kind;
+  h.message = std::move(message);
+  h.first = site;
+  report.hazards.push_back(std::move(h));
+}
+
+/// Runs `launch(capacity)` with growing match capacity until the device
+/// buffer stops overflowing; each retry uses a fresh Recorder so hazards are
+/// not double-counted. `launch` fills `report` and returns the Collected.
+template <typename Launch>
+kernels::MatchBuffer::Collected collect_audited(const char* who,
+                                                Launch&& launch) {
+  for (std::uint32_t capacity = 64; capacity <= (1u << 14); capacity *= 4) {
+    auto collected = launch(capacity);
+    if (!collected.overflowed) return collected;
+  }
+  ACGPU_CHECK(false, who << ": match buffer overflow at capacity" << (1u << 14));
+  return {};
+}
+
+bool same_matches(std::vector<ac::Match> got,
+                  const std::vector<ac::Match>& expected) {
+  ac::normalize_matches(got);
+  return got == expected;
+}
+
+AuditOutcome audit_ac(AuditTarget target, const CompiledWorkload& w,
+                      const AuditSpec& spec) {
+  kernels::AcLaunchSpec ls;
+  switch (target) {
+    case AuditTarget::kAcGlobal:
+      ls.approach = kernels::Approach::kGlobalOnly;
+      break;
+    case AuditTarget::kAcSharedDiagonal:
+      ls.approach = kernels::Approach::kShared;
+      ls.scheme = kernels::StoreScheme::kDiagonal;
+      break;
+    case AuditTarget::kAcSharedNaive:
+      ls.approach = kernels::Approach::kShared;
+      ls.scheme = kernels::StoreScheme::kCoalescedNaive;
+      break;
+    case AuditTarget::kAcSharedSequential:
+      ls.approach = kernels::Approach::kShared;
+      ls.scheme = kernels::StoreScheme::kSequential;
+      break;
+    case AuditTarget::kAcDbDiagonal:
+      ls.approach = kernels::Approach::kShared;
+      ls.scheme = kernels::StoreScheme::kDiagonal;
+      ls.tiles_per_block = spec.tiles_per_block;
+      break;
+    case AuditTarget::kAcDbNaive:
+      ls.approach = kernels::Approach::kShared;
+      ls.scheme = kernels::StoreScheme::kCoalescedNaive;
+      ls.tiles_per_block = spec.tiles_per_block;
+      break;
+    default:
+      ACGPU_CHECK(false, "audit_ac called with a non-ac target");
+  }
+  ls.chunk_bytes = pick_chunk(w, spec.chunk_floor_bytes);
+  // The double-buffered region is halves * (T+1) * chunk; T=32 keeps even a
+  // 128-byte chunk inside the 16 KB shared budget.
+  ls.threads_per_block =
+      ls.tiles_per_block > 1 ? 32 : spec.threads_per_block;
+  ls.sim.mode = gpusim::SimMode::Functional;
+
+  const gpusim::GpuConfig cfg = audit_config();
+  const std::uint64_t threads =
+      (w.text().size() + ls.chunk_bytes - 1) / ls.chunk_bytes +
+      ls.threads_per_block * ls.tiles_per_block;
+
+  AuditOutcome outcome;
+  const auto collected =
+      collect_audited(to_string(target), [&](std::uint32_t capacity) {
+        ls.match_capacity = capacity;
+        Recorder recorder(spec.recorder);
+        ls.sim.observer = &recorder;
+        gpusim::DeviceMemory mem = make_device(w.text().size(), threads,
+                                               capacity, w.dfa().stt_bytes());
+        const kernels::DeviceDfa ddfa(mem, w.dfa());
+        const auto addr = kernels::upload_text(mem, w.text());
+        auto matches =
+            kernels::run_ac_kernel(cfg, mem, ddfa, addr, w.text().size(), ls)
+                .matches;
+        outcome.report = recorder.take_report();
+        return matches;
+      });
+
+  Budget budget = info_of(target).budget;
+  // At least two threads of a half-warp must scan concurrently for the
+  // naive scheme's conflicts to be observable.
+  if (ls.approach != kernels::Approach::kShared ||
+      w.text().size() <= ls.chunk_bytes)
+    budget.expect_bank_conflicts = false;
+  budget.max_hazards = spec.recorder.max_hazards;
+  apply_budget(outcome.report, budget);
+
+  outcome.match_count = collected.matches.size();
+  outcome.matches_ok =
+      same_matches(collected.matches, oracle::reference_matches(w));
+  return outcome;
+}
+
+AuditOutcome audit_compressed(const CompiledWorkload& w,
+                              const AuditSpec& spec) {
+  kernels::CompressedLaunchSpec ls;
+  ls.chunk_bytes = pick_chunk(w, spec.chunk_floor_bytes);
+  ls.threads_per_block = spec.threads_per_block;
+  ls.sim.mode = gpusim::SimMode::Functional;
+
+  const gpusim::GpuConfig cfg = audit_config();
+  const std::uint64_t threads =
+      (w.text().size() + ls.chunk_bytes - 1) / ls.chunk_bytes +
+      ls.threads_per_block;
+
+  AuditOutcome outcome;
+  const auto collected =
+      collect_audited("compressed", [&](std::uint32_t capacity) {
+        ls.match_capacity = capacity;
+        Recorder recorder(spec.recorder);
+        ls.sim.observer = &recorder;
+        gpusim::DeviceMemory mem =
+            make_device(w.text().size(), threads, capacity,
+                        w.compressed().size_bytes() + (1u << 20));
+        const kernels::DeviceCompressedDfa dcdfa(mem, w.compressed(), w.dfa());
+        const auto addr = kernels::upload_text(mem, w.text());
+        auto matches = kernels::run_compressed_kernel(cfg, mem, dcdfa, addr,
+                                                      w.text().size(), ls)
+                           .matches;
+        outcome.report = recorder.take_report();
+        return matches;
+      });
+
+  Budget budget = info_of(AuditTarget::kCompressed).budget;
+  budget.max_hazards = spec.recorder.max_hazards;
+  apply_budget(outcome.report, budget);
+  outcome.match_count = collected.matches.size();
+  outcome.matches_ok =
+      same_matches(collected.matches, oracle::reference_matches(w));
+  return outcome;
+}
+
+AuditOutcome audit_pfac(const CompiledWorkload& w, const AuditSpec& spec) {
+  kernels::PfacLaunchSpec ls;
+  ls.threads_per_block = spec.threads_per_block;
+  ls.sim.mode = gpusim::SimMode::Functional;
+
+  const gpusim::GpuConfig cfg = audit_config();
+  const std::uint64_t threads = w.text().size() + ls.threads_per_block;
+
+  AuditOutcome outcome;
+  const auto collected = collect_audited("pfac", [&](std::uint32_t capacity) {
+    ls.match_capacity = capacity;
+    Recorder recorder(spec.recorder);
+    ls.sim.observer = &recorder;
+    gpusim::DeviceMemory mem = make_device(w.text().size(), threads, capacity,
+                                           w.pfac().stt().size_bytes());
+    const kernels::DevicePfac dpfac(mem, w.pfac());
+    const auto addr = kernels::upload_text(mem, w.text());
+    auto matches =
+        kernels::run_pfac_kernel(cfg, mem, dpfac, addr, w.text().size(), ls)
+            .matches;
+    outcome.report = recorder.take_report();
+    return matches;
+  });
+
+  outcome.match_count = collected.matches.size();
+  outcome.matches_ok =
+      same_matches(collected.matches, oracle::reference_matches(w));
+  return outcome;
+}
+
+AuditOutcome audit_packet(const CompiledWorkload& w, const AuditSpec& spec) {
+  // Split the workload text into fixed-size packets; each packet is an
+  // independent matching domain, so the reference is one serial scan per
+  // packet.
+  workload::PacketTrace trace;
+  trace.data = w.raw().text;
+  trace.offsets.push_back(0);
+  const std::uint32_t step = std::max(1u, spec.packet_bytes);
+  for (std::uint64_t off = 0; off < trace.data.size(); off += step)
+    trace.offsets.push_back(static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(off + step, trace.data.size())));
+
+  std::vector<kernels::PacketMatch> expected;
+  for (std::size_t p = 0; p + 1 < trace.offsets.size(); ++p) {
+    ac::match_serial(w.dfa(), trace.packet(p), [&](std::uint64_t end,
+                                                   std::int32_t pattern) {
+      expected.push_back(kernels::PacketMatch{
+          static_cast<std::uint32_t>(p), static_cast<std::uint32_t>(end),
+          pattern});
+    });
+  }
+  std::sort(expected.begin(), expected.end());
+
+  const gpusim::GpuConfig cfg = audit_config();
+  AuditOutcome outcome;
+  std::vector<kernels::PacketMatch> got;
+  for (std::uint32_t capacity = 16; capacity <= (1u << 14); capacity *= 4) {
+    kernels::PacketLaunchSpec ls;
+    ls.threads_per_block = spec.threads_per_block;
+    ls.match_capacity = capacity;
+    ls.sim.mode = gpusim::SimMode::Functional;
+    Recorder recorder(spec.recorder);
+    ls.sim.observer = &recorder;
+    gpusim::DeviceMemory mem =
+        make_device(trace.data.size() + 4 * trace.offsets.size(),
+                    trace.packet_count() + spec.threads_per_block, capacity,
+                    w.dfa().stt_bytes());
+    const kernels::DeviceDfa ddfa(mem, w.dfa());
+    const kernels::DeviceBatch batch(mem, trace);
+    auto result = kernels::run_packet_kernel(cfg, mem, ddfa, batch, ls);
+    outcome.report = recorder.take_report();
+    if (!result.overflowed) {
+      got = std::move(result.matches);
+      break;
+    }
+    ACGPU_CHECK(capacity * 4 <= (1u << 14),
+                "packet audit: match buffer overflow at capacity " << capacity);
+  }
+
+  std::sort(got.begin(), got.end());
+  outcome.match_count = got.size();
+  outcome.matches_ok = got == expected;
+  return outcome;
+}
+
+}  // namespace
+
+const char* to_string(AuditTarget target) { return info_of(target).name; }
+
+const std::vector<AuditTarget>& all_audit_targets() {
+  static const std::vector<AuditTarget> all = [] {
+    std::vector<AuditTarget> v;
+    for (const TargetInfo& info : kTargets) v.push_back(info.target);
+    return v;
+  }();
+  return all;
+}
+
+AuditTarget audit_target_from_name(std::string_view name) {
+  for (const TargetInfo& info : kTargets)
+    if (name == info.name) return info.target;
+  std::ostringstream known;
+  for (const TargetInfo& info : kTargets) known << " " << info.name;
+  ACGPU_CHECK(false, "unknown audit target '" << name << "'; known:" << known.str());
+  return AuditTarget::kAcGlobal;
+}
+
+Budget target_budget(AuditTarget target) { return info_of(target).budget; }
+
+void apply_budget(AuditReport& report, const Budget& budget) {
+  if (budget.max_bank_degree > 0 &&
+      report.bank.max_degree > budget.max_bank_degree) {
+    std::ostringstream msg;
+    msg << "shared conflict degree " << report.bank.max_degree
+        << " exceeds the target budget of " << budget.max_bank_degree;
+    push_budget_hazard(report, HazardKind::kBankConflictBudget, msg.str(),
+                       report.bank.worst, budget.max_hazards);
+  }
+  if (budget.expect_bank_conflicts && report.bank.max_degree <= 1 &&
+      report.bank.accesses > 0) {
+    std::ostringstream msg;
+    msg << "expected bank conflicts are absent: the scheme audited at degree "
+        << report.bank.max_degree << " over " << report.bank.accesses
+        << " shared accesses (is the audit wired to the right layout?)";
+    push_budget_hazard(report, HazardKind::kBankConflictBudget, msg.str(), {},
+                       budget.max_hazards);
+  }
+  if (budget.require_coalesced_staging &&
+      report.coalescing.staging_excess > 0) {
+    std::ostringstream msg;
+    msg << report.coalescing.staging_excess << " of "
+        << report.coalescing.staging_requests
+        << " staging-class load(s) exceeded their ideal transaction count "
+           "(worst "
+        << report.coalescing.staging_worst_actual << " vs "
+        << report.coalescing.staging_worst_ideal << ")";
+    push_budget_hazard(report, HazardKind::kCoalescingExcess, msg.str(),
+                       report.coalescing.staging_worst, budget.max_hazards);
+  }
+}
+
+AuditOutcome audit_workload(AuditTarget target, const CompiledWorkload& w,
+                            const AuditSpec& spec) {
+  if (w.text().empty()) {
+    // The kernels have no work on an empty text (the adapters return {} the
+    // same way); a trivially clean report with an empty-match diff.
+    AuditOutcome outcome;
+    outcome.matches_ok = oracle::reference_matches(w).empty();
+    return outcome;
+  }
+  switch (target) {
+    case AuditTarget::kCompressed:
+      return audit_compressed(w, spec);
+    case AuditTarget::kPfac:
+      return audit_pfac(w, spec);
+    case AuditTarget::kPacket:
+      return audit_packet(w, spec);
+    default:
+      return audit_ac(target, w, spec);
+  }
+}
+
+std::vector<SweepTargetResult> audit_conformance(
+    std::uint64_t seed, std::uint64_t iterations,
+    const std::vector<AuditTarget>& targets, const AuditSpec& spec) {
+  const std::vector<AuditTarget>& picked =
+      targets.empty() ? all_audit_targets() : targets;
+  std::vector<SweepTargetResult> results(picked.size());
+  for (std::size_t t = 0; t < picked.size(); ++t) results[t].target = picked[t];
+
+  for (std::uint64_t i = 0; i < iterations; ++i) {
+    const CompiledWorkload w(oracle::generate_workload(seed, i));
+    for (std::size_t t = 0; t < picked.size(); ++t) {
+      AuditOutcome outcome = audit_workload(picked[t], w, spec);
+      results[t].report.merge(outcome.report, spec.recorder.max_hazards);
+      ++results[t].workloads;
+      if (!outcome.matches_ok) ++results[t].mismatches;
+    }
+  }
+  return results;
+}
+
+}  // namespace acgpu::gpucheck

@@ -1,0 +1,69 @@
+// Hazard taxonomy of the kernel auditor (gpucheck) — the
+// cuda-memcheck/racecheck-style findings the analyzers in recorder.h emit.
+//
+// The simulator has no program counters, so an access site is identified in
+// thread/address terms: block, warp, lane, thread-in-block, the per-block
+// warp-instruction ordinal (stable across runs — the sim is deterministic),
+// the barrier epoch, and the byte address. That is enough to replay and
+// localise a finding: the ordinal pins the exact co_await in the kernel
+// body's execution order.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "gpusim/warp.h"
+
+namespace acgpu::gpucheck {
+
+enum class HazardKind : std::uint8_t {
+  kSharedRace,          ///< same-epoch conflicting shared accesses, >= 1 store
+  kBarrierDivergence,   ///< not every live warp reached the barrier
+  kSharedOutOfBounds,   ///< shared access outside the block's region
+  kGlobalOutOfBounds,   ///< device access beyond the allocated space
+  kTextureOutOfBounds,  ///< texel fetch outside the bound width x rows
+  kUninitSharedRead,    ///< shared load of bytes never stored by the block
+  kGlobalWriteRace,     ///< unordered same-address device stores, two threads
+  kCoalescingExcess,    ///< warp load moved more segments than its ideal
+  kBankConflictBudget,  ///< shared conflict degree outside the target budget
+};
+constexpr std::size_t kHazardKindCount = 9;
+
+const char* to_string(HazardKind kind);
+
+/// One access site. `thread` < 0 marks an empty/unused site (e.g. the second
+/// site of a one-sided hazard).
+struct AccessSite {
+  std::uint64_t block = 0;
+  std::uint32_t warp = 0;
+  std::uint32_t lane = 0;
+  std::int64_t thread = -1;  ///< thread index within the block
+  std::uint32_t epoch = 0;   ///< barrier epoch (0 before the first barrier)
+  std::uint64_t instr = 0;   ///< warp-instruction ordinal within the block
+  std::uint64_t addr = 0;    ///< byte address (shared or device space)
+  std::uint8_t width = 0;    ///< access bytes
+  bool is_store = false;
+  gpusim::OpKind op = gpusim::OpKind::None;
+
+  bool valid() const { return thread >= 0; }
+};
+
+std::ostream& operator<<(std::ostream& out, const AccessSite& site);
+
+/// One finding: the kind, a formatted one-liner, and the (up to two)
+/// structured access sites behind it — `first` is the earlier/prior access,
+/// `second` the one that completed the hazard.
+struct Hazard {
+  HazardKind kind{};
+  std::string message;
+  AccessSite first;
+  AccessSite second;
+};
+
+std::ostream& operator<<(std::ostream& out, const Hazard& hazard);
+
+/// Short instruction-set name for reports ("shared-store-u32", "tex-fetch").
+const char* op_name(gpusim::OpKind op);
+
+}  // namespace acgpu::gpucheck

@@ -28,7 +28,8 @@ LaunchResult launch(const GpuConfig& config, DeviceMemory& gmem,
                     const Texture2D* tex, const LaunchDims& dims, KernelFn kernel,
                     const LaunchOptions& options, const Texture2D* tex2) {
   ACGPU_CHECK(dims.grid_blocks > 0, "launch: empty grid");
-  Scheduler scheduler(config, gmem, tex, dims, std::move(kernel), tex2);
+  Scheduler scheduler(config, gmem, tex, dims, std::move(kernel), tex2,
+                      options.observer);
 
   std::vector<std::uint64_t> ids;
   if (options.mode == SimMode::Functional) {

@@ -23,6 +23,11 @@ struct LaunchOptions {
   /// Full occupancy waves to simulate in Timed mode (>= 2 recommended so the
   /// steady state dominates the pipeline fill).
   std::uint32_t sample_waves = 3;
+  /// Access-recording hook (gpusim/access_observer.h): receives every memory
+  /// access, barrier event, and block/warp lifecycle callback, and switches
+  /// the scheduler to audit-tolerant behaviour (OOB suppression, lenient
+  /// barrier release). Not owned; must outlive the launch. nullptr = off.
+  AccessObserver* observer = nullptr;
 };
 
 struct LaunchResult {

@@ -10,9 +10,9 @@ namespace acgpu::gpusim {
 
 Scheduler::Scheduler(const GpuConfig& config, DeviceMemory& gmem,
                      const Texture2D* tex, const LaunchDims& dims, KernelFn kernel,
-                     const Texture2D* tex2)
+                     const Texture2D* tex2, AccessObserver* observer)
     : cfg_(config), gmem_(gmem), tex_(tex), tex2_(tex2), dims_(dims),
-      kernel_(std::move(kernel)) {
+      kernel_(std::move(kernel)), observer_(observer) {
   ACGPU_CHECK(dims.grid_blocks > 0, "launch with zero blocks");
   ACGPU_CHECK(dims.block_threads > 0 && dims.block_threads <= cfg_.max_threads_per_sm,
               "block of " << dims.block_threads << " threads is not launchable");
@@ -57,6 +57,9 @@ void Scheduler::dispatch_block(std::uint64_t block_id, std::uint32_t sm, double 
     block->warps.push_back(std::move(wr));
   }
   sms_[sm].resident++;
+  if (observer_)
+    observer_->block_started(block_id, warps_per_block_, dims_.block_threads,
+                             dims_.shared_bytes);
   for (auto& wr : block->warps) schedule(wr.get(), time);
   active_blocks_.push_back(std::move(block));
 }
@@ -67,6 +70,7 @@ void Scheduler::finish_block(BlockRun* block, double time) {
   const std::uint32_t sm = block->sm;
   sms_[sm].resident--;
   metrics_.blocks_completed++;
+  if (observer_) observer_->block_finished(block->block_id);
   auto it = std::find_if(active_blocks_.begin(), active_blocks_.end(),
                          [&](const auto& b) { return b.get() == block; });
   ACGPU_CHECK(it != active_blocks_.end(), "finished block not found among active blocks");
@@ -82,6 +86,8 @@ double Scheduler::handle_global(WarpRun* w, double issued) {
   Warp& warp = w->warp;
   const bool is_store = warp.pending == OpKind::GlobalStoreU32;
   const std::uint32_t width = warp.pending == OpKind::GlobalLoadU8 ? 1 : 4;
+  const std::uint32_t suppress =
+      observer_ ? observer_->memory_access(warp, warp.pending) : 0;
 
   std::array<DevAddr, Warp::kMaxLanes> active{};
   std::size_t n = 0;
@@ -103,6 +109,10 @@ double Scheduler::handle_global(WarpRun* w, double issued) {
   // time order, so memory effects are applied in a consistent global order).
   for (std::uint32_t l = 0; l < warp.lane_count; ++l) {
     if (!warp.mask[l]) continue;
+    if ((suppress >> l) & 1u) {
+      if (!is_store) warp.value[l] = 0;
+      continue;
+    }
     switch (warp.pending) {
       case OpKind::GlobalLoadU8:
         warp.value[l] = gmem_.load_u8(warp.addr[l]);
@@ -129,6 +139,8 @@ double Scheduler::handle_shared(WarpRun* w, double issued) {
   ACGPU_CHECK(warp.smem != nullptr, "shared access in a kernel launched without shared memory");
   const std::uint32_t width = warp.pending == OpKind::SharedLoadU8 ? 1 : 4;
   (void)width;
+  const std::uint32_t suppress =
+      observer_ ? observer_->memory_access(warp, warp.pending) : 0;
 
   std::array<std::uint32_t, Warp::kMaxLanes> active{};
   std::size_t n = 0;
@@ -157,6 +169,10 @@ double Scheduler::handle_shared(WarpRun* w, double issued) {
 
   for (std::uint32_t l = 0; l < warp.lane_count; ++l) {
     if (!warp.mask[l]) continue;
+    if ((suppress >> l) & 1u) {
+      if (warp.pending != OpKind::SharedStoreU32) warp.value[l] = 0;
+      continue;
+    }
     const auto a = static_cast<std::uint32_t>(warp.addr[l]);
     switch (warp.pending) {
       case OpKind::SharedLoadU8:
@@ -182,6 +198,10 @@ double Scheduler::handle_tex(WarpRun* w, double issued, const Texture2D* texture
   Warp& warp = w->warp;
   ACGPU_CHECK(texture != nullptr && texture->bound(),
               "texture fetch without a bound texture");
+  const std::uint32_t suppress =
+      observer_ ? observer_->memory_access(warp, warp.pending) : 0;
+  for (std::uint32_t l = 0; l < warp.lane_count; ++l)
+    if (warp.mask[l] && ((suppress >> l) & 1u)) warp.value[l] = 0;
 
   // Distinct cache lines touched by the warp's active lanes.
   Sm& sm = sms_[w->block->sm];
@@ -189,7 +209,7 @@ double Scheduler::handle_tex(WarpRun* w, double issued, const Texture2D* texture
   std::size_t n_lines = 0;
   std::uint32_t lane_fetches = 0;
   for (std::uint32_t l = 0; l < warp.lane_count; ++l) {
-    if (!warp.mask[l]) continue;
+    if (!warp.mask[l] || ((suppress >> l) & 1u)) continue;
     ++lane_fetches;
     const DevAddr line =
         texture->addr_of(warp.tex_x[l], warp.tex_y[l]) / sm.tcache->line_bytes();
@@ -235,13 +255,23 @@ double Scheduler::handle_tex(WarpRun* w, double issued, const Texture2D* texture
   }
 
   for (std::uint32_t l = 0; l < warp.lane_count; ++l) {
-    if (!warp.mask[l]) continue;
+    if (!warp.mask[l] || ((suppress >> l) & 1u)) continue;
     warp.value[l] =
         static_cast<std::uint32_t>(texture->fetch(warp.tex_x[l], warp.tex_y[l]));
   }
 
   metrics_.stall_tex_cycles += static_cast<std::uint64_t>(ready - issued);
   return ready;
+}
+
+void Scheduler::release_barrier(BlockRun* block, double release, double issued) {
+  for (WarpRun* waiting : block->barrier_queue) {
+    metrics_.stall_barrier_cycles += static_cast<std::uint64_t>(release - issued);
+    schedule(waiting, release);
+  }
+  block->barrier_queue.clear();
+  block->barrier_latest_arrival = 0;
+  if (observer_) observer_->barrier_release(block->block_id);
 }
 
 void Scheduler::step_warp(WarpRun* w, double t) {
@@ -255,7 +285,22 @@ void Scheduler::step_warp(WarpRun* w, double t) {
   if (w->task.done()) {
     metrics_.warps_completed++;
     BlockRun* block = w->block;
-    if (++block->done_warps == block->warps.size()) finish_block(block, start);
+    ++block->done_warps;
+    if (observer_) {
+      observer_->warp_finished(w->warp);
+      // Audit mode: a warp exited while siblings wait at a barrier it never
+      // reached. Report the divergence and release the waiters so the block
+      // can be audited to completion (without an observer this deadlocks
+      // into the hard "unfinished blocks" error below).
+      const std::uint32_t live =
+          static_cast<std::uint32_t>(block->warps.size()) - block->done_warps;
+      if (!block->barrier_queue.empty() && block->barrier_queue.size() == live) {
+        observer_->barrier_divergence(block->block_id, w->warp);
+        release_barrier(block, block->barrier_latest_arrival + cfg_.barrier_cycles,
+                        start);
+      }
+    }
+    if (block->done_warps == block->warps.size()) finish_block(block, start);
     last_time_ = std::max(last_time_, start);
     return;
   }
@@ -284,6 +329,8 @@ void Scheduler::step_warp(WarpRun* w, double t) {
       // Same transaction/pipe accounting as a blocking load, but the warp
       // keeps running; data is captured at issue (consistent memory order)
       // into the side buffer and the remaining latency is paid at AsyncWait.
+      const std::uint32_t suppress =
+          observer_ ? observer_->memory_access(warp, warp.pending) : 0;
       std::array<DevAddr, Warp::kMaxLanes> active{};
       std::size_t n = 0;
       for (std::uint32_t l = 0; l < warp.lane_count; ++l)
@@ -297,7 +344,9 @@ void Scheduler::step_warp(WarpRun* w, double t) {
         mem_pipe_free_ = std::max(mem_pipe_free_, issued) +
                          c.transactions * cfg_.cycles_per_segment;
         for (std::uint32_t l = 0; l < warp.lane_count; ++l)
-          if (warp.mask[l]) warp.async_value[l] = gmem_.load_u32(warp.addr[l]);
+          if (warp.mask[l])
+            warp.async_value[l] =
+                ((suppress >> l) & 1u) ? 0 : gmem_.load_u32(warp.addr[l]);
         w->async_ready = mem_pipe_free_ + cfg_.global_latency_cycles;
         w->async_pending = true;
       } else {
@@ -328,22 +377,16 @@ void Scheduler::step_warp(WarpRun* w, double t) {
     case OpKind::Barrier: {
       BlockRun* block = w->block;
       metrics_.barriers++;
+      if (observer_) observer_->barrier_arrival(warp);
       block->barrier_queue.push_back(w);
       block->barrier_latest_arrival = std::max(block->barrier_latest_arrival, issued);
       const std::uint32_t live =
           static_cast<std::uint32_t>(block->warps.size()) - block->done_warps;
       ACGPU_CHECK(block->barrier_queue.size() <= live,
                   "barrier arrivals exceed live warps in block " << block->block_id);
-      if (block->barrier_queue.size() == live) {
-        const double release = block->barrier_latest_arrival + cfg_.barrier_cycles;
-        for (WarpRun* waiting : block->barrier_queue) {
-          metrics_.stall_barrier_cycles +=
-              static_cast<std::uint64_t>(release - issued);
-          schedule(waiting, release);
-        }
-        block->barrier_queue.clear();
-        block->barrier_latest_arrival = 0;
-      }
+      if (block->barrier_queue.size() == live)
+        release_barrier(block, block->barrier_latest_arrival + cfg_.barrier_cycles,
+                        issued);
       last_time_ = std::max(last_time_, issued);
       return;  // resumption scheduled by the barrier release
     }

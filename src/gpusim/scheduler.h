@@ -20,6 +20,7 @@
 #include <queue>
 #include <vector>
 
+#include "gpusim/access_observer.h"
 #include "gpusim/config.h"
 #include "gpusim/metrics.h"
 #include "gpusim/task.h"
@@ -47,9 +48,12 @@ struct RunStats {
 
 class Scheduler {
  public:
+  /// `observer` (optional) receives the access-recording callbacks of
+  /// gpusim/access_observer.h and switches the barrier logic to the lenient
+  /// audit behaviour described there.
   Scheduler(const GpuConfig& config, DeviceMemory& gmem, const Texture2D* tex,
             const LaunchDims& dims, KernelFn kernel,
-            const Texture2D* tex2 = nullptr);
+            const Texture2D* tex2 = nullptr, AccessObserver* observer = nullptr);
 
   /// Simulates exactly the given block ids (sorted ascending recommended).
   RunStats run(const std::vector<std::uint64_t>& block_ids);
@@ -107,12 +111,17 @@ class Scheduler {
   double handle_shared(WarpRun* w, double issued);
   double handle_tex(WarpRun* w, double issued, const Texture2D* texture);
 
+  /// Releases `block`'s barrier queue at `release` time, notifying the
+  /// observer; `issued` is the arrival time used for stall accounting.
+  void release_barrier(BlockRun* block, double release, double issued);
+
   const GpuConfig& cfg_;
   DeviceMemory& gmem_;
   const Texture2D* tex_;
   const Texture2D* tex2_;
   LaunchDims dims_;
   KernelFn kernel_;
+  AccessObserver* observer_ = nullptr;
   std::uint32_t warps_per_block_;
 
   std::vector<Sm> sms_;

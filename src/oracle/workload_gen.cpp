@@ -166,7 +166,10 @@ const char* workload_family_name(std::uint64_t iteration) {
 Workload generate_workload(std::uint64_t seed, std::uint64_t iteration) {
   Rng rng(derive_seed(seed, iteration));
   Workload w = kFamilies[iteration % std::size(kFamilies)](rng);
-  w.name += "#" + std::to_string(iteration);
+  // Two appends, not operator+: the temporary-concat form trips a GCC 12
+  // -Wrestrict false positive (PR 105651) under -Werror.
+  w.name += '#';
+  w.name += std::to_string(iteration);
   return w;
 }
 

@@ -100,11 +100,20 @@ INSTANTIATE_TEST_SUITE_P(
         Scenario{26, 200, 3, 1000, 108},  // many very short patterns
         Scenario{5, 8, 16, 64, 109},      // patterns comparable to text size
         Scenario{2, 3, 2, 50, 110}),      // tiny everything
-    [](const ::testing::TestParamInfo<Scenario>& info) {
-      const Scenario& s = info.param;
-      return "a" + std::to_string(s.alphabet) + "_p" + std::to_string(s.pattern_count) +
-             "_l" + std::to_string(s.max_pattern_len) + "_n" +
-             std::to_string(s.text_len);
+    // Parameter named to dodge -Wshadow (the generated caller also binds
+    // `info`); appends rather than operator+ to dodge the GCC 12 -Wrestrict
+    // false positive (PR 105651).
+    [](const ::testing::TestParamInfo<Scenario>& param_info) {
+      const Scenario& s = param_info.param;
+      std::string name = "a";
+      name += std::to_string(s.alphabet);
+      name += "_p";
+      name += std::to_string(s.pattern_count);
+      name += "_l";
+      name += std::to_string(s.max_pattern_len);
+      name += "_n";
+      name += std::to_string(s.text_len);
+      return name;
     });
 
 // Seed sweep at one mid-size scenario: ten independent universes.

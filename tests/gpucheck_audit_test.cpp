@@ -1,0 +1,143 @@
+// Audit-harness coverage: every shipped kernel variant must audit clean and
+// conformant over oracle workloads, the diagonal store scheme must hold its
+// degree-1 bank budget where the naive scheme provably cannot, and the sweep
+// entry point must aggregate per-target results.
+#include "gpucheck/audit.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "oracle/workload_gen.h"
+#include "util/error.h"
+
+namespace acgpu::gpucheck {
+namespace {
+
+using oracle::CompiledWorkload;
+using oracle::Workload;
+
+/// A workload whose text spans many chunks, so every store scheme runs with
+/// full warps and the bank-conflict character of each layout is observable.
+CompiledWorkload wide_workload() {
+  Workload w;
+  w.name = "gpucheck-wide";
+  w.patterns = {"abc", "bcd", "dab", "cc", "abcdab"};
+  std::string text;
+  for (int i = 0; i < 600; ++i) text += "abcdabccdbcdab";
+  w.text = std::move(text);
+  return CompiledWorkload(std::move(w));
+}
+
+TEST(GpucheckAudit, TargetNamesRoundTrip) {
+  for (const AuditTarget t : all_audit_targets())
+    EXPECT_EQ(audit_target_from_name(to_string(t)), t);
+  EXPECT_THROW(audit_target_from_name("no-such-kernel"), Error);
+}
+
+TEST(GpucheckAudit, EveryShippedTargetAuditsCleanAndConformant) {
+  const CompiledWorkload w = wide_workload();
+  for (const AuditTarget t : all_audit_targets()) {
+    const AuditOutcome outcome = audit_workload(t, w);
+    EXPECT_TRUE(outcome.report.clean())
+        << to_string(t) << " reported " << outcome.report.total_hazards()
+        << " hazard(s)";
+    EXPECT_TRUE(outcome.matches_ok) << to_string(t);
+    EXPECT_GT(outcome.match_count, 0u) << to_string(t);
+    EXPECT_GT(outcome.report.accesses, 0u) << to_string(t);
+  }
+}
+
+TEST(GpucheckAudit, OracleWorkloadsAuditClean) {
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    const CompiledWorkload w(oracle::generate_workload(11, i));
+    for (const AuditTarget t :
+         {AuditTarget::kAcGlobal, AuditTarget::kAcSharedDiagonal,
+          AuditTarget::kCompressed, AuditTarget::kPfac}) {
+      const AuditOutcome outcome = audit_workload(t, w);
+      EXPECT_TRUE(outcome.report.clean()) << to_string(t) << " workload " << i;
+      EXPECT_TRUE(outcome.matches_ok) << to_string(t) << " workload " << i;
+    }
+  }
+}
+
+TEST(GpucheckAudit, DiagonalSchemeAuditsAtDegreeOne) {
+  const AuditOutcome outcome =
+      audit_workload(AuditTarget::kAcSharedDiagonal, wide_workload());
+  EXPECT_TRUE(outcome.report.clean());
+  EXPECT_GT(outcome.report.bank.accesses, 0u);
+  EXPECT_EQ(outcome.report.bank.max_degree, 1u);
+}
+
+TEST(GpucheckAudit, NaiveSchemeConflictsAndBreaksADegreeOneBudget) {
+  AuditOutcome outcome =
+      audit_workload(AuditTarget::kAcSharedNaive, wide_workload());
+  // Its own budget EXPECTS conflicts, so the shipped audit is clean...
+  EXPECT_TRUE(outcome.report.clean());
+  EXPECT_GT(outcome.report.bank.max_degree, 1u);
+
+  // ...but imposing the diagonal scheme's budget on the same report must
+  // fire, with the worst conflicting access site attached.
+  Budget diagonal;
+  diagonal.max_bank_degree = 1;
+  apply_budget(outcome.report, diagonal);
+  ASSERT_GE(outcome.report.count(HazardKind::kBankConflictBudget), 1u);
+  bool sited = false;
+  for (const Hazard& h : outcome.report.hazards)
+    if (h.kind == HazardKind::kBankConflictBudget && h.first.valid())
+      sited = true;
+  EXPECT_TRUE(sited) << "budget hazard should carry the worst access site";
+}
+
+TEST(GpucheckAudit, DiagonalReportFailsANaiveExpectation) {
+  AuditOutcome outcome =
+      audit_workload(AuditTarget::kAcSharedDiagonal, wide_workload());
+  Budget naive = target_budget(AuditTarget::kAcSharedNaive);
+  apply_budget(outcome.report, naive);
+  EXPECT_GE(outcome.report.count(HazardKind::kBankConflictBudget), 1u);
+}
+
+TEST(GpucheckAudit, ShippedBudgetsMatchTheStoreSchemeContracts) {
+  EXPECT_EQ(target_budget(AuditTarget::kAcSharedDiagonal).max_bank_degree, 1u);
+  EXPECT_FALSE(target_budget(AuditTarget::kAcSharedDiagonal).expect_bank_conflicts);
+  EXPECT_TRUE(target_budget(AuditTarget::kAcSharedNaive).expect_bank_conflicts);
+  EXPECT_EQ(target_budget(AuditTarget::kAcSharedNaive).max_bank_degree, 0u);
+  EXPECT_TRUE(target_budget(AuditTarget::kAcDbDiagonal).require_coalesced_staging);
+}
+
+TEST(GpucheckAudit, EmptyTextAuditsCleanEverywhere) {
+  Workload w;
+  w.name = "gpucheck-empty";
+  w.patterns = {"needle"};
+  const CompiledWorkload cw(std::move(w));
+  for (const AuditTarget t : all_audit_targets()) {
+    const AuditOutcome outcome = audit_workload(t, cw);
+    EXPECT_TRUE(outcome.report.clean()) << to_string(t);
+    EXPECT_TRUE(outcome.matches_ok) << to_string(t);
+    EXPECT_EQ(outcome.match_count, 0u) << to_string(t);
+  }
+}
+
+TEST(GpucheckAudit, ConformanceSweepAggregatesPerTarget) {
+  const std::vector<AuditTarget> targets = {AuditTarget::kAcGlobal,
+                                            AuditTarget::kPacket};
+  const std::vector<SweepTargetResult> results =
+      audit_conformance(/*seed=*/5, /*iterations=*/4, targets);
+  ASSERT_EQ(results.size(), targets.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].target, targets[i]);
+    EXPECT_EQ(results[i].workloads, 4u);
+    EXPECT_EQ(results[i].mismatches, 0u);
+    EXPECT_TRUE(results[i].report.clean()) << to_string(results[i].target);
+  }
+}
+
+TEST(GpucheckAudit, SweepDefaultsToAllTargets) {
+  const std::vector<SweepTargetResult> results =
+      audit_conformance(/*seed=*/7, /*iterations=*/1);
+  EXPECT_EQ(results.size(), all_audit_targets().size());
+}
+
+}  // namespace
+}  // namespace acgpu::gpucheck

@@ -2,10 +2,20 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+
 #include "util/error.h"
 
 namespace acgpu::gpusim {
 namespace {
+
+/// Defeats constant folding: GCC 12 turns literal out-of-bounds addresses
+/// into -Warray-bounds warnings even though the bounds check throws before
+/// any access happens.
+DevAddr opaque(DevAddr v) {
+  volatile DevAddr o = v;
+  return o;
+}
 
 TEST(DeviceMemory, AllocAligns) {
   DeviceMemory mem(4096);
@@ -75,9 +85,43 @@ TEST(DeviceMemory, FillSetsBytes) {
 
 TEST(DeviceMemory, BoundsChecked) {
   DeviceMemory mem(64);
-  EXPECT_THROW(mem.load_u32(62), Error);
-  EXPECT_THROW(mem.store_u8(64, 1), Error);
-  EXPECT_THROW(mem.load_u8(100), Error);
+  EXPECT_THROW(mem.load_u32(opaque(62)), Error);
+  EXPECT_THROW(mem.store_u8(opaque(64), 1), Error);
+  EXPECT_THROW(mem.load_u8(opaque(100)), Error);
+}
+
+TEST(DeviceMemory, WordAccessNearTheUpperBoundary) {
+  // A 4-byte access fits up to capacity-4 and must fail for every start in
+  // (capacity-4, capacity] — including capacity itself, where a naive
+  // `a < capacity` check would still pass.
+  DeviceMemory mem(64);
+  EXPECT_NO_THROW(mem.store_u32(60, 0x01020304));
+  EXPECT_EQ(mem.load_u32(60), 0x01020304u);
+  for (const DevAddr a : {DevAddr{61}, DevAddr{62}, DevAddr{63}, DevAddr{64}}) {
+    EXPECT_THROW(mem.load_u32(opaque(a)), Error) << "addr " << a;
+    EXPECT_THROW(mem.store_u32(opaque(a), 1), Error) << "addr " << a;
+  }
+  EXPECT_NO_THROW(mem.load_u8(63));
+  EXPECT_THROW(mem.load_u8(opaque(64)), Error);
+}
+
+TEST(DeviceMemory, BoundsDiagnosticNamesTheRangeAndCapacity) {
+  DeviceMemory mem(64);
+  try {
+    mem.load_u32(opaque(63));
+    FAIL() << "expected an out-of-bounds error";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("[63, 67)"), std::string::npos) << what;
+    EXPECT_NE(what.find("capacity 64"), std::string::npos) << what;
+  }
+}
+
+TEST(DeviceMemory, RawViewIsBoundsCheckedToo) {
+  DeviceMemory mem(64);
+  EXPECT_NO_THROW(mem.raw(0, 64));
+  EXPECT_THROW(mem.raw(opaque(1), 64), Error);
+  EXPECT_THROW(mem.raw(opaque(64), 1), Error);
 }
 
 TEST(DeviceMemory, MarkReleaseReusesSpace) {

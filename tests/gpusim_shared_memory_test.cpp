@@ -2,12 +2,21 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
 #include <vector>
 
 #include "util/error.h"
 
 namespace acgpu::gpusim {
 namespace {
+
+/// Defeats constant folding: GCC 12 turns literal out-of-bounds addresses
+/// into -Warray-bounds warnings even though the bounds check throws before
+/// any access happens.
+std::uint32_t opaque(std::uint32_t v) {
+  volatile std::uint32_t o = v;
+  return o;
+}
 
 std::vector<std::uint32_t> addrs_from_words(std::initializer_list<std::uint32_t> words) {
   std::vector<std::uint32_t> out;
@@ -97,6 +106,55 @@ TEST(BankConflicts, EmptyAccess) {
   EXPECT_EQ(c.total_degree, 0u);
 }
 
+TEST(BankConflicts, EmptyLaneSetAfterMaskingIsFree) {
+  // A fully-masked warp instruction reaches the model with zero addresses;
+  // it must cost nothing and report no groups rather than divide by zero.
+  const std::vector<std::uint32_t> addrs;
+  const auto c = bank_conflicts(addrs, 16, 16);
+  EXPECT_EQ(c.groups, 0u);
+  EXPECT_EQ(c.total_degree, 0u);
+  EXPECT_EQ(c.max_degree, 0u);
+}
+
+TEST(BankConflicts, GroupLargerThanLaneCount) {
+  // Full-warp conflict groups (group = 32) over a 10-lane tail warp: one
+  // partial group, degree decided by the 10 live lanes only.
+  std::vector<std::uint32_t> addrs;
+  for (std::uint32_t l = 0; l < 10; ++l) addrs.push_back(l * 4);
+  const auto c = bank_conflicts(addrs, 16, 32);
+  EXPECT_EQ(c.groups, 1u);
+  EXPECT_EQ(c.total_degree, 1u);
+  EXPECT_EQ(c.max_degree, 1u);
+}
+
+TEST(BankConflicts, GroupLargerThanLaneCountStillSeesConflicts) {
+  // Same partial group, but two lanes land distinct words on one bank.
+  std::vector<std::uint32_t> addrs = addrs_from_words({0, 1, 2, 16});
+  const auto c = bank_conflicts(addrs, 16, 32);
+  EXPECT_EQ(c.groups, 1u);
+  EXPECT_EQ(c.max_degree, 2u);
+}
+
+TEST(BankConflicts, BroadcastSameWordAcrossAllSixteenLanes) {
+  // All 16 lanes of a half-warp on ONE word: the hardware broadcast makes
+  // this a single-cycle access, degree 1, regardless of which bank holds it.
+  for (const std::uint32_t word : {0u, 5u, 15u, 16u, 31u}) {
+    const std::vector<std::uint32_t> addrs(16, word * 4);
+    const auto c = bank_conflicts(addrs, 16, 16);
+    EXPECT_EQ(c.groups, 1u) << "word " << word;
+    EXPECT_EQ(c.total_degree, 1u) << "word " << word;
+    EXPECT_EQ(c.max_degree, 1u) << "word " << word;
+  }
+}
+
+TEST(BankConflicts, FullWarpBroadcastIsOneDegreePerGroup) {
+  const std::vector<std::uint32_t> addrs(32, 64);
+  const auto c = bank_conflicts(addrs, 16, 16);
+  EXPECT_EQ(c.groups, 2u);
+  EXPECT_EQ(c.total_degree, 2u);
+  EXPECT_EQ(c.max_degree, 1u);
+}
+
 TEST(BankConflicts, ValidatesArguments) {
   std::vector<std::uint32_t> addrs = {0};
   EXPECT_THROW(bank_conflicts(addrs, 0, 16), Error);
@@ -115,8 +173,34 @@ TEST(SharedMemory, LoadStoreRoundTrip) {
 
 TEST(SharedMemory, BoundsChecked) {
   SharedMemory smem(64);
-  EXPECT_THROW(smem.load_u32(62), Error);
-  EXPECT_THROW(smem.store_u8(64, 1), Error);
+  EXPECT_THROW(smem.load_u32(opaque(62)), Error);
+  EXPECT_THROW(smem.store_u8(opaque(64), 1), Error);
+}
+
+TEST(SharedMemory, WordAccessNearTheUpperBoundary) {
+  // A 4-byte access fits up to size-4 and must fail for every start in
+  // (size-4, size] — the off-by-one family the staging kernels risk.
+  SharedMemory smem(64);
+  EXPECT_NO_THROW(smem.store_u32(60, 1));
+  EXPECT_NO_THROW(smem.load_u32(60));
+  for (const std::uint32_t a : {61u, 62u, 63u, 64u}) {
+    EXPECT_THROW(smem.load_u32(opaque(a)), Error) << "addr " << a;
+    EXPECT_THROW(smem.store_u32(opaque(a), 1), Error) << "addr " << a;
+  }
+  EXPECT_NO_THROW(smem.load_u8(63));
+  EXPECT_THROW(smem.load_u8(opaque(64)), Error);
+}
+
+TEST(SharedMemory, BoundsDiagnosticNamesTheRangeAndSize) {
+  SharedMemory smem(64);
+  try {
+    smem.load_u32(opaque(62));
+    FAIL() << "expected an out-of-bounds error";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("[62, 66)"), std::string::npos) << what;
+    EXPECT_NE(what.find("64"), std::string::npos) << what;
+  }
 }
 
 TEST(SharedMemory, ClearZeroes) {
