@@ -74,18 +74,27 @@ int main(int argc, char** argv) {
     const oracle::ConformanceResult result = oracle::run_conformance(options);
 
     Table table;
-    table.set_header({"workloads", "comparisons", "ref matches", "divergences", "time"});
+    table.set_header({"workloads", "comparisons", "ref matches", "divergences",
+                      "failures", "time"});
     table.add_row({std::to_string(result.iterations),
                    std::to_string(result.comparisons),
                    std::to_string(result.reference_matches),
                    std::to_string(result.divergences.size()),
+                   std::to_string(result.failures.size()),
                    format_seconds(clock.seconds())});
     table.print(std::cout);
 
     if (!result.ok()) {
-      std::printf("\n%zu divergence(s):\n", result.divergences.size());
-      for (const auto& d : result.divergences)
-        std::printf("  %s\n", oracle::describe(d).c_str());
+      if (!result.failures.empty()) {
+        std::printf("\n%zu matcher failure(s):\n", result.failures.size());
+        for (const auto& f : result.failures)
+          std::printf("  %s\n", oracle::describe(f).c_str());
+      }
+      if (!result.divergences.empty()) {
+        std::printf("\n%zu divergence(s):\n", result.divergences.size());
+        for (const auto& d : result.divergences)
+          std::printf("  %s\n", oracle::describe(d).c_str());
+      }
       for (const auto& r : result.reproducers)
         std::printf("\n%s", oracle::to_cpp_test(r).c_str());
       return 1;

@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 
 #include "acgpu.h"
@@ -66,9 +67,22 @@ int cmd_compile(const ArgParser& args) {
 }
 
 int cmd_scan(const ArgParser& args, const std::vector<std::string>& files) {
-  const ac::Dfa dfa = resolve_dfa(args);
+  ac::Dfa dfa = resolve_dfa(args);
   const std::string matcher = args.get("matcher");
   const bool quiet = args.get_bool("count-only");
+
+  // The gpu path goes through acgpu::Engine — built once, scanning every
+  // file through the batched multi-stream pipeline.
+  std::optional<Engine> engine;
+  if (matcher == "gpu") {
+    EngineOptions opt;
+    opt.streams = static_cast<std::uint32_t>(args.get_int("streams"));
+    opt.batch_bytes = static_cast<std::uint64_t>(args.get_bytes("batch"));
+    opt.match_capacity = 128;
+    Result<Engine> created = Engine::create(dfa, opt);
+    ACGPU_CHECK(created.is_ok(), created.status().to_string());
+    engine.emplace(std::move(created).value());
+  }
 
   Table table;
   table.set_header({"file", "bytes", "matches", "time", "MB/s"});
@@ -88,19 +102,12 @@ int cmd_scan(const ArgParser& args, const std::vector<std::string>& files) {
       ac::match_compressed(c, dfa, text, sink);
       count = sink.count();
     } else if (matcher == "gpu") {
-      gpusim::DeviceMemory device(
-          std::max<std::size_t>(64 * kMiB, text.size() * 2 + dfa.stt_bytes() * 2));
-      const kernels::DeviceDfa ddfa(device, dfa);
-      const auto addr = kernels::upload_text(device, text);
-      kernels::AcLaunchSpec spec;
-      spec.match_capacity = 128;
-      spec.sim.mode = gpusim::SimMode::Functional;
-      const auto out = kernels::run_ac_kernel(gpusim::GpuConfig::gtx285(), device,
-                                              ddfa, addr, text.size(), spec);
-      ACGPU_CHECK(!out.matches.overflowed,
+      Result<ScanResult> scan = engine->scan(text);
+      ACGPU_CHECK(scan.is_ok(), scan.status().to_string());
+      ACGPU_CHECK(!scan.value().overflowed,
                   "match buffer overflowed; re-run with a CPU matcher");
-      count = out.matches.matches.size();
-      matches = out.matches.matches;
+      count = scan.value().matches.size();
+      matches = std::move(scan.value().matches);
     } else {
       ACGPU_CHECK(false, "unknown --matcher '" << matcher
                              << "' (serial|parallel|compressed|gpu)");
@@ -137,6 +144,8 @@ int main(int argc, char** argv) {
   args.add_flag("dict", "compiled dictionary (.acdfa) to load", "");
   args.add_flag("out", "output path for compile", "");
   args.add_flag("matcher", "scan engine: serial|parallel|compressed|gpu", "serial");
+  args.add_flag("streams", "gpu matcher: pipeline streams (>= 2 overlaps)", "2");
+  args.add_flag("batch", "gpu matcher: owned bytes per pipeline batch", "4MB");
   args.add_bool_flag("count-only", "suppress per-match output");
   try {
     if (!args.parse(argc, argv)) return 0;

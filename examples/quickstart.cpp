@@ -1,6 +1,7 @@
 // Quickstart: the paper's worked example ({he, she, his, hers} over
 // "ushers") on the serial matcher, then the same dictionary over a larger
-// synthetic text on the simulated GPU — the whole public API in ~80 lines.
+// synthetic text on the simulated GPU via acgpu::Engine — the whole public
+// API in ~80 lines.
 #include <cstdio>
 
 #include "acgpu.h"
@@ -26,33 +27,32 @@ int main() {
   }
 
   // ---- Phase 2b: the same matching on the simulated GTX 285 -------------
+  // Engine is the supported device entry point: it compiles the dictionary,
+  // uploads the automaton, and scans through the batched multi-stream
+  // pipeline (H2D copy of batch k+1 overlaps the kernel on batch k).
   const std::string text = workload::make_corpus(256 * kKiB, /*seed=*/7);
-  const gpusim::GpuConfig gpu = gpusim::GpuConfig::gtx285();
-  gpusim::DeviceMemory device(64 * kMiB);       // "cudaMalloc" arena
-  const kernels::DeviceDfa device_dfa(device, dfa);  // STT -> texture memory
-  const gpusim::DevAddr text_addr = kernels::upload_text(device, text);
+  EngineOptions opt;
+  opt.variant = pipeline::KernelVariant::kShared;  // the paper's best variant
+  opt.streams = 2;                 // >= 2 overlaps copy with compute
+  opt.batch_bytes = 64 * kKiB;     // small batches so the demo pipelines
+  Result<Engine> engine = Engine::create(patterns, opt);
+  ACGPU_CHECK(engine.is_ok(), engine.status().to_string());
 
-  kernels::AcLaunchSpec spec;
-  spec.approach = kernels::Approach::kShared;   // the paper's best variant
-  spec.scheme = kernels::StoreScheme::kDiagonal;
-  spec.sim.mode = gpusim::SimMode::Functional;  // run every block
-  const kernels::AcLaunchOutcome out =
-      kernels::run_ac_kernel(gpu, device, device_dfa, text_addr, text.size(), spec);
+  Result<ScanResult> scan = engine.value().scan(text);
+  ACGPU_CHECK(scan.is_ok(), scan.status().to_string());
+  const ScanResult& out = scan.value();
 
-  std::printf("\nshared-memory kernel over %s of magazine-like text:\n",
-              format_bytes(text.size()).c_str());
-  std::printf("  blocks=%llu threads=%llu staged=%uB/block\n",
-              static_cast<unsigned long long>(out.blocks),
-              static_cast<unsigned long long>(out.threads), out.shared_bytes);
+  std::printf("\nEngine scan of %s of magazine-like text (%u streams, %s batches):\n",
+              format_bytes(text.size()).c_str(), opt.streams,
+              format_bytes(opt.batch_bytes).c_str());
   std::printf("  matches=%llu (serial agrees: %s)\n",
-              static_cast<unsigned long long>(out.matches.matches.size()),
-              out.matches.matches.size() == ac::count_matches(dfa, text) ? "yes"
-                                                                         : "NO");
-  std::printf("  simulated GTX 285 time: %s  ->  %s Gbps\n",
-              format_seconds(out.sim.seconds).c_str(),
-              format_gbps(to_gbps(text.size(), out.sim.seconds)).c_str());
-  std::printf("  texture cache hit rate: %.3f, global transactions: %llu\n",
-              out.sim.metrics.tex_hit_rate(),
-              static_cast<unsigned long long>(out.sim.metrics.global_transactions));
+              static_cast<unsigned long long>(out.matches.size()),
+              out.matches.size() == ac::count_matches(dfa, text) ? "yes" : "NO");
+  std::printf("  %llu batches, copy/compute overlap %.0f%% of the shorter engine's busy time\n",
+              static_cast<unsigned long long>(out.stats.batches),
+              out.stats.overlap_ratio * 100);
+  std::printf("  simulated GTX 285 end-to-end: %s  ->  %s Gbps\n",
+              format_seconds(out.stats.makespan_seconds).c_str(),
+              format_gbps(out.stats.throughput_gbps()).c_str());
   return 0;
 }

@@ -10,6 +10,9 @@ namespace acgpu::ac {
 PfacAutomaton::PfacAutomaton(const PatternSet& patterns)
     : max_pattern_length_(patterns.max_length()) {
   ACGPU_CHECK(!patterns.empty(), "PfacAutomaton: empty pattern set");
+  pattern_lengths_.reserve(patterns.size());
+  for (std::size_t id = 0; id < patterns.size(); ++id)
+    pattern_lengths_.push_back(patterns.length(id));
   Trie trie(patterns);
   stt_ = SttMatrix(static_cast<std::uint32_t>(trie.node_count()));
 

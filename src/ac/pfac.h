@@ -46,6 +46,9 @@ class PfacAutomaton {
   }
 
   std::uint32_t max_pattern_length() const { return max_pattern_length_; }
+  std::uint32_t pattern_length(std::int32_t id) const {
+    return pattern_lengths_[static_cast<std::size_t>(id)];
+  }
 
   /// Scan the instance starting at text position `start`; emits matches that
   /// begin at `start` (their ends are reported, consistent with Match).
@@ -67,6 +70,7 @@ class PfacAutomaton {
   SttMatrix stt_;
   std::vector<std::uint32_t> out_begin_;
   std::vector<std::int32_t> out_ids_;
+  std::vector<std::uint32_t> pattern_lengths_;
   std::uint32_t max_pattern_length_ = 0;
 };
 

@@ -4,12 +4,19 @@
 // Algorithm on a GPU" (Tran, Lee, Hong, Choi — IPPS 2013): a complete
 // Aho-Corasick toolkit (ac/), a discrete-event SIMT GPU simulator standing
 // in for the paper's GTX 285 (gpusim/), the paper's two matching kernels and
-// the PFAC variant (kernels/), a Core2-class serial timing model (cpumodel/),
-// workload generators (workload/), the evaluation harness that regenerates
-// the paper's figures (harness/), and the cross-matcher differential
-// conformance oracle (oracle/).
+// the PFAC variant (kernels/), the batched multi-stream matching pipeline and
+// the acgpu::Engine facade (pipeline/), a Core2-class serial timing model
+// (cpumodel/), workload generators (workload/), the evaluation harness that
+// regenerates the paper's figures (harness/), and the cross-matcher
+// differential conformance oracle (oracle/).
 #pragma once
 
+// ---------------------------------------------------------------------------
+// Public API. acgpu::Engine (pipeline/engine.h) is the supported way to use
+// the library: compile patterns once, scan arbitrarily large inputs through
+// the batched multi-stream pipeline. The ac/ toolkit is public for host-side
+// matching and automaton inspection.
+// ---------------------------------------------------------------------------
 #include "ac/automaton.h"
 #include "ac/chunking.h"
 #include "ac/compressed_stt.h"
@@ -24,6 +31,26 @@
 #include "ac/stream_matcher.h"
 #include "ac/stt_layout.h"
 #include "ac/trie.h"
+#include "pipeline/engine.h"
+#include "pipeline/pipeline.h"
+#include "util/arg_parser.h"
+#include "util/byte_units.h"
+#include "util/csv.h"
+#include "util/error.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/stopwatch.h"
+#include "util/table.h"
+
+// ---------------------------------------------------------------------------
+// Internal API. Everything below is the machinery behind the facade —
+// exposed for the harness, benches, tests, and ablation studies, but not a
+// stability surface. In particular the direct kernel-launch entry points
+// (kernels::run_ac_kernel, kernels::run_pfac_kernel, and their _stream
+// variants) bypass the pipeline's batching, stitching, and device-memory
+// management: new code should go through acgpu::Engine instead (see the
+// migration notes in README.md).
+// ---------------------------------------------------------------------------
 #include "cpumodel/cache_model.h"
 #include "cpumodel/serial_timing.h"
 #include "gpusim/config.h"
@@ -33,32 +60,25 @@
 #include "gpusim/metrics.h"
 #include "gpusim/scheduler.h"
 #include "gpusim/shared_memory.h"
+#include "gpusim/stream.h"
 #include "gpusim/texture.h"
 #include "gpusim/texture_cache.h"
 #include "harness/experiment.h"
 #include "harness/figures.h"
 #include "harness/report.h"
 #include "harness/result_cache.h"
-#include "kernels/ac_kernel.h"
-#include "kernels/compressed_kernel.h"
+#include "kernels/ac_kernel.h"      // internal: use acgpu::Engine
+#include "kernels/compressed_kernel.h"  // internal: use acgpu::Engine
 #include "kernels/device_dfa.h"
 #include "kernels/match_output.h"
-#include "kernels/packet_kernel.h"
-#include "kernels/pfac_kernel.h"
+#include "kernels/packet_kernel.h"  // internal: use acgpu::Engine
+#include "kernels/pfac_kernel.h"    // internal: use acgpu::Engine
 #include "kernels/store_scheme.h"
 #include "oracle/conformance.h"
 #include "oracle/differential.h"
 #include "oracle/matcher.h"
 #include "oracle/minimize.h"
 #include "oracle/workload_gen.h"
-#include "util/arg_parser.h"
-#include "util/byte_units.h"
-#include "util/csv.h"
-#include "util/error.h"
-#include "util/rng.h"
-#include "util/stats.h"
-#include "util/stopwatch.h"
-#include "util/table.h"
 #include "workload/dna.h"
 #include "workload/markov_corpus.h"
 #include "workload/pattern_extract.h"

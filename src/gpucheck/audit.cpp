@@ -10,6 +10,7 @@
 #include "kernels/packet_kernel.h"
 #include "kernels/pfac_kernel.h"
 #include "oracle/workload_gen.h"
+#include "pipeline/pipeline.h"
 #include "util/error.h"
 
 namespace acgpu::gpucheck {
@@ -38,6 +39,7 @@ const TargetInfo kTargets[] = {
     {AuditTarget::kCompressed, "compressed", kStagingOnlyBudget},
     {AuditTarget::kPfac, "pfac", kNoBudget},
     {AuditTarget::kPacket, "packet", kNoBudget},
+    {AuditTarget::kPipeline, "pipeline", kDiagonalBudget},
 };
 
 const TargetInfo& info_of(AuditTarget target) {
@@ -252,6 +254,54 @@ AuditOutcome audit_pfac(const CompiledWorkload& w, const AuditSpec& spec) {
   return outcome;
 }
 
+/// The batched multi-stream pipeline under audit: the shared/diagonal kernel
+/// launched once per batch on one Recorder, so the cross-launch analyzers see
+/// the whole batched run (slot staging, per-batch buffers) as one history.
+/// The batch size targets a handful of batches so slot cycling and boundary
+/// stitching are both on the record.
+AuditOutcome audit_pipeline(const CompiledWorkload& w, const AuditSpec& spec) {
+  pipeline::PipelineOptions opt;
+  opt.variant = pipeline::KernelVariant::kShared;
+  opt.scheme = kernels::StoreScheme::kDiagonal;
+  opt.streams = 2;
+  opt.chunk_bytes = pick_chunk(w, spec.chunk_floor_bytes);
+  opt.threads_per_block = spec.threads_per_block;
+  opt.mode = gpusim::SimMode::Functional;
+  opt.batch_bytes =
+      std::max<std::uint64_t>(opt.chunk_bytes, (w.text().size() + 2) / 3);
+
+  const gpusim::GpuConfig cfg = audit_config();
+  AuditOutcome outcome;
+  std::vector<ac::Match> matches;
+  for (std::uint32_t capacity = 64; capacity <= (1u << 14); capacity *= 4) {
+    opt.match_capacity = capacity;
+    Recorder recorder(spec.recorder);
+    opt.observer = &recorder;
+    // Observer-attached runs keep every batch's buffers live (the recorder's
+    // cross-launch shadow would misread recycling); budget for all of them.
+    gpusim::DeviceMemory mem(64u << 20);
+    const kernels::DeviceDfa ddfa(mem, w.dfa());
+    pipeline::MatchPipeline pipe(cfg, mem, ddfa, opt);
+    auto r = pipe.run(w.text());
+    ACGPU_CHECK(r.is_ok(), "pipeline audit: " << r.status().to_string());
+    outcome.report = recorder.take_report();
+    if (!r.value().overflowed) {
+      matches = std::move(r.value().matches);
+      break;
+    }
+    ACGPU_CHECK(capacity * 4 <= (1u << 14),
+                "pipeline audit: match buffer overflow at capacity " << capacity);
+  }
+
+  Budget budget = info_of(AuditTarget::kPipeline).budget;
+  budget.max_hazards = spec.recorder.max_hazards;
+  apply_budget(outcome.report, budget);
+  outcome.match_count = matches.size();
+  outcome.matches_ok =
+      same_matches(std::move(matches), oracle::reference_matches(w));
+  return outcome;
+}
+
 AuditOutcome audit_packet(const CompiledWorkload& w, const AuditSpec& spec) {
   // Split the workload text into fixed-size packets; each packet is an
   // independent matching domain, so the reference is one serial scan per
@@ -379,6 +429,8 @@ AuditOutcome audit_workload(AuditTarget target, const CompiledWorkload& w,
       return audit_pfac(w, spec);
     case AuditTarget::kPacket:
       return audit_packet(w, spec);
+    case AuditTarget::kPipeline:
+      return audit_pipeline(w, spec);
     default:
       return audit_ac(target, w, spec);
   }

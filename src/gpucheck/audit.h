@@ -15,6 +15,7 @@
 //   compressed           —                  required
 //   pfac                 —                  —   (lane death scatters loads)
 //   packet               —                  —   (packet offsets irregular)
+//   pipeline             max degree 1       required (shared kernel per batch)
 //
 // The degree-1 budget is only sound when chunk_words is a multiple of the
 // bank count, so the harness rounds every per-workload chunk up to 64 bytes
@@ -43,6 +44,7 @@ enum class AuditTarget : std::uint8_t {
   kCompressed,          ///< compressed-STT kernel
   kPfac,                ///< failureless (PFAC) kernel
   kPacket,              ///< packet-batch kernel
+  kPipeline,            ///< batched multi-stream pipeline, shared kernel
 };
 
 const char* to_string(AuditTarget target);

@@ -64,6 +64,17 @@ struct GpuConfig {
   // --- synchronisation ------------------------------------------------------
   std::uint32_t barrier_cycles = 4;  ///< cost of __syncthreads once all arrive
 
+  // --- host interconnect (PCIe) --------------------------------------------
+  /// Sustained host<->device copy bandwidth. PCIe 2.0 x16 (GTX 285 era)
+  /// moves ~5.2 GB/s nominal, ~4 GB/s sustained for large pinned transfers.
+  double pcie_bytes_per_second = 4.0e9;
+  /// Fixed per-transfer cost (driver launch + DMA setup).
+  double pcie_latency_seconds = 10e-6;
+  /// Concurrent DMA engines. GT200 has a single copy engine: one transfer at
+  /// a time, but it runs concurrently with kernel execution — the overlap
+  /// the stream scheduler (gpusim/stream.h) models.
+  std::uint32_t copy_engines = 1;
+
   /// Resident blocks per SM for a kernel needing `shared_bytes` of shared
   /// memory and `threads` threads per block (occupancy calculation).
   std::uint32_t occupancy_blocks(std::uint32_t threads,

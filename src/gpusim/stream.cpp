@@ -1,0 +1,166 @@
+#include "gpusim/stream.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace acgpu::gpusim {
+
+const char* to_string(StreamOpKind kind) {
+  switch (kind) {
+    case StreamOpKind::kH2D: return "h2d";
+    case StreamOpKind::kD2H: return "d2h";
+    case StreamOpKind::kKernel: return "kernel";
+  }
+  return "?";
+}
+
+StreamSim::StreamSim(const GpuConfig& config, DeviceMemory& gmem)
+    : cfg_(config), gmem_(gmem) {
+  ACGPU_CHECK(cfg_.copy_engines >= 1, "need at least one copy engine");
+  copy_engine_free_.assign(cfg_.copy_engines, 0.0);
+}
+
+StreamId StreamSim::create_stream() {
+  streams_.push_back({});
+  return static_cast<StreamId>(streams_.size() - 1);
+}
+
+StreamSim::StreamState& StreamSim::state(StreamId stream) {
+  ACGPU_CHECK(stream < streams_.size(), "unknown stream id " << stream);
+  return streams_[stream];
+}
+
+double StreamSim::transfer_seconds(std::size_t bytes) const {
+  return cfg_.pcie_latency_seconds +
+         static_cast<double>(bytes) / cfg_.pcie_bytes_per_second;
+}
+
+double StreamSim::enqueue(StreamId stream, StreamOpKind kind, double duration,
+                          std::uint64_t bytes, std::string label) {
+  StreamState& s = state(stream);
+  double* engine_free = &compute_free_;
+  if (kind != StreamOpKind::kKernel) {
+    // With several DMA engines, a transfer grabs whichever frees first.
+    engine_free = &*std::min_element(copy_engine_free_.begin(), copy_engine_free_.end());
+  }
+  const double start = std::max({s.ready, s.pending_dep, *engine_free});
+  const double end = start + duration;
+  s.ready = end;
+  s.pending_dep = 0;
+  *engine_free = end;
+  timeline_.push_back(StreamOp{static_cast<std::uint64_t>(timeline_.size()), stream,
+                               kind, start, end, bytes, std::move(label)});
+  return end;
+}
+
+std::uint64_t StreamSim::memcpy_h2d(StreamId stream, DevAddr dst, const void* src,
+                                    std::size_t bytes, std::string label) {
+  gmem_.copy_in(dst, src, bytes);
+  enqueue(stream, StreamOpKind::kH2D, transfer_seconds(bytes), bytes, std::move(label));
+  return timeline_.back().id;
+}
+
+std::uint64_t StreamSim::memcpy_d2h(StreamId stream, void* dst, DevAddr src,
+                                    std::size_t bytes, std::string label) {
+  gmem_.copy_out(dst, src, bytes);
+  enqueue(stream, StreamOpKind::kD2H, transfer_seconds(bytes), bytes, std::move(label));
+  return timeline_.back().id;
+}
+
+std::uint64_t StreamSim::charge_d2h(StreamId stream, std::size_t bytes, std::string label) {
+  enqueue(stream, StreamOpKind::kD2H, transfer_seconds(bytes), bytes, std::move(label));
+  return timeline_.back().id;
+}
+
+LaunchResult StreamSim::launch(StreamId stream, const Texture2D* tex,
+                               const LaunchDims& dims, KernelFn kernel,
+                               const LaunchOptions& options, const Texture2D* tex2,
+                               std::string label) {
+  LaunchResult result =
+      gpusim::launch(cfg_, gmem_, tex, dims, std::move(kernel), options, tex2);
+  enqueue(stream, StreamOpKind::kKernel, result.seconds, 0, std::move(label));
+  return result;
+}
+
+std::uint64_t StreamSim::charge_kernel(StreamId stream, double seconds, std::string label) {
+  ACGPU_CHECK(seconds >= 0, "kernel duration must be non-negative");
+  enqueue(stream, StreamOpKind::kKernel, seconds, 0, std::move(label));
+  return timeline_.back().id;
+}
+
+EventId StreamSim::record_event(StreamId stream) {
+  events_.push_back(state(stream).ready);
+  return static_cast<EventId>(events_.size() - 1);
+}
+
+void StreamSim::wait_event(StreamId stream, EventId event) {
+  wait_until(stream, event_seconds(event));
+}
+
+void StreamSim::wait_until(StreamId stream, double seconds) {
+  StreamState& s = state(stream);
+  s.pending_dep = std::max(s.pending_dep, seconds);
+}
+
+double StreamSim::event_seconds(EventId event) const {
+  ACGPU_CHECK(event < events_.size(), "unknown event id " << event);
+  return events_[event];
+}
+
+double StreamSim::stream_ready(StreamId stream) const {
+  ACGPU_CHECK(stream < streams_.size(), "unknown stream id " << stream);
+  return streams_[stream].ready;
+}
+
+double StreamSim::op_end(std::uint64_t op_id) const {
+  ACGPU_CHECK(op_id < timeline_.size(), "unknown op id " << op_id);
+  return timeline_[op_id].end;
+}
+
+double StreamSim::synchronize() const {
+  double latest = 0;
+  for (const StreamState& s : streams_) latest = std::max(latest, s.ready);
+  return latest;
+}
+
+namespace {
+
+/// Total length of the union of [start, end) intervals.
+double merged_busy(std::vector<std::pair<double, double>>& spans) {
+  if (spans.empty()) return 0;
+  std::sort(spans.begin(), spans.end());
+  double busy = 0, lo = spans.front().first, hi = spans.front().second;
+  for (const auto& [s, e] : spans) {
+    if (s > hi) {
+      busy += hi - lo;
+      lo = s;
+      hi = e;
+    } else {
+      hi = std::max(hi, e);
+    }
+  }
+  return busy + (hi - lo);
+}
+
+}  // namespace
+
+OverlapStats StreamSim::overlap() const {
+  OverlapStats stats;
+  std::vector<std::pair<double, double>> copy, compute;
+  for (const StreamOp& op : timeline_) {
+    (op.kind == StreamOpKind::kKernel ? compute : copy).emplace_back(op.start, op.end);
+    stats.makespan = std::max(stats.makespan, op.end);
+  }
+  stats.copy_busy = merged_busy(copy);
+  stats.compute_busy = merged_busy(compute);
+  // Overlap = |copy ∪ compute| subtracted from the sum of the two unions.
+  std::vector<std::pair<double, double>> all;
+  all.reserve(copy.size() + compute.size());
+  all.insert(all.end(), copy.begin(), copy.end());
+  all.insert(all.end(), compute.begin(), compute.end());
+  stats.overlapped = stats.copy_busy + stats.compute_busy - merged_busy(all);
+  return stats;
+}
+
+}  // namespace acgpu::gpusim

@@ -1,0 +1,133 @@
+// CUDA-style streams and events on the simulated timeline.
+//
+// The scheduler (gpusim/scheduler.h) times ONE kernel launch; production
+// throughput comes from overlapping host<->device copies with kernel
+// execution across independent streams. StreamSim models that layer the way
+// GT200-era hardware does it: one DMA copy engine (H2D and D2H serialise on
+// it), one compute engine (no concurrent kernels), and per-stream FIFO
+// ordering. Operations resolve eagerly — enqueue order is issue order, so an
+// op starts at max(stream ready, engine free, recorded dependencies) and the
+// whole timeline is known as soon as the last op is enqueued.
+//
+// Functional side effects (the actual byte movement, the kernel's stores)
+// happen at enqueue time in program order; only the *clock* is simulated.
+// That keeps multi-launch pipelines exact in Functional mode while the
+// timeline still shows copies and kernels overlapping.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gpusim/config.h"
+#include "gpusim/launcher.h"
+
+namespace acgpu::gpusim {
+
+using StreamId = std::uint32_t;
+using EventId = std::uint32_t;
+
+/// What engine an operation occupies (and how the timeline renders it).
+enum class StreamOpKind : std::uint8_t { kH2D, kD2H, kKernel };
+
+const char* to_string(StreamOpKind kind);
+
+/// One resolved operation on the simulated timeline.
+struct StreamOp {
+  std::uint64_t id = 0;
+  StreamId stream = 0;
+  StreamOpKind kind{};
+  double start = 0;  ///< seconds on the simulated clock
+  double end = 0;
+  std::uint64_t bytes = 0;  ///< copies: payload size; kernels: 0
+  std::string label;
+};
+
+/// Busy/overlap accounting over a resolved timeline.
+struct OverlapStats {
+  double copy_busy = 0;     ///< union of copy-engine busy intervals
+  double compute_busy = 0;  ///< union of kernel busy intervals
+  double overlapped = 0;    ///< time both engine classes were busy at once
+  double makespan = 0;      ///< completion of the last operation
+  /// Fraction of the hideable engine time actually hidden: overlapped over
+  /// min(copy, compute) busy time. 1.0 = perfect copy/compute overlap.
+  double overlap_ratio() const {
+    const double hideable = copy_busy < compute_busy ? copy_busy : compute_busy;
+    return hideable > 0 ? overlapped / hideable : 0.0;
+  }
+};
+
+class StreamSim {
+ public:
+  StreamSim(const GpuConfig& config, DeviceMemory& gmem);
+
+  StreamId create_stream();
+  std::uint32_t stream_count() const { return static_cast<std::uint32_t>(streams_.size()); }
+
+  /// Async host->device copy: bytes move NOW (program order), the copy-engine
+  /// time is charged on the stream. Returns the op id (timeline() index).
+  std::uint64_t memcpy_h2d(StreamId stream, DevAddr dst, const void* src,
+                           std::size_t bytes, std::string label = {});
+  /// Async device->host copy.
+  std::uint64_t memcpy_d2h(StreamId stream, void* dst, DevAddr src,
+                           std::size_t bytes, std::string label = {});
+  /// Charges a device->host transfer without moving bytes — for Timed-mode
+  /// pipelines where the payload size is known but the simulated kernel only
+  /// produced a sample of it.
+  std::uint64_t charge_d2h(StreamId stream, std::size_t bytes, std::string label = {});
+
+  /// Enqueues a kernel launch: runs gpusim::launch immediately (side effects
+  /// and timing), charges its simulated duration on the compute engine.
+  LaunchResult launch(StreamId stream, const Texture2D* tex, const LaunchDims& dims,
+                      KernelFn kernel, const LaunchOptions& options = {},
+                      const Texture2D* tex2 = nullptr, std::string label = {});
+  /// Charges a kernel of known duration without re-simulating it (timing
+  /// reuse across same-shape batches).
+  std::uint64_t charge_kernel(StreamId stream, double seconds, std::string label = {});
+
+  /// Records an event capturing the completion time of all work enqueued on
+  /// `stream` so far (cudaEventRecord).
+  EventId record_event(StreamId stream);
+  /// The next op enqueued on `stream` will not start before the event
+  /// completes (cudaStreamWaitEvent). The event must already be recorded.
+  void wait_event(StreamId stream, EventId event);
+  /// Host-driven dependency: the next op on `stream` will not start before
+  /// `seconds` — how a bounded-queue producer applies backpressure delays.
+  void wait_until(StreamId stream, double seconds);
+
+  double event_seconds(EventId event) const;
+  /// Completion time of all work enqueued on `stream` so far.
+  double stream_ready(StreamId stream) const;
+  /// Completion time of one op.
+  double op_end(std::uint64_t op_id) const;
+  /// Completion time of everything enqueued so far (cudaDeviceSynchronize).
+  double synchronize() const;
+
+  const std::vector<StreamOp>& timeline() const { return timeline_; }
+  OverlapStats overlap() const;
+
+  DeviceMemory& memory() { return gmem_; }
+  const GpuConfig& config() const { return cfg_; }
+  /// Simulated seconds one `bytes`-sized PCIe transfer takes.
+  double transfer_seconds(std::size_t bytes) const;
+
+ private:
+  struct StreamState {
+    double ready = 0;        ///< completion of the stream's last op
+    double pending_dep = 0;  ///< dependency applied to the next op
+  };
+
+  StreamState& state(StreamId stream);
+  double enqueue(StreamId stream, StreamOpKind kind, double duration,
+                 std::uint64_t bytes, std::string label);
+
+  const GpuConfig& cfg_;
+  DeviceMemory& gmem_;
+  std::vector<StreamState> streams_;
+  std::vector<double> copy_engine_free_;  ///< one slot per DMA engine
+  double compute_free_ = 0;
+  std::vector<StreamOp> timeline_;
+  std::vector<double> events_;
+};
+
+}  // namespace acgpu::gpusim

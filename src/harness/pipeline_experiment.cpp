@@ -1,0 +1,145 @@
+#include "harness/pipeline_experiment.h"
+
+#include <algorithm>
+#include <ostream>
+
+#include "ac/dfa.h"
+#include "kernels/ac_kernel.h"
+#include "util/byte_units.h"
+#include "util/error.h"
+#include "workload/markov_corpus.h"
+#include "workload/pattern_extract.h"
+
+namespace acgpu::harness {
+namespace {
+
+pipeline::PipelineStats run_once(const PipelineSweepConfig& config,
+                                 gpusim::DeviceMemory& mem,
+                                 const kernels::DeviceDfa& ddfa,
+                                 std::string_view input,
+                                 const pipeline::PipelineOptions& options) {
+  const std::size_t mark = mem.mark();
+  pipeline::MatchPipeline pipe(config.gpu, mem, ddfa, options);
+  auto run = pipe.run(input);
+  ACGPU_CHECK(run.is_ok(), "pipeline sweep: " << run.status().to_string());
+  pipeline::PipelineStats stats = run.value().stats;
+  mem.release(mark);
+  return stats;
+}
+
+}  // namespace
+
+double PipelineSweepResult::best_multi_stream_speedup() const {
+  double best = 0;
+  for (const PipelinePoint& p : points)
+    if (p.streams >= 2) best = std::max(best, p.speedup_vs_single_buffer());
+  return best;
+}
+
+PipelineSweepResult run_pipeline_sweep(const PipelineSweepConfig& config,
+                                       std::ostream* progress) {
+  PipelineSweepResult result;
+  result.config = config;
+
+  const std::string corpus = workload::make_corpus(
+      config.text_bytes + config.pattern_pool_bytes, config.seed);
+  const std::string_view input(corpus.data(), config.text_bytes);
+  const std::string_view pool(corpus.data() + config.text_bytes,
+                              config.pattern_pool_bytes);
+
+  for (const std::uint32_t count : config.pattern_counts) {
+    workload::ExtractConfig ec;
+    ec.count = count;
+    ec.min_length = config.min_pattern_len;
+    ec.max_length = config.max_pattern_len;
+    ec.word_aligned = true;
+    const ac::Dfa dfa = ac::build_dfa(workload::extract_patterns(pool, ec), 8);
+    gpusim::DeviceMemory mem(config.device_bytes);
+    const kernels::DeviceDfa ddfa(mem, dfa);
+
+    pipeline::PipelineOptions base;
+    base.variant = config.variant;
+    base.chunk_bytes = config.chunk_bytes;
+    base.threads_per_block = config.threads_per_block;
+    base.match_capacity = config.match_capacity;
+    base.mode = gpusim::SimMode::Timed;
+    base.sample_waves = config.sample_waves;
+
+    // The single-buffer baseline: one batch spanning the whole input on one
+    // stream, so the H2D copy, the kernel, and the D2H copy run strictly in
+    // series — the regime every figure bench measures the kernels in.
+    pipeline::PipelineOptions single = base;
+    single.streams = 1;
+    single.batch_bytes = config.text_bytes;
+    const double baseline_seconds =
+        run_once(config, mem, ddfa, input, single).makespan_seconds;
+    if (progress)
+      *progress << "  " << count << " patterns: single-buffer baseline "
+                << format_seconds(baseline_seconds) << "\n";
+
+    for (const std::uint32_t streams : config.stream_counts) {
+      pipeline::PipelineOptions opt = base;
+      opt.streams = streams;
+      opt.batch_bytes = config.batch_bytes;
+
+      PipelinePoint point;
+      point.pattern_count = count;
+      point.streams = streams;
+      point.stats = run_once(config, mem, ddfa, input, opt);
+      point.baseline_seconds = baseline_seconds;
+      if (progress)
+        *progress << "  " << count << " patterns x " << streams << " stream(s): "
+                  << format_gbps(point.throughput_gbps()) << " ("
+                  << point.speedup_vs_single_buffer() << "x vs single-buffer)\n";
+      result.points.push_back(point);
+    }
+  }
+  return result;
+}
+
+void write_pipeline_json(const PipelineSweepResult& result, std::ostream& out) {
+  const PipelineSweepConfig& c = result.config;
+  out << "{\"bench\":\"pipeline\"";
+  out << ",\"text_bytes\":" << c.text_bytes;
+  out << ",\"batch_bytes\":" << c.batch_bytes;
+  out << ",\"variant\":\"" << pipeline::to_string(c.variant) << "\"";
+  out << ",\"chunk_bytes\":" << c.chunk_bytes;
+  out << ",\"threads_per_block\":" << c.threads_per_block;
+  out << ",\"seed\":" << c.seed;
+  out << ",\"pcie_bytes_per_second\":" << c.gpu.pcie_bytes_per_second;
+  out << ",\"points\":[";
+  for (std::size_t i = 0; i < result.points.size(); ++i) {
+    const PipelinePoint& p = result.points[i];
+    const pipeline::PipelineStats& s = p.stats;
+    if (i > 0) out << ",";
+    out << "{\"pattern_count\":" << p.pattern_count;
+    out << ",\"streams\":" << p.streams;
+    out << ",\"batches\":" << s.batches;
+    out << ",\"input_bytes\":" << s.input_bytes;
+    out << ",\"staged_bytes\":" << s.staged_bytes;
+    out << ",\"output_bytes\":" << s.output_bytes;
+    out << ",\"makespan_seconds\":" << s.makespan_seconds;
+    out << ",\"throughput_gbps\":" << p.throughput_gbps();
+    out << ",\"copy_busy_seconds\":" << s.copy_busy_seconds;
+    out << ",\"compute_busy_seconds\":" << s.compute_busy_seconds;
+    out << ",\"overlap_seconds\":" << s.overlap_seconds;
+    out << ",\"overlap_ratio\":" << s.overlap_ratio;
+    out << ",\"blocked_seconds\":" << s.blocked_seconds;
+    out << ",\"max_queue_depth\":" << s.max_queue_depth;
+    out << ",\"latency_p50_seconds\":" << s.latency_p50_seconds;
+    out << ",\"latency_p90_seconds\":" << s.latency_p90_seconds;
+    out << ",\"latency_p99_seconds\":" << s.latency_p99_seconds;
+    out << ",\"baseline_seconds\":" << p.baseline_seconds;
+    out << ",\"baseline_gbps\":" << p.baseline_gbps();
+    out << ",\"speedup_vs_single_buffer\":" << p.speedup_vs_single_buffer();
+    out << "}";
+  }
+  out << "]";
+  const double best = result.best_multi_stream_speedup();
+  out << ",\"criterion\":{\"min_streams\":2,\"required_speedup\":1.5"
+      << ",\"achieved_speedup\":" << best
+      << ",\"pass\":" << (best >= 1.5 ? "true" : "false") << "}";
+  out << "}\n";
+}
+
+}  // namespace acgpu::harness

@@ -1,0 +1,85 @@
+// The pipeline evaluation sweep: end-to-end (copy + compute) throughput of
+// the batched multi-stream pipeline across stream counts and dictionary
+// sizes, against the single-buffer baseline the paper's numbers implicitly
+// assume (whole input staged, then one monolithic kernel, then the copy
+// back — nothing overlapped). This is the experiment behind
+// bench/ext_double_buffer and the BENCH_pipeline.json artifact.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "gpusim/config.h"
+#include "pipeline/pipeline.h"
+
+namespace acgpu::harness {
+
+struct PipelineSweepConfig {
+  std::uint64_t text_bytes = 64ull << 20;
+  std::uint64_t batch_bytes = 4ull << 20;
+  std::vector<std::uint32_t> stream_counts = {1, 2, 4};
+  std::vector<std::uint32_t> pattern_counts = {1000, 4000, 8000};
+  /// Pattern lengths, uniform in [min, max] (the paper's range is 4-16).
+  /// The floor of 6 keeps the dictionary representative of keyword lists
+  /// while the match stream — and with it the D2H payload — stays a small
+  /// fraction of the input, the regime a production scanner runs in.
+  std::uint32_t min_pattern_len = 6;
+  std::uint32_t max_pattern_len = 16;
+  pipeline::KernelVariant variant = pipeline::KernelVariant::kShared;
+
+  // Shared-approach geometry, as in the paper sweep (harness/experiment.h):
+  // 192 threads x 64 B chunks stages 12.3 KB per block.
+  std::uint32_t chunk_bytes = 64;
+  std::uint32_t threads_per_block = 192;
+  /// Timed mode never collects matches; capacity only sizes the device
+  /// buffer and the D2H payload estimate.
+  std::uint32_t match_capacity = 8;
+  std::uint32_t sample_waves = 3;
+
+  std::uint64_t seed = 780;
+  std::uint64_t pattern_pool_bytes = 4ull << 20;
+  std::uint64_t device_bytes = 1ull << 30;  ///< GTX 285: 1 GB
+  gpusim::GpuConfig gpu = gpusim::GpuConfig::gtx285();
+};
+
+/// One (pattern count, stream count) grid point, with the single-buffer
+/// baseline measured on the same dictionary and input.
+struct PipelinePoint {
+  std::uint32_t pattern_count = 0;
+  std::uint32_t streams = 0;
+  pipeline::PipelineStats stats;
+  double baseline_seconds = 0;  ///< single-buffer: H2D, kernel, D2H in series
+
+  double throughput_gbps() const { return stats.throughput_gbps(); }
+  double baseline_gbps() const {
+    return baseline_seconds > 0 ? static_cast<double>(stats.input_bytes) * 8.0 /
+                                      baseline_seconds / 1e9
+                                : 0.0;
+  }
+  double speedup_vs_single_buffer() const {
+    return stats.makespan_seconds > 0 ? baseline_seconds / stats.makespan_seconds
+                                      : 0.0;
+  }
+};
+
+struct PipelineSweepResult {
+  PipelineSweepConfig config;
+  std::vector<PipelinePoint> points;
+
+  /// Best speedup over the single-buffer baseline among multi-stream
+  /// points — the number the >= 1.5x acceptance criterion gates on.
+  double best_multi_stream_speedup() const;
+};
+
+/// Runs the sweep in Timed mode. Progress lines go to `progress` when
+/// non-null. Throws acgpu::Error if any pipeline run fails.
+PipelineSweepResult run_pipeline_sweep(const PipelineSweepConfig& config,
+                                       std::ostream* progress);
+
+/// Serialises the sweep (config, per-point stats, and the >= 1.5x criterion
+/// verdict) as one JSON object — the BENCH_pipeline.json schema.
+void write_pipeline_json(const PipelineSweepResult& result, std::ostream& out);
+
+}  // namespace acgpu::harness

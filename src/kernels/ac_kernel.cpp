@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <optional>
 
 #include "util/error.h"
 
@@ -552,10 +553,23 @@ gpusim::DevAddr upload_text(gpusim::DeviceMemory& mem, std::string_view text) {
   return addr;
 }
 
-AcLaunchOutcome run_ac_kernel(const gpusim::GpuConfig& config,
-                              gpusim::DeviceMemory& mem, const DeviceDfa& ddfa,
-                              gpusim::DevAddr text_addr, std::uint64_t text_len,
-                              const AcLaunchSpec& spec) {
+namespace {
+
+/// Everything run_ac_kernel computes before the launch — shared between the
+/// plain and the stream-enqueued entry points.
+struct AcPlan {
+  KParams p;
+  gpusim::LaunchDims dims;
+  std::uint64_t threads = 0;
+  std::uint64_t blocks = 0;
+  std::uint32_t shared_bytes = 0;
+  std::optional<MatchBuffer> buffer;
+  gpusim::KernelFn kernel;
+};
+
+AcPlan plan_ac_launch(const gpusim::GpuConfig& config, gpusim::DeviceMemory& mem,
+                      const DeviceDfa& ddfa, gpusim::DevAddr text_addr,
+                      std::uint64_t text_len, const AcLaunchSpec& spec) {
   ACGPU_CHECK(text_len > 0, "run_ac_kernel: empty text");
   ACGPU_CHECK(spec.chunk_bytes > 0 && spec.chunk_bytes % 4 == 0,
               "chunk_bytes must be a positive multiple of 4, got " << spec.chunk_bytes);
@@ -593,9 +607,13 @@ AcLaunchOutcome run_ac_kernel(const gpusim::GpuConfig& config,
               "staged block of " << shared_bytes << "B exceeds the SM's "
                                  << config.shared_mem_bytes << "B shared memory");
 
-  MatchBuffer buffer(mem, threads_padded, spec.match_capacity);
+  AcPlan plan;
+  plan.buffer.emplace(mem, threads_padded, spec.match_capacity);
+  plan.threads = threads;
+  plan.blocks = blocks;
+  plan.shared_bytes = shared_bytes;
 
-  KParams p;
+  KParams& p = plan.p;
   p.text_addr = text_addr;
   p.text_len = text_len;
   p.chunk_bytes = spec.chunk_bytes;
@@ -606,26 +624,32 @@ AcLaunchOutcome run_ac_kernel(const gpusim::GpuConfig& config,
   p.placement = spec.stt_placement;
   p.stt_addr = ddfa.stt_addr();
   p.stt_pitch_bytes = ddfa.stt_pitch_elems() * 4;
-  p.counts = buffer.counts_base();
-  p.records = buffer.records_base();
+  p.counts = plan.buffer->counts_base();
+  p.records = plan.buffer->records_base();
   p.capacity = spec.match_capacity;
   p.compute_per_byte = spec.compute_per_byte;
   p.tiles = spec.tiles_per_block;
 
-  gpusim::LaunchDims dims;
-  dims.grid_blocks = blocks;
-  dims.block_threads = spec.threads_per_block;
-  dims.shared_bytes = shared_bytes;
+  plan.dims.grid_blocks = blocks;
+  plan.dims.block_threads = spec.threads_per_block;
+  plan.dims.shared_bytes = shared_bytes;
 
-  AcLaunchOutcome outcome;
-  const gpusim::KernelFn kernel =
+  plan.kernel =
       double_buffer
           ? gpusim::KernelFn([p](Warp& w) { return ac_db_kernel_body(w, p); })
           : gpusim::KernelFn([p](Warp& w) { return ac_kernel_body(w, p); });
-  outcome.sim = gpusim::launch(config, mem, &ddfa.texture(), dims, kernel, spec.sim);
-  outcome.threads = threads;
-  outcome.blocks = blocks;
-  outcome.shared_bytes = shared_bytes;
+  return plan;
+}
+
+AcLaunchOutcome collect_ac_outcome(const AcPlan& plan, gpusim::LaunchResult sim,
+                                   const gpusim::DeviceMemory& mem,
+                                   const DeviceDfa& ddfa, std::uint64_t text_len,
+                                   const AcLaunchSpec& spec) {
+  AcLaunchOutcome outcome;
+  outcome.sim = sim;
+  outcome.threads = plan.threads;
+  outcome.blocks = plan.blocks;
+  outcome.shared_bytes = plan.shared_bytes;
 
   // Host-side expansion of the raw (position, output id) records: expand the
   // output set and keep matches whose START lies in the reporting thread's
@@ -633,7 +657,7 @@ AcLaunchOutcome run_ac_kernel(const gpusim::GpuConfig& config,
   // produce matches starting at or after the thread's chunk begin, so only
   // the upper bound needs testing.
   const ac::Dfa& dfa = ddfa.host_dfa();
-  const MatchBuffer::RawCollected raw = buffer.collect_records(mem);
+  const MatchBuffer::RawCollected raw = plan.buffer->collect_records(mem);
   outcome.matches.total_reported = raw.total_reported;
   outcome.matches.overflowed = raw.overflowed;
   for (const MatchBuffer::Record& rec : raw.records) {
@@ -650,6 +674,31 @@ AcLaunchOutcome run_ac_kernel(const gpusim::GpuConfig& config,
   }
   std::sort(outcome.matches.matches.begin(), outcome.matches.matches.end());
   return outcome;
+}
+
+}  // namespace
+
+AcLaunchOutcome run_ac_kernel(const gpusim::GpuConfig& config,
+                              gpusim::DeviceMemory& mem, const DeviceDfa& ddfa,
+                              gpusim::DevAddr text_addr, std::uint64_t text_len,
+                              const AcLaunchSpec& spec) {
+  const AcPlan plan = plan_ac_launch(config, mem, ddfa, text_addr, text_len, spec);
+  const gpusim::LaunchResult sim =
+      gpusim::launch(config, mem, &ddfa.texture(), plan.dims, plan.kernel, spec.sim);
+  return collect_ac_outcome(plan, sim, mem, ddfa, text_len, spec);
+}
+
+AcLaunchOutcome run_ac_kernel_stream(gpusim::StreamSim& streams,
+                                     gpusim::StreamId stream, const DeviceDfa& ddfa,
+                                     gpusim::DevAddr text_addr, std::uint64_t text_len,
+                                     const AcLaunchSpec& spec, std::string label) {
+  const gpusim::GpuConfig& config = streams.config();
+  gpusim::DeviceMemory& mem = streams.memory();
+  const AcPlan plan = plan_ac_launch(config, mem, ddfa, text_addr, text_len, spec);
+  const gpusim::LaunchResult sim =
+      streams.launch(stream, &ddfa.texture(), plan.dims, plan.kernel, spec.sim,
+                     nullptr, std::move(label));
+  return collect_ac_outcome(plan, sim, mem, ddfa, text_len, spec);
 }
 
 }  // namespace acgpu::kernels

@@ -16,6 +16,7 @@
 
 #include "ac/dfa.h"
 #include "gpusim/launcher.h"
+#include "gpusim/stream.h"
 #include "kernels/device_dfa.h"
 #include "kernels/match_output.h"
 #include "kernels/store_scheme.h"
@@ -74,5 +75,16 @@ AcLaunchOutcome run_ac_kernel(const gpusim::GpuConfig& config,
                               gpusim::DeviceMemory& mem, const DeviceDfa& ddfa,
                               gpusim::DevAddr text_addr, std::uint64_t text_len,
                               const AcLaunchSpec& spec);
+
+/// Stream-aware variant: the launch is enqueued on `stream` of the given
+/// StreamSim, so its simulated duration lands on the multi-stream timeline
+/// (after the stream's prior ops, serialised with other kernels on the
+/// compute engine). Config and device memory come from the StreamSim.
+/// Functional side effects complete at enqueue, so `matches` is immediately
+/// valid in Functional mode.
+AcLaunchOutcome run_ac_kernel_stream(gpusim::StreamSim& streams,
+                                     gpusim::StreamId stream, const DeviceDfa& ddfa,
+                                     gpusim::DevAddr text_addr, std::uint64_t text_len,
+                                     const AcLaunchSpec& spec, std::string label = {});
 
 }  // namespace acgpu::kernels

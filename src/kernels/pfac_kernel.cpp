@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <optional>
 
 #include "util/error.h"
 
@@ -155,44 +156,55 @@ WarpTask pfac_kernel_body(Warp& w, KParams p) {
 
 }  // namespace
 
-PfacLaunchOutcome run_pfac_kernel(const gpusim::GpuConfig& config,
-                                  gpusim::DeviceMemory& mem, const DevicePfac& dpfac,
-                                  gpusim::DevAddr text_addr, std::uint64_t text_len,
-                                  const PfacLaunchSpec& spec) {
+namespace {
+
+struct PfacPlan {
+  KParams p;
+  gpusim::LaunchDims dims;
+  std::uint64_t threads = 0;
+  std::uint64_t blocks = 0;
+  std::optional<MatchBuffer> buffer;
+};
+
+PfacPlan plan_pfac_launch(gpusim::DeviceMemory& mem, const DevicePfac& dpfac,
+                          gpusim::DevAddr text_addr, std::uint64_t text_len,
+                          const PfacLaunchSpec& spec) {
   ACGPU_CHECK(text_len > 0, "run_pfac_kernel: empty text");
   ACGPU_CHECK(spec.threads_per_block > 0, "threads_per_block must be positive");
 
-  const std::uint64_t threads = text_len;  // one thread per byte
-  const std::uint64_t blocks =
-      (threads + spec.threads_per_block - 1) / spec.threads_per_block;
-  MatchBuffer buffer(mem, blocks * spec.threads_per_block, spec.match_capacity);
+  PfacPlan plan;
+  plan.threads = text_len;  // one thread per byte
+  plan.blocks = (plan.threads + spec.threads_per_block - 1) / spec.threads_per_block;
+  plan.buffer.emplace(mem, plan.blocks * spec.threads_per_block, spec.match_capacity);
 
-  KParams p;
+  KParams& p = plan.p;
   p.text_addr = text_addr;
   p.text_len = text_len;
   p.max_len = dpfac.max_pattern_length();
-  p.counts = buffer.counts_base();
-  p.records = buffer.records_base();
+  p.counts = plan.buffer->counts_base();
+  p.records = plan.buffer->records_base();
   p.capacity = spec.match_capacity;
   p.compute_per_byte = spec.compute_per_byte;
 
-  gpusim::LaunchDims dims;
-  dims.grid_blocks = blocks;
-  dims.block_threads = spec.threads_per_block;
-  dims.shared_bytes = 0;
+  plan.dims.grid_blocks = plan.blocks;
+  plan.dims.block_threads = spec.threads_per_block;
+  plan.dims.shared_bytes = 0;
+  return plan;
+}
 
+PfacLaunchOutcome collect_pfac_outcome(const PfacPlan& plan, gpusim::LaunchResult sim,
+                                       const gpusim::DeviceMemory& mem,
+                                       const DevicePfac& dpfac) {
   PfacLaunchOutcome outcome;
-  outcome.sim = gpusim::launch(
-      config, mem, &dpfac.texture(), dims,
-      [p](Warp& w) { return pfac_kernel_body(w, p); }, spec.sim);
-  outcome.threads = threads;
-  outcome.blocks = blocks;
+  outcome.sim = sim;
+  outcome.threads = plan.threads;
+  outcome.blocks = plan.blocks;
 
   // Expand (end, output id) records against the terminal-output CSR. No
   // ownership filtering: each PFAC instance only reports patterns starting
   // at its own byte, so records are already unique.
   const ac::PfacAutomaton& pfac = dpfac.host_automaton();
-  const MatchBuffer::RawCollected raw = buffer.collect_records(mem);
+  const MatchBuffer::RawCollected raw = plan.buffer->collect_records(mem);
   outcome.matches.total_reported = raw.total_reported;
   outcome.matches.overflowed = raw.overflowed;
   for (const MatchBuffer::Record& rec : raw.records) {
@@ -203,6 +215,37 @@ PfacLaunchOutcome run_pfac_kernel(const gpusim::GpuConfig& config,
   }
   std::sort(outcome.matches.matches.begin(), outcome.matches.matches.end());
   return outcome;
+}
+
+}  // namespace
+
+PfacLaunchOutcome run_pfac_kernel(const gpusim::GpuConfig& config,
+                                  gpusim::DeviceMemory& mem, const DevicePfac& dpfac,
+                                  gpusim::DevAddr text_addr, std::uint64_t text_len,
+                                  const PfacLaunchSpec& spec) {
+  const PfacPlan plan = plan_pfac_launch(mem, dpfac, text_addr, text_len, spec);
+  const KParams p = plan.p;
+  const gpusim::LaunchResult sim = gpusim::launch(
+      config, mem, &dpfac.texture(), plan.dims,
+      [p](Warp& w) { return pfac_kernel_body(w, p); }, spec.sim);
+  return collect_pfac_outcome(plan, sim, mem, dpfac);
+}
+
+PfacLaunchOutcome run_pfac_kernel_stream(gpusim::StreamSim& streams,
+                                         gpusim::StreamId stream,
+                                         const DevicePfac& dpfac,
+                                         gpusim::DevAddr text_addr,
+                                         std::uint64_t text_len,
+                                         const PfacLaunchSpec& spec,
+                                         std::string label) {
+  gpusim::DeviceMemory& mem = streams.memory();
+  const PfacPlan plan = plan_pfac_launch(mem, dpfac, text_addr, text_len, spec);
+  const KParams p = plan.p;
+  const gpusim::LaunchResult sim = streams.launch(
+      stream, &dpfac.texture(), plan.dims,
+      [p](Warp& w) { return pfac_kernel_body(w, p); }, spec.sim, nullptr,
+      std::move(label));
+  return collect_pfac_outcome(plan, sim, mem, dpfac);
 }
 
 }  // namespace acgpu::kernels

@@ -8,6 +8,7 @@
 
 #include "ac/pfac.h"
 #include "gpusim/launcher.h"
+#include "gpusim/stream.h"
 #include "kernels/match_output.h"
 
 namespace acgpu::kernels {
@@ -54,5 +55,15 @@ PfacLaunchOutcome run_pfac_kernel(const gpusim::GpuConfig& config,
                                   gpusim::DeviceMemory& mem, const DevicePfac& dpfac,
                                   gpusim::DevAddr text_addr, std::uint64_t text_len,
                                   const PfacLaunchSpec& spec);
+
+/// Stream-aware variant (see run_ac_kernel_stream): the launch is enqueued
+/// on `stream` of the StreamSim's timeline; config/memory come from it.
+PfacLaunchOutcome run_pfac_kernel_stream(gpusim::StreamSim& streams,
+                                         gpusim::StreamId stream,
+                                         const DevicePfac& dpfac,
+                                         gpusim::DevAddr text_addr,
+                                         std::uint64_t text_len,
+                                         const PfacLaunchSpec& spec,
+                                         std::string label = {});
 
 }  // namespace acgpu::kernels

@@ -22,6 +22,13 @@ ConformanceResult run_conformance(const ConformanceOptions& options,
       *options.log << "  ... " << (i + 1) << "/" << options.iterations
                    << " workloads, " << result.comparisons << " comparisons, "
                    << result.divergences.size() << " divergences\n";
+    for (const MatcherFailure& f : report.failures) {
+      if (options.log) *options.log << "FAILURE: " << describe(f) << "\n";
+      result.failures.push_back(f);
+      if (result.divergences.size() + result.failures.size() >=
+          options.max_failures)
+        return result;
+    }
     for (const Divergence& d : report.divergences) {
       if (options.log) *options.log << "DIVERGENCE: " << describe(d) << "\n";
       result.divergences.push_back(d);
@@ -40,7 +47,9 @@ ConformanceResult run_conformance(const ConformanceOptions& options,
           result.reproducers.push_back(std::move(*repro));
         }
       }
-      if (result.divergences.size() >= options.max_failures) return result;
+      if (result.divergences.size() + result.failures.size() >=
+          options.max_failures)
+        return result;
     }
   }
   return result;

@@ -33,8 +33,9 @@ struct ConformanceResult {
   std::uint64_t comparisons = 0;       ///< matcher runs diffed
   std::uint64_t reference_matches = 0; ///< total matches in the references
   std::vector<Divergence> divergences;
+  std::vector<MatcherFailure> failures;  ///< adapters that errored outright
   std::vector<Reproducer> reproducers;  ///< parallel to divergences when minimizing
-  bool ok() const { return divergences.empty(); }
+  bool ok() const { return divergences.empty() && failures.empty(); }
 };
 
 /// Runs the loop with the registry's adapters (options.matchers selects).

@@ -75,6 +75,13 @@ std::string describe(const Divergence& d) {
   return os.str();
 }
 
+std::string describe(const MatcherFailure& f) {
+  std::ostringstream os;
+  os << f.matcher << " failed on " << f.workload << " (salt " << f.salt
+     << "): " << f.status.to_string();
+  return os.str();
+}
+
 DifferentialReport run_differential(const CompiledWorkload& workload,
                                     const std::vector<const Matcher*>& matchers,
                                     std::uint64_t salt) {
@@ -82,9 +89,15 @@ DifferentialReport run_differential(const CompiledWorkload& workload,
   const std::vector<ac::Match> reference = reference_matches(workload);
   report.reference_count = reference.size();
   for (const Matcher* matcher : matchers) {
-    const std::vector<ac::Match> got = matcher->run(workload, salt);
+    Result<std::vector<ac::Match>> got = matcher->try_run(workload, salt);
     ++report.matchers_run;
-    if (auto d = diff_matches(workload, matcher->name(), salt, reference, got))
+    if (!got.is_ok()) {
+      report.failures.push_back(
+          MatcherFailure{workload.name(), matcher->name(), salt, got.status()});
+      continue;
+    }
+    if (auto d =
+            diff_matches(workload, matcher->name(), salt, reference, got.value()))
       report.divergences.push_back(std::move(*d));
   }
   return report;

@@ -45,11 +45,25 @@ std::optional<Divergence> diff_matches(const CompiledWorkload& workload,
 /// One-line human-readable rendering of a divergence.
 std::string describe(const Divergence& divergence);
 
+/// One adapter that failed to produce output at all — a structured Status
+/// from Matcher::try_run (an adapter exception, or a pipeline error code) —
+/// as opposed to producing output that diverges.
+struct MatcherFailure {
+  std::string workload;    ///< Workload::name
+  std::string matcher;     ///< failing adapter
+  std::uint64_t salt = 0;  ///< salt the adapter ran with (replays it)
+  Status status;           ///< code + message of the failure
+};
+
+/// One-line human-readable rendering of a failure.
+std::string describe(const MatcherFailure& failure);
+
 struct DifferentialReport {
   std::vector<Divergence> divergences;  ///< at most one per matcher
+  std::vector<MatcherFailure> failures;  ///< adapters that errored outright
   std::size_t matchers_run = 0;
   std::size_t reference_count = 0;  ///< matches in the reference multiset
-  bool ok() const { return divergences.empty(); }
+  bool ok() const { return divergences.empty() && failures.empty(); }
 };
 
 /// Runs every adapter on the workload (all with the same salt) and diffs

@@ -18,6 +18,7 @@
 #include "ac/match.h"
 #include "ac/pattern_set.h"
 #include "ac/pfac.h"
+#include "util/error.h"
 
 namespace acgpu::oracle {
 
@@ -70,6 +71,19 @@ class Matcher {
   virtual const std::string& name() const = 0;
   virtual std::vector<ac::Match> run(const CompiledWorkload& workload,
                                      std::uint64_t salt) const = 0;
+
+  /// No-throw variant for the differential runner: a crash in one adapter
+  /// becomes a structured failure in the report instead of aborting the
+  /// whole sweep. The default wraps run(); adapters that already speak
+  /// Status (the pipeline) override it to forward their own codes.
+  virtual Result<std::vector<ac::Match>> try_run(const CompiledWorkload& workload,
+                                                 std::uint64_t salt) const {
+    try {
+      return run(workload, salt);
+    } catch (const std::exception& e) {
+      return Status::from_exception(e);
+    }
+  }
 };
 
 /// The reference the differential runner diffs every adapter against: one
@@ -80,7 +94,8 @@ std::vector<ac::Match> reference_matches(const CompiledWorkload& workload);
 
 /// Registry of the built-in adapters. Names (one per variant):
 ///   naive, nfa, serial, chunked, parallel, stream, compressed, pfac,
-///   gpu-global, gpu-shared, gpu-shared-naive, gpu-compressed, gpu-pfac
+///   gpu-global, gpu-shared, gpu-shared-naive, gpu-compressed, gpu-pfac,
+///   pipeline
 const std::vector<std::string>& registered_matcher_names();
 
 /// Instantiates one registered adapter; throws acgpu::Error on an unknown

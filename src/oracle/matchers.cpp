@@ -16,6 +16,7 @@
 #include "kernels/compressed_kernel.h"
 #include "kernels/pfac_kernel.h"
 #include "oracle/matcher.h"
+#include "pipeline/pipeline.h"
 #include "util/error.h"
 #include "util/rng.h"
 
@@ -299,6 +300,73 @@ class GpuPfacMatcher final : public Matcher {
   }
 };
 
+/// The batched multi-stream pipeline (src/pipeline/) in Functional mode.
+/// The salt draws the stream count, the kernel variant, and a batch size
+/// biased toward tiny batches, so successive iterations probe the stitch
+/// logic at every batch-boundary offset across the AC and PFAC paths.
+/// Overrides try_run: the pipeline reports Status instead of throwing, so
+/// its own error codes reach the differential report intact.
+class PipelineMatcher final : public Matcher {
+ public:
+  const std::string& name() const override {
+    static const std::string n = "pipeline";
+    return n;
+  }
+
+  std::vector<ac::Match> run(const CompiledWorkload& w, std::uint64_t salt) const override {
+    return try_run(w, salt).value();  // throws acgpu::Error on a failed Status
+  }
+
+  Result<std::vector<ac::Match>> try_run(const CompiledWorkload& w,
+                                         std::uint64_t salt) const override {
+    if (w.text().empty()) return std::vector<ac::Match>{};
+    Rng rng(derive_seed(salt, /*stream=*/7));
+    pipeline::PipelineOptions opt;
+    static constexpr pipeline::KernelVariant kVariants[] = {
+        pipeline::KernelVariant::kShared,
+        pipeline::KernelVariant::kGlobalOnly,
+        pipeline::KernelVariant::kPfac,
+    };
+    opt.variant = kVariants[rng.next_below(std::size(kVariants))];
+    opt.streams = 1 + static_cast<std::uint32_t>(rng.next_below(3));
+    // Bias toward tiny batches (stitch boundaries everywhere) but
+    // occasionally cover the whole text in a single batch.
+    const std::uint64_t cap = rng.next_bool(0.25)
+                                  ? w.text().size() + 16
+                                  : std::min<std::uint64_t>(w.text().size(), 64);
+    opt.batch_bytes = rng.next_in(1, std::max<std::uint64_t>(1, cap));
+    opt.chunk_bytes = pick_chunk_bytes(w, 32);
+    opt.threads_per_block = 64;
+    opt.mode = gpusim::SimMode::Functional;
+
+    const gpusim::GpuConfig cfg = sim_config();
+    auto finish = [](pipeline::PipelineResult&& result) {
+      ac::normalize_matches(result.matches);
+      return std::move(result.matches);
+    };
+    for (std::uint32_t capacity = 64; capacity <= (1u << 14); capacity *= 4) {
+      opt.match_capacity = capacity;
+      opt.pfac_match_capacity = capacity;
+      gpusim::DeviceMemory mem(64u << 20);
+      if (opt.variant == pipeline::KernelVariant::kPfac) {
+        const kernels::DevicePfac dpfac(mem, w.pfac());
+        pipeline::MatchPipeline pipe(cfg, mem, dpfac, opt);
+        auto r = pipe.run(w.text());
+        if (!r.is_ok()) return r.status();
+        if (!r.value().overflowed) return finish(std::move(r.value()));
+      } else {
+        const kernels::DeviceDfa ddfa(mem, w.dfa());
+        pipeline::MatchPipeline pipe(cfg, mem, ddfa, opt);
+        auto r = pipe.run(w.text());
+        if (!r.is_ok()) return r.status();
+        if (!r.value().overflowed) return finish(std::move(r.value()));
+      }
+    }
+    return Status::capacity_exceeded(
+        "pipeline: match buffer overflow at capacity 16384");
+  }
+};
+
 // ---------------------------------------------------------------------------
 // Registry
 // ---------------------------------------------------------------------------
@@ -324,6 +392,7 @@ std::unique_ptr<Matcher> instantiate(std::string_view name) {
                                           kernels::StoreScheme::kCoalescedNaive);
   if (name == "gpu-compressed") return std::make_unique<GpuCompressedMatcher>();
   if (name == "gpu-pfac") return std::make_unique<GpuPfacMatcher>();
+  if (name == "pipeline") return std::make_unique<PipelineMatcher>();
   return nullptr;
 }
 
@@ -334,7 +403,7 @@ const std::vector<std::string>& registered_matcher_names() {
       "naive",      "nfa",        "serial",         "chunked",
       "parallel",   "stream",     "compressed",     "pfac",
       "gpu-global", "gpu-shared", "gpu-shared-naive", "gpu-compressed",
-      "gpu-pfac",
+      "gpu-pfac",   "pipeline",
   };
   return names;
 }

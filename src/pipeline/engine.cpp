@@ -1,0 +1,92 @@
+#include "pipeline/engine.h"
+
+namespace acgpu {
+namespace {
+
+pipeline::PipelineOptions to_pipeline_options(const EngineOptions& options) {
+  pipeline::PipelineOptions popt;
+  popt.variant = options.variant;
+  popt.scheme = options.scheme;
+  popt.stt_placement = options.stt_placement;
+  popt.streams = options.streams;
+  popt.batch_bytes = options.batch_bytes;
+  popt.queue_slots = options.queue_slots;
+  popt.chunk_bytes = options.chunk_bytes;
+  popt.threads_per_block = options.threads_per_block;
+  popt.match_capacity = options.match_capacity;
+  popt.mode = options.mode;
+  return popt;
+}
+
+}  // namespace
+
+Result<Engine> Engine::create(const ac::PatternSet& patterns,
+                              const EngineOptions& options) {
+  if (patterns.empty()) return Status::invalid_argument("empty pattern set");
+
+  const pipeline::PipelineOptions popt = to_pipeline_options(options);
+  if (Status s = popt.validate(); !s) return s;
+
+  Engine engine;
+  engine.options_ = options;
+  engine.patterns_ = patterns;
+  try {
+    engine.mem_ =
+        std::make_unique<gpusim::DeviceMemory>(options.device_memory_bytes);
+    if (options.variant == pipeline::KernelVariant::kPfac) {
+      engine.pfac_ = std::make_unique<ac::PfacAutomaton>(patterns);
+      engine.dpfac_ =
+          std::make_unique<kernels::DevicePfac>(*engine.mem_, *engine.pfac_);
+      engine.pipeline_ = std::make_unique<pipeline::MatchPipeline>(
+          engine.options_.gpu, *engine.mem_, *engine.dpfac_, popt);
+    }
+    // The host DFA is built for every variant: dfa() is part of the facade
+    // (serial cross-checks, pattern metadata) even when PFAC matches.
+    engine.dfa_ = std::make_unique<ac::Dfa>(
+        ac::build_dfa(patterns, /*pad_pitch_to=*/8));
+    if (options.variant != pipeline::KernelVariant::kPfac) {
+      engine.ddfa_ =
+          std::make_unique<kernels::DeviceDfa>(*engine.mem_, *engine.dfa_);
+      engine.pipeline_ = std::make_unique<pipeline::MatchPipeline>(
+          engine.options_.gpu, *engine.mem_, *engine.ddfa_, popt);
+    }
+  } catch (const std::exception& e) {
+    return Status::from_exception(e);
+  }
+  return engine;
+}
+
+Result<Engine> Engine::create(ac::Dfa dfa, const EngineOptions& options) {
+  if (dfa.pattern_count() == 0)
+    return Status::invalid_argument("DFA has no patterns");
+  if (options.variant == pipeline::KernelVariant::kPfac)
+    return Status::invalid_argument(
+        "PFAC rebuilds its automaton from the pattern set; use "
+        "Engine::create(PatternSet, ...) for variant kPfac");
+
+  const pipeline::PipelineOptions popt = to_pipeline_options(options);
+  if (Status s = popt.validate(); !s) return s;
+
+  Engine engine;
+  engine.options_ = options;
+  try {
+    engine.mem_ =
+        std::make_unique<gpusim::DeviceMemory>(options.device_memory_bytes);
+    engine.dfa_ = std::make_unique<ac::Dfa>(std::move(dfa));
+    engine.ddfa_ =
+        std::make_unique<kernels::DeviceDfa>(*engine.mem_, *engine.dfa_);
+    engine.pipeline_ = std::make_unique<pipeline::MatchPipeline>(
+        engine.options_.gpu, *engine.mem_, *engine.ddfa_, popt);
+  } catch (const std::exception& e) {
+    return Status::from_exception(e);
+  }
+  return engine;
+}
+
+Result<ScanResult> Engine::scan(std::string_view text) {
+  if (pipeline_ == nullptr)
+    return Status::internal("Engine used after being moved from");
+  return pipeline_->run(text);
+}
+
+}  // namespace acgpu

@@ -1,0 +1,111 @@
+// acgpu::Engine — the library's supported entry point.
+//
+// Wraps the full compile -> stage -> match -> collect sequence behind one
+// object: build it from a pattern set (EngineOptions picks the kernel
+// variant, store scheme, stream count, and batch size), then scan() any
+// number of inputs through the batched multi-stream pipeline
+// (pipeline/pipeline.h). The raw kernel-launch entry points
+// (kernels::run_ac_kernel and friends) remain available for harness/ablation
+// code but are internal API — see the migration notes in README.md.
+//
+//   auto engine = acgpu::Engine::create(ac::PatternSet({"he", "she"}));
+//   auto scan = engine.value().scan(text);
+//   for (ac::Match m : scan.value().matches) { ... }
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string_view>
+
+#include "ac/dfa.h"
+#include "ac/pattern_set.h"
+#include "ac/pfac.h"
+#include "gpusim/config.h"
+#include "gpusim/device_memory.h"
+#include "kernels/device_dfa.h"
+#include "kernels/pfac_kernel.h"
+#include "pipeline/pipeline.h"
+#include "util/error.h"
+
+namespace acgpu {
+
+struct EngineOptions {
+  /// Device kernel: the paper's shared-memory kernel (default), the
+  /// global-memory ablation, or PFAC.
+  pipeline::KernelVariant variant = pipeline::KernelVariant::kShared;
+  /// Shared-memory store scheme (kShared only); the diagonal scheme is the
+  /// paper's bank-conflict-free layout.
+  kernels::StoreScheme scheme = kernels::StoreScheme::kDiagonal;
+  kernels::SttPlacement stt_placement = kernels::SttPlacement::kTexture;
+
+  /// Streams the pipeline cycles batches across (>= 2 overlaps copy with
+  /// compute; 1 is the serial-staging baseline).
+  std::uint32_t streams = 2;
+  /// Owned input bytes per pipeline batch.
+  std::uint64_t batch_bytes = 4u << 20;
+  /// Bounded submission queue in batches; 0 = 2x streams.
+  std::uint32_t queue_slots = 0;
+
+  /// Functional simulates every block (exact matches — the default);
+  /// Timed samples waves for throughput studies and skips match collection.
+  gpusim::SimMode mode = gpusim::SimMode::Functional;
+
+  /// Simulated device and its memory budget.
+  gpusim::GpuConfig gpu = gpusim::GpuConfig::gtx285();
+  std::size_t device_memory_bytes = 256u << 20;
+
+  /// Advanced knobs (0 = derive): per-thread chunk for the AC kernels.
+  std::uint32_t chunk_bytes = 0;
+  std::uint32_t threads_per_block = 256;
+  std::uint32_t match_capacity = 64;
+};
+
+/// One scan's output: global-offset matches plus the pipeline's simulated
+/// timing story (see pipeline::PipelineResult).
+using ScanResult = pipeline::PipelineResult;
+
+class Engine {
+ public:
+  /// Compiles `patterns` and uploads the automaton to the simulated device.
+  /// Fails (no throw) on an empty pattern set, inconsistent options, or a
+  /// device-memory budget too small for the automaton.
+  static Result<Engine> create(const ac::PatternSet& patterns,
+                               const EngineOptions& options = {});
+
+  /// Builds the engine from a precompiled automaton (e.g. loaded from the
+  /// binary .acdfa format) when the original pattern set is gone. PFAC
+  /// rebuilds its automaton from the patterns, so variant kPfac fails.
+  static Result<Engine> create(ac::Dfa dfa, const EngineOptions& options = {});
+
+  /// Matches `text` through the batched multi-stream pipeline. Safe to call
+  /// repeatedly; per-scan device buffers are recycled between calls.
+  Result<ScanResult> scan(std::string_view text);
+
+  const EngineOptions& options() const { return options_; }
+  const ac::Dfa& dfa() const { return *dfa_; }
+  std::size_t pattern_count() const { return dfa_->pattern_count(); }
+
+  /// The simulated device the engine owns — exposed for harness code that
+  /// wants to co-locate extra buffers or inspect allocation.
+  gpusim::DeviceMemory& device_memory() { return *mem_; }
+
+  Engine(Engine&&) = default;
+  Engine& operator=(Engine&&) = default;
+
+ private:
+  Engine() = default;
+
+  EngineOptions options_;
+  ac::PatternSet patterns_;
+  // unique_ptrs keep the Engine movable: DeviceDfa/DevicePfac hold references
+  // into mem_ and dfa_/pfac_, which must stay at stable addresses.
+  std::unique_ptr<gpusim::DeviceMemory> mem_;
+  std::unique_ptr<ac::Dfa> dfa_;
+  std::unique_ptr<ac::PfacAutomaton> pfac_;
+  std::unique_ptr<kernels::DeviceDfa> ddfa_;
+  std::unique_ptr<kernels::DevicePfac> dpfac_;
+  std::unique_ptr<pipeline::MatchPipeline> pipeline_;
+};
+
+}  // namespace acgpu

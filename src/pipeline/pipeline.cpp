@@ -1,0 +1,302 @@
+#include "pipeline/pipeline.h"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+
+#include "util/stats.h"
+
+namespace acgpu::pipeline {
+
+const char* to_string(KernelVariant variant) {
+  switch (variant) {
+    case KernelVariant::kGlobalOnly: return "global-only";
+    case KernelVariant::kShared: return "shared";
+    case KernelVariant::kPfac: return "pfac";
+  }
+  return "?";
+}
+
+Status PipelineOptions::validate() const {
+  if (streams == 0) return Status::invalid_argument("streams must be >= 1");
+  if (batch_bytes == 0) return Status::invalid_argument("batch_bytes must be >= 1");
+  if (chunk_bytes != 0 && chunk_bytes % 4 != 0)
+    return Status::invalid_argument("chunk_bytes must be a multiple of 4");
+  if (threads_per_block == 0 || threads_per_block % 32 != 0)
+    return Status::invalid_argument("threads_per_block must be a positive multiple of 32");
+  if (variant == KernelVariant::kPfac && scheme != kernels::StoreScheme::kDiagonal)
+    return Status::invalid_argument(
+        "store scheme does not apply to the PFAC kernel (leave it defaulted)");
+  return Status::ok();
+}
+
+namespace {
+
+struct BatchGeometry {
+  std::uint32_t overlap = 0;      ///< max_pattern_length - 1 carry bytes
+  std::uint32_t chunk_bytes = 0;  ///< AC kernels only
+  std::uint32_t threads_per_block = 0;
+  std::uint64_t slice_cap = 0;  ///< largest device slice (owned + overlap)
+};
+
+/// Derives chunk/block geometry, shrinking the block when the shared-memory
+/// staging region would not fit the SM.
+Result<BatchGeometry> resolve_geometry(const PipelineOptions& opt,
+                                       const gpusim::GpuConfig& config,
+                                       std::uint32_t max_pattern_length,
+                                       std::uint64_t text_len) {
+  BatchGeometry g;
+  g.overlap = max_pattern_length > 0 ? max_pattern_length - 1 : 0;
+  g.threads_per_block = opt.threads_per_block;
+  g.slice_cap = std::min<std::uint64_t>(opt.batch_bytes, text_len) + g.overlap;
+
+  if (opt.variant == KernelVariant::kPfac) return g;
+
+  g.chunk_bytes = opt.chunk_bytes != 0
+                      ? opt.chunk_bytes
+                      : std::max<std::uint32_t>(32, (g.overlap + 4) & ~3u);
+  if (g.overlap >= g.chunk_bytes)
+    return Status::invalid_argument(
+        "chunk_bytes " + std::to_string(g.chunk_bytes) +
+        " too small for max pattern length " + std::to_string(max_pattern_length));
+  if (opt.variant == KernelVariant::kShared) {
+    // Staging needs (T+1) chunk-sized regions of the SM's shared memory.
+    while (g.threads_per_block > 32 &&
+           (g.threads_per_block + 1) * g.chunk_bytes > config.shared_mem_bytes)
+      g.threads_per_block -= 32;
+    if ((g.threads_per_block + 1) * g.chunk_bytes > config.shared_mem_bytes)
+      return Status::capacity_exceeded(
+          "staged block for chunk_bytes " + std::to_string(g.chunk_bytes) +
+          " exceeds shared memory even at 32 threads/block");
+  }
+  return g;
+}
+
+/// Timed-mode timing reuse: batches are homogeneous by construction, so one
+/// simulated launch per distinct slice length covers the rest.
+struct CachedTiming {
+  double kernel_seconds = 0;
+  std::uint64_t output_bytes = 0;
+};
+
+}  // namespace
+
+MatchPipeline::MatchPipeline(const gpusim::GpuConfig& config,
+                             gpusim::DeviceMemory& mem,
+                             const kernels::DeviceDfa& ddfa, PipelineOptions options)
+    : config_(config), mem_(mem), ddfa_(&ddfa), options_(std::move(options)) {}
+
+MatchPipeline::MatchPipeline(const gpusim::GpuConfig& config,
+                             gpusim::DeviceMemory& mem,
+                             const kernels::DevicePfac& dpfac, PipelineOptions options)
+    : config_(config), mem_(mem), dpfac_(&dpfac), options_(std::move(options)) {}
+
+Result<PipelineResult> MatchPipeline::run(std::string_view text) {
+  const PipelineOptions& opt = options_;
+  if (Status s = opt.validate(); !s) return s;
+  if (opt.variant == KernelVariant::kPfac) {
+    if (dpfac_ == nullptr)
+      return Status::invalid_argument("PFAC variant needs a DevicePfac pipeline");
+  } else if (ddfa_ == nullptr) {
+    return Status::invalid_argument("AC variants need a DeviceDfa pipeline");
+  }
+
+  PipelineResult result;
+  if (text.empty()) return result;
+
+  const std::uint32_t max_len = opt.variant == KernelVariant::kPfac
+                                    ? dpfac_->max_pattern_length()
+                                    : ddfa_->max_pattern_length();
+  Result<BatchGeometry> geo = resolve_geometry(opt, config_, max_len, text.size());
+  if (!geo) return geo.status();
+  const BatchGeometry g = geo.value();
+
+  const std::uint32_t slots = opt.queue_slots != 0 ? opt.queue_slots : 2 * opt.streams;
+  const std::uint64_t batch_count =
+      (text.size() + opt.batch_bytes - 1) / opt.batch_bytes;
+
+  try {
+    gpusim::StreamSim sim(config_, mem_);
+    for (std::uint32_t s = 0; s < opt.streams; ++s) sim.create_stream();
+
+    // Device slot ring: one staged-input buffer per queue slot (+8 pad bytes
+    // so word-granular staging loads never run off the slice).
+    const std::size_t outer_mark = mem_.mark();
+    std::vector<gpusim::DevAddr> slot_addr(slots);
+    for (std::uint32_t s = 0; s < slots; ++s) slot_addr[s] = mem_.alloc(g.slice_cap + 8);
+    const std::size_t batch_mark = mem_.mark();
+
+    std::vector<double> completion;  // per batch: D2H end on the timeline
+    completion.reserve(batch_count);
+    std::map<std::uint64_t, CachedTiming> timing_cache;  // keyed by slice bytes
+    Samples latencies;
+
+    // The copy engine serves its queue in issue order, so issuing d2h(b)
+    // right behind kernel(b) head-of-line-blocks h2d(b+1) behind a copy that
+    // cannot start until the kernel ends — false serialization, no overlap.
+    // Standard remedy on single-copy-queue devices: software-pipelined issue
+    // order. Each batch's D2H is held back one iteration and enqueued after
+    // the NEXT batch's H2D + kernel.
+    struct PendingD2H {
+      BatchTrace trace;
+      gpusim::StreamId stream = 0;
+    };
+    std::optional<PendingD2H> pending;
+    const auto flush_pending = [&]() {
+      if (!pending) return;
+      BatchTrace& t = pending->trace;
+      const std::uint64_t d2h_id = sim.charge_d2h(
+          pending->stream, t.output_bytes, "d2h b" + std::to_string(t.index));
+      t.complete_seconds = sim.op_end(d2h_id);
+      completion.push_back(t.complete_seconds);
+      t.queue_depth = 1;
+      for (std::uint64_t j = 0; j < t.index; ++j)
+        if (completion[j] > t.submit_seconds) ++t.queue_depth;
+      latencies.add(t.complete_seconds - t.submit_seconds);
+
+      result.stats.staged_bytes += t.staged_bytes;
+      result.stats.output_bytes += t.output_bytes;
+      result.stats.blocked_seconds += t.blocked_seconds;
+      result.stats.max_queue_depth =
+          std::max(result.stats.max_queue_depth, t.queue_depth);
+      result.batches.push_back(t);
+      pending.reset();
+    };
+
+    const ac::Dfa* dfa = ddfa_ != nullptr ? &ddfa_->host_dfa() : nullptr;
+    const ac::PfacAutomaton* pfac =
+        dpfac_ != nullptr ? &dpfac_->host_automaton() : nullptr;
+
+    for (std::uint64_t b = 0; b < batch_count; ++b) {
+      const std::uint64_t base = b * opt.batch_bytes;
+      const std::uint64_t owned = std::min<std::uint64_t>(opt.batch_bytes, text.size() - base);
+      const std::uint64_t slice = std::min<std::uint64_t>(owned + g.overlap, text.size() - base);
+      const gpusim::StreamId stream = static_cast<gpusim::StreamId>(b % opt.streams);
+      const gpusim::DevAddr dst = slot_addr[b % slots];
+
+      BatchTrace trace;
+      trace.index = b;
+      trace.owned_bytes = owned;
+      trace.staged_bytes = slice;
+
+      // A single slot leaves nothing to pipeline the issue order across:
+      // the previous batch's D2H must precede this batch's H2D.
+      if (slots == 1) flush_pending();
+
+      // Backpressure: the slot this batch wants is busy until the batch
+      // `slots` ago fully drains (its D2H completes).
+      if (b >= slots) {
+        const double dep = completion[b - slots];
+        trace.blocked_seconds = std::max(0.0, dep - sim.stream_ready(stream));
+        sim.wait_until(stream, dep);
+      }
+
+      const std::uint64_t h2d_id =
+          sim.memcpy_h2d(stream, dst, text.data() + base, slice, "h2d b" + std::to_string(b));
+      mem_.fill(dst + slice, 0, 8);
+      trace.submit_seconds = sim.timeline()[h2d_id].start;
+
+      // One kernel launch over the slice. Timed runs may reuse the simulated
+      // duration of an earlier same-length batch.
+      const bool reuse = opt.mode == gpusim::SimMode::Timed && opt.reuse_timing;
+      auto cached = reuse ? timing_cache.find(slice) : timing_cache.end();
+      if (cached != timing_cache.end()) {
+        sim.charge_kernel(stream, cached->second.kernel_seconds,
+                          "kernel b" + std::to_string(b) + " (reused timing)");
+        trace.kernel_seconds = cached->second.kernel_seconds;
+        trace.output_bytes = cached->second.output_bytes;
+      } else {
+        // Recycle the previous batch's match buffer — unless an access
+        // observer is attached, whose cross-launch global-write shadow would
+        // misread address reuse as a race.
+        if (opt.observer == nullptr) mem_.release(batch_mark);
+
+        gpusim::LaunchOptions sim_opt;
+        sim_opt.mode = opt.mode;
+        sim_opt.sample_waves = opt.sample_waves;
+        sim_opt.observer = opt.observer;
+
+        double scale = 1.0;
+        std::uint64_t threads = 0, reported = 0;
+        if (opt.variant == KernelVariant::kPfac) {
+          kernels::PfacLaunchSpec spec;
+          spec.threads_per_block = g.threads_per_block;
+          spec.match_capacity = opt.pfac_match_capacity;
+          spec.sim = sim_opt;
+          kernels::PfacLaunchOutcome out = kernels::run_pfac_kernel_stream(
+              sim, stream, *dpfac_, dst, slice, spec, "kernel b" + std::to_string(b));
+          trace.kernel_seconds = out.sim.seconds;
+          scale = out.sim.scale();
+          threads = out.threads;
+          reported = out.matches.total_reported;
+          result.overflowed |= out.matches.overflowed;
+          result.metrics += out.sim.metrics;
+          if (opt.mode == gpusim::SimMode::Functional)
+            for (const ac::Match& m : out.matches.matches) {
+              const std::uint64_t start = m.end + 1 - pfac->pattern_length(m.pattern);
+              if (start < owned) result.matches.push_back(ac::Match{base + m.end, m.pattern});
+            }
+        } else {
+          kernels::AcLaunchSpec spec;
+          spec.approach = opt.variant == KernelVariant::kGlobalOnly
+                              ? kernels::Approach::kGlobalOnly
+                              : kernels::Approach::kShared;
+          spec.scheme = opt.scheme;
+          spec.chunk_bytes = g.chunk_bytes;
+          spec.threads_per_block = g.threads_per_block;
+          spec.match_capacity = opt.match_capacity;
+          spec.stt_placement = opt.stt_placement;
+          spec.sim = sim_opt;
+          kernels::AcLaunchOutcome out = kernels::run_ac_kernel_stream(
+              sim, stream, *ddfa_, dst, slice, spec, "kernel b" + std::to_string(b));
+          trace.kernel_seconds = out.sim.seconds;
+          scale = out.sim.scale();
+          threads = out.threads;
+          reported = out.matches.total_reported;
+          result.overflowed |= out.matches.overflowed;
+          result.metrics += out.sim.metrics;
+          if (opt.mode == gpusim::SimMode::Functional)
+            for (const ac::Match& m : out.matches.matches) {
+              const std::uint64_t start = m.end + 1 - dfa->pattern_length(m.pattern);
+              if (start < owned) result.matches.push_back(ac::Match{base + m.end, m.pattern});
+            }
+        }
+        result.total_reported += reported;
+        // D2H payload: the per-thread count array plus the (extrapolated in
+        // Timed mode) match records.
+        trace.output_bytes =
+            threads * 4 +
+            static_cast<std::uint64_t>(static_cast<double>(reported) * scale) * 8;
+        if (reuse) timing_cache[slice] = {trace.kernel_seconds, trace.output_bytes};
+      }
+
+      // Issue the PREVIOUS batch's D2H now that this batch's H2D and kernel
+      // are in the copy/compute queues, then hold this one back in turn.
+      flush_pending();
+      pending = PendingD2H{trace, stream};
+    }
+    flush_pending();
+
+    const gpusim::OverlapStats ov = sim.overlap();
+    result.stats.batches = batch_count;
+    result.stats.input_bytes = text.size();
+    result.stats.makespan_seconds = ov.makespan;
+    result.stats.copy_busy_seconds = ov.copy_busy;
+    result.stats.compute_busy_seconds = ov.compute_busy;
+    result.stats.overlap_seconds = ov.overlapped;
+    result.stats.overlap_ratio = ov.overlap_ratio();
+    result.stats.latency_p50_seconds = latencies.percentile(50);
+    result.stats.latency_p90_seconds = latencies.percentile(90);
+    result.stats.latency_p99_seconds = latencies.percentile(99);
+    result.timeline = sim.timeline();
+
+    if (opt.observer == nullptr) mem_.release(outer_mark);
+  } catch (const std::exception& e) {
+    return Status::from_exception(e);
+  }
+
+  std::sort(result.matches.begin(), result.matches.end());
+  return result;
+}
+
+}  // namespace acgpu::pipeline

@@ -1,0 +1,171 @@
+// Batched multi-stream matching pipeline (the library's production path).
+//
+// The paper's kernels assume the text is already resident on the device; at
+// production scale the PCIe copy dominates a monolithic launch. MatchPipeline
+// splits an arbitrarily large input into batches, cycles them through N
+// simulated streams (gpusim/stream.h), and double-buffers device slots so the
+// copy engine stages batch k+1 while the compute engine matches batch k:
+//
+//   stream 0:  [H2D b0][kernel b0]        [D2H b0][H2D b2][kernel b2]...
+//   stream 1:          [H2D b1]   [kernel b1]     [D2H b1]   [H2D b3]...
+//
+// The single copy engine serves its queue in issue order, so the driver
+// issues in software-pipelined order — each batch's D2H is enqueued after
+// the NEXT batch's H2D + kernel. Issuing depth-first (H2D, kernel, D2H per
+// batch) would head-of-line-block every H2D behind the previous batch's
+// D2H and serialize the whole timeline.
+//
+// Correctness at batch boundaries uses the same X-byte overlap rule as
+// ac/chunking.h, one level up: each batch's device slice carries
+// max_pattern_length-1 bytes of the next batch, and a match is kept iff its
+// START lies in the batch's owned range — so matches spanning a boundary are
+// reported exactly once, by the earlier batch.
+//
+// Submission is a bounded queue: a batch occupies a device slot from H2D
+// until its D2H completes; when all slots are in flight the producer blocks
+// on the oldest outstanding batch (backpressure on the simulated clock).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "ac/match.h"
+#include "gpusim/metrics.h"
+#include "gpusim/stream.h"
+#include "kernels/ac_kernel.h"
+#include "kernels/pfac_kernel.h"
+#include "util/error.h"
+
+namespace acgpu::pipeline {
+
+/// Which device kernel the pipeline drives per batch.
+enum class KernelVariant : std::uint8_t { kGlobalOnly, kShared, kPfac };
+
+const char* to_string(KernelVariant variant);
+
+struct PipelineOptions {
+  KernelVariant variant = KernelVariant::kShared;
+  kernels::StoreScheme scheme = kernels::StoreScheme::kDiagonal;
+  kernels::SttPlacement stt_placement = kernels::SttPlacement::kTexture;
+
+  /// Streams to cycle batches across. 1 = no overlap (the baseline the
+  /// BENCH_pipeline numbers compare against).
+  std::uint32_t streams = 2;
+  /// Owned input bytes per batch (the device slice adds the overlap carry).
+  std::uint64_t batch_bytes = 4u << 20;
+  /// Bounded-queue depth in batches (device slots). 0 = 2x streams, the
+  /// classic double-buffer sizing. Values below the stream count are legal
+  /// but memory-constrained: submission then blocks on the oldest in-flight
+  /// batch before a stream's own FIFO would, throttling the overlap.
+  std::uint32_t queue_slots = 0;
+
+  /// Per-thread chunk for the AC kernels; 0 derives the smallest legal value
+  /// (>= 32, a multiple of 4, larger than the overlap).
+  std::uint32_t chunk_bytes = 0;
+  std::uint32_t threads_per_block = 256;
+  std::uint32_t match_capacity = 64;
+  /// PFAC runs one thread per byte, so its record slots are priced per input
+  /// byte — keep this small (patterns starting at one position).
+  std::uint32_t pfac_match_capacity = 8;
+
+  /// Functional: every block of every batch simulated — matches exact (the
+  /// conformance/audit path). Timed: sampled-wave timing per batch — the
+  /// throughput path; match collection is skipped.
+  gpusim::SimMode mode = gpusim::SimMode::Functional;
+  std::uint32_t sample_waves = 3;
+  /// Timed mode only: batches with the same slice length reuse the first
+  /// batch's simulated kernel time instead of re-sampling it (they are
+  /// homogeneous by construction), making 100+-batch sweeps cheap.
+  bool reuse_timing = true;
+  /// Hazard-audit hook forwarded to every batch launch. When set, per-batch
+  /// device buffers are not recycled: the recorder's cross-launch global
+  /// shadow would misread a reused match-buffer address as a write race.
+  gpusim::AccessObserver* observer = nullptr;
+
+  /// Rejects inconsistent combinations (PFAC with a store scheme override,
+  /// zero streams, queue smaller than the stream count, ...).
+  Status validate() const;
+};
+
+/// Per-batch record on the simulated timeline.
+struct BatchTrace {
+  std::uint64_t index = 0;
+  std::uint64_t owned_bytes = 0;   ///< bytes this batch reports matches for
+  std::uint64_t staged_bytes = 0;  ///< H2D payload (owned + overlap carry)
+  std::uint64_t output_bytes = 0;  ///< D2H payload (counts + match records)
+  double submit_seconds = 0;       ///< H2D start (after any backpressure wait)
+  double complete_seconds = 0;     ///< D2H end
+  double kernel_seconds = 0;
+  double blocked_seconds = 0;  ///< time the submit waited for a free slot
+  std::uint32_t queue_depth = 0;  ///< in-flight batches at submit (incl. this)
+};
+
+struct PipelineStats {
+  std::uint64_t batches = 0;
+  std::uint64_t input_bytes = 0;   ///< text length
+  std::uint64_t staged_bytes = 0;  ///< total H2D payload (incl. overlap carry)
+  std::uint64_t output_bytes = 0;  ///< total D2H payload
+  double makespan_seconds = 0;     ///< simulated end-to-end (copy + compute)
+  double copy_busy_seconds = 0;
+  double compute_busy_seconds = 0;
+  double overlap_seconds = 0;  ///< both engines busy simultaneously
+  double overlap_ratio = 0;    ///< overlap / min(copy, compute) busy time
+  double blocked_seconds = 0;  ///< total backpressure wait
+  std::uint32_t max_queue_depth = 0;
+  double latency_p50_seconds = 0;  ///< per-batch submit -> D2H-complete
+  double latency_p90_seconds = 0;
+  double latency_p99_seconds = 0;
+
+  /// End-to-end matching throughput in Gbit/s of input scanned.
+  double throughput_gbps() const {
+    return makespan_seconds > 0
+               ? static_cast<double>(input_bytes) * 8.0 / makespan_seconds / 1e9
+               : 0.0;
+  }
+};
+
+struct PipelineResult {
+  /// Global-offset matches, sorted (end, pattern), exactly-once across batch
+  /// boundaries. Complete only in Functional mode.
+  std::vector<ac::Match> matches;
+  std::uint64_t total_reported = 0;
+  bool overflowed = false;  ///< some per-thread match slot overflowed
+  /// Kernel counters summed over every simulated batch launch (batches that
+  /// reuse a cached Timed duration contribute nothing — their kernel was
+  /// never re-simulated).
+  gpusim::Metrics metrics;
+  PipelineStats stats;
+  std::vector<BatchTrace> batches;
+  /// The resolved stream timeline (H2D/kernel/D2H ops) — report/figure input.
+  std::vector<gpusim::StreamOp> timeline;
+};
+
+/// Drives one device automaton over arbitrarily many inputs. The automaton
+/// (and the DeviceMemory it lives in) must outlive the pipeline; each run()
+/// allocates its slot buffers on top and recycles them per batch.
+class MatchPipeline {
+ public:
+  /// AC-DFA pipeline (variant kGlobalOnly or kShared).
+  MatchPipeline(const gpusim::GpuConfig& config, gpusim::DeviceMemory& mem,
+                const kernels::DeviceDfa& ddfa, PipelineOptions options);
+  /// PFAC pipeline (variant kPfac).
+  MatchPipeline(const gpusim::GpuConfig& config, gpusim::DeviceMemory& mem,
+                const kernels::DevicePfac& dpfac, PipelineOptions options);
+
+  const PipelineOptions& options() const { return options_; }
+
+  /// Matches `text` through the batched multi-stream pipeline. An empty text
+  /// succeeds with an empty result. Fails (no throw) on inconsistent options
+  /// or a device-memory budget too small for the slot buffers.
+  Result<PipelineResult> run(std::string_view text);
+
+ private:
+  gpusim::GpuConfig config_;  // by value: pipelines outlive caller temporaries
+  gpusim::DeviceMemory& mem_;
+  const kernels::DeviceDfa* ddfa_ = nullptr;
+  const kernels::DevicePfac* dpfac_ = nullptr;
+  PipelineOptions options_;
+};
+
+}  // namespace acgpu::pipeline

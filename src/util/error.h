@@ -1,14 +1,20 @@
 // Error handling helpers.
 //
-// The library throws acgpu::Error for all recoverable failures (bad
-// arguments, malformed input files, capacity violations). ACGPU_CHECK is the
-// canonical precondition guard: always on (not assert-style), cheap to use,
-// and carries the failing expression plus a formatted message.
+// Two complementary mechanisms:
+//  - acgpu::Error (+ ACGPU_CHECK) for programmer errors and unrecoverable
+//    precondition violations — throw, fail loudly.
+//  - Status / Result<T> for expected, reportable failures at API boundaries
+//    (Engine configuration, matcher adapters, pipeline submission). These
+//    carry a StatusCode + message instead of unwinding, so harnesses like
+//    the conformance sweep can report structured failures rather than
+//    aborting the run.
 #pragma once
 
+#include <optional>
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <utility>
 
 namespace acgpu {
 
@@ -16,6 +22,103 @@ namespace acgpu {
 class Error : public std::runtime_error {
  public:
   explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Failure classification for Status/Result. Deliberately small: callers
+/// branch on "which kind of wrong", not on every possible cause.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   ///< caller passed something the API rejects
+  kCapacityExceeded,  ///< fixed buffer/queue/device budget too small
+  kInternal,          ///< invariant broke inside the library
+};
+
+inline const char* to_string(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "ok";
+    case StatusCode::kInvalidArgument: return "invalid_argument";
+    case StatusCode::kCapacityExceeded: return "capacity_exceeded";
+    case StatusCode::kInternal: return "internal";
+  }
+  return "?";
+}
+
+/// Value-semantic success/failure: cheap to copy, truthy when ok.
+class Status {
+ public:
+  Status() = default;  // ok
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status ok() { return Status(); }
+  static Status invalid_argument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status capacity_exceeded(std::string msg) {
+    return Status(StatusCode::kCapacityExceeded, std::move(msg));
+  }
+  static Status internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  /// Wraps an in-flight exception (acgpu::Error and friends) into a Status —
+  /// how adapter seams convert the throwing core to the reporting boundary.
+  static Status from_exception(const std::exception& e,
+                               StatusCode code = StatusCode::kInternal) {
+    return Status(code, e.what());
+  }
+
+  bool is_ok() const { return code_ == StatusCode::kOk; }
+  explicit operator bool() const { return is_ok(); }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+  /// "ok" or "invalid_argument: why" — for logs and reports.
+  std::string to_string() const {
+    if (is_ok()) return "ok";
+    std::string out = ::acgpu::to_string(code_);
+    if (!message_.empty()) out += ": " + message_;
+    return out;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// A Status that carries a T on success. No exceptions cross a Result
+/// boundary: either `ok()` and `value()` is live, or `status()` explains.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT(google-explicit-constructor)
+    if (status_.is_ok())
+      status_ = Status::internal("Result constructed from an ok Status without a value");
+  }
+
+  bool is_ok() const { return status_.is_ok(); }
+  explicit operator bool() const { return is_ok(); }
+  const Status& status() const { return status_; }
+
+  T& value() & {
+    require_ok();
+    return *value_;
+  }
+  const T& value() const& {
+    require_ok();
+    return *value_;
+  }
+  T&& value() && {
+    require_ok();
+    return *std::move(value_);
+  }
+
+ private:
+  void require_ok() const {
+    if (!is_ok()) throw Error("Result::value on failed result: " + status_.to_string());
+  }
+
+  Status status_;
+  std::optional<T> value_;
 };
 
 namespace detail {

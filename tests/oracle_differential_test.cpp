@@ -52,6 +52,19 @@ class DuplicatingMatcher final : public Matcher {
   }
 };
 
+/// Broken a third way: crashes outright. Matcher::try_run must convert the
+/// throw into a structured failure instead of aborting the whole sweep.
+class ThrowingMatcher final : public Matcher {
+ public:
+  const std::string& name() const override {
+    static const std::string n = "broken-throwing";
+    return n;
+  }
+  std::vector<ac::Match> run(const CompiledWorkload&, std::uint64_t) const override {
+    throw Error("simulated device fault");
+  }
+};
+
 CompiledWorkload boundary_workload() {
   // One match ends at byte 31 (inside the dropped zone), one at byte 10.
   std::string text(64, 'x');
@@ -102,6 +115,37 @@ TEST(Differential, DuplicateEmissionsAreDivergences) {
   ASSERT_EQ(report.divergences.size(), 1u);
   EXPECT_EQ(report.divergences[0].matcher_count, 3u);
   EXPECT_EQ(report.divergences[0].reference_count, 2u);
+}
+
+TEST(Differential, ThrowingMatcherBecomesStructuredFailure) {
+  const CompiledWorkload w = boundary_workload();
+  const ThrowingMatcher broken;
+  const auto serial = make_matcher("serial");
+  const DifferentialReport report = run_differential(w, {serial.get(), &broken}, 9);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(report.divergences.empty());  // no output is not wrong output
+  EXPECT_EQ(report.matchers_run, 2u);
+  ASSERT_EQ(report.failures.size(), 1u);
+  const MatcherFailure& f = report.failures[0];
+  EXPECT_EQ(f.matcher, "broken-throwing");
+  EXPECT_EQ(f.workload, "boundary-case");
+  EXPECT_EQ(f.status.code(), StatusCode::kInternal);
+  EXPECT_NE(f.status.message().find("simulated device fault"), std::string::npos);
+  const std::string rendered = describe(f);
+  EXPECT_NE(rendered.find("broken-throwing"), std::string::npos);
+  EXPECT_NE(rendered.find("simulated device fault"), std::string::npos);
+}
+
+TEST(Conformance, MatcherFailuresCountTowardMaxFailures) {
+  const ThrowingMatcher broken;
+  ConformanceOptions options;
+  options.seed = 3;
+  options.iterations = 16;
+  options.max_failures = 3;
+  const ConformanceResult result = run_conformance(options, {&broken});
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.failures.size(), 3u);  // stopped at the cap, not 16
+  for (const auto& f : result.failures) EXPECT_EQ(f.matcher, "broken-throwing");
 }
 
 TEST(Minimizer, ShrinksBrokenMatcherToMinimalReproducer) {
@@ -178,8 +222,10 @@ TEST(Conformance, MiniSweepOverAllRegisteredMatchersIsClean) {
   options.seed = 1234;
   options.iterations = 8;  // one full family cycle
   const ConformanceResult result = run_conformance(options);
-  EXPECT_TRUE(result.ok())
-      << (result.ok() ? std::string() : describe(result.divergences.front()));
+  std::string detail;
+  if (!result.failures.empty()) detail = describe(result.failures.front());
+  if (!result.divergences.empty()) detail = describe(result.divergences.front());
+  EXPECT_TRUE(result.ok()) << detail;
   EXPECT_EQ(result.iterations, 8u);
   EXPECT_EQ(result.comparisons, 8 * registered_matcher_names().size());
 }

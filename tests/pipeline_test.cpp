@@ -1,0 +1,288 @@
+// MatchPipeline: batch-boundary stitching against the serial oracle, plus
+// the Engine facade and the pipeline's timing/backpressure accounting.
+#include "pipeline/pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "ac/serial_matcher.h"
+#include "pipeline/engine.h"
+#include "util/rng.h"
+
+namespace acgpu::pipeline {
+namespace {
+
+gpusim::GpuConfig small_gpu() {
+  gpusim::GpuConfig cfg = gpusim::GpuConfig::gtx285();
+  cfg.num_sms = 4;  // keeps Functional runs fast; model behaviour unchanged
+  return cfg;
+}
+
+std::string random_text(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::string text(n, '\0');
+  for (char& c : text) c = static_cast<char>('a' + rng.next_below(4));
+  return text;
+}
+
+/// Runs text through a pipeline built from `patterns` and checks the matches
+/// against the serial reference.
+void expect_conforms(const std::vector<std::string>& pattern_strings,
+                     const std::string& text, PipelineOptions opt) {
+  const ac::PatternSet patterns(pattern_strings);
+  const ac::Dfa dfa = ac::build_dfa(patterns, 8);
+  const std::vector<ac::Match> expected = ac::find_all(dfa, text);
+
+  gpusim::DeviceMemory mem(64u << 20);
+  opt.mode = gpusim::SimMode::Functional;
+  Result<PipelineResult> got = [&] {
+    if (opt.variant == KernelVariant::kPfac) {
+      ac::PfacAutomaton pfac(patterns);
+      kernels::DevicePfac dpfac(mem, pfac);
+      return MatchPipeline(small_gpu(), mem, dpfac, opt).run(text);
+    }
+    kernels::DeviceDfa ddfa(mem, dfa);
+    return MatchPipeline(small_gpu(), mem, ddfa, opt).run(text);
+  }();
+  ASSERT_TRUE(got.is_ok()) << got.status().to_string();
+  EXPECT_FALSE(got.value().overflowed);
+  EXPECT_EQ(got.value().matches, expected);
+}
+
+TEST(PipelineStitching, MatchesSpanningTwoBatches) {
+  // "spanner" straddles the byte-1024 boundary at every offset.
+  const std::string needle = "spanner";
+  for (std::size_t cut = 1; cut < needle.size(); ++cut) {
+    std::string text = random_text(2048, 7 + cut);
+    text.replace(1024 - cut, needle.size(), needle);
+    PipelineOptions opt;
+    opt.batch_bytes = 1024;
+    opt.streams = 2;
+    expect_conforms({needle, "zzz"}, text, opt);
+  }
+}
+
+TEST(PipelineStitching, OverlapWindowMatchesReportedOnce) {
+  // A match entirely inside the overlap carry is seen by both the tail of
+  // batch 0's slice and the head of batch 1 — the ownership rule must keep
+  // exactly one copy.
+  std::string text = random_text(512, 3);
+  text.replace(256, 2, "ab");  // batch_bytes=256 -> "ab" starts batch 1
+  text.replace(254, 2, "ab");  // spans the boundary
+  PipelineOptions opt;
+  opt.batch_bytes = 256;
+  expect_conforms({"ab", "abab"}, text, opt);
+}
+
+TEST(PipelineStitching, TextExactMultipleOfBatchLeavesNoTrailingBatch) {
+  PipelineOptions opt;
+  opt.batch_bytes = 512;
+  const std::string text = random_text(2048, 11);  // 4 exact batches
+  expect_conforms({"aa", "abc"}, text, opt);
+
+  gpusim::DeviceMemory mem(16u << 20);
+  const ac::PatternSet patterns({std::string("aa")});
+  const ac::Dfa dfa = ac::build_dfa(patterns, 8);
+  kernels::DeviceDfa ddfa(mem, dfa);
+  auto got = MatchPipeline(small_gpu(), mem, ddfa, opt).run(text);
+  ASSERT_TRUE(got.is_ok());
+  EXPECT_EQ(got.value().stats.batches, 4u);  // not 5
+}
+
+TEST(PipelineStitching, SingleByteBatches) {
+  PipelineOptions opt;
+  opt.batch_bytes = 1;  // pathological: every byte is its own batch
+  opt.streams = 2;
+  expect_conforms({"ab", "ba", "aab"}, random_text(48, 13), opt);
+}
+
+TEST(PipelineStitching, BatchLargerThanText) {
+  PipelineOptions opt;
+  opt.batch_bytes = 1u << 20;
+  expect_conforms({"ab", "ca"}, random_text(300, 17), opt);
+}
+
+TEST(PipelineStitching, GlobalOnlyVariant) {
+  PipelineOptions opt;
+  opt.variant = KernelVariant::kGlobalOnly;
+  opt.batch_bytes = 777;  // unaligned boundary
+  expect_conforms({"ab", "bca"}, random_text(3000, 19), opt);
+}
+
+TEST(PipelineStitching, PfacVariant) {
+  PipelineOptions opt;
+  opt.variant = KernelVariant::kPfac;
+  opt.batch_bytes = 400;
+  expect_conforms({"ab", "abab", "ba"}, random_text(1500, 23), opt);
+}
+
+TEST(PipelineStitching, StreamCountDoesNotChangeMatches) {
+  const std::string text = random_text(4000, 29);
+  for (std::uint32_t streams : {1u, 2u, 4u}) {
+    PipelineOptions opt;
+    opt.batch_bytes = 600;
+    opt.streams = streams;
+    expect_conforms({"aba", "cc", "abcd"}, text, opt);
+  }
+}
+
+TEST(Pipeline, EmptyTextSucceedsEmpty) {
+  gpusim::DeviceMemory mem(16u << 20);
+  const ac::PatternSet patterns({std::string("ab")});
+  const ac::Dfa dfa = ac::build_dfa(patterns, 8);
+  kernels::DeviceDfa ddfa(mem, dfa);
+  auto got = MatchPipeline(small_gpu(), mem, ddfa, {}).run("");
+  ASSERT_TRUE(got.is_ok());
+  EXPECT_TRUE(got.value().matches.empty());
+  EXPECT_EQ(got.value().stats.batches, 0u);
+}
+
+TEST(Pipeline, InvalidOptionsReportStatusNotThrow) {
+  gpusim::DeviceMemory mem(16u << 20);
+  const ac::PatternSet patterns({std::string("ab")});
+  const ac::Dfa dfa = ac::build_dfa(patterns, 8);
+  kernels::DeviceDfa ddfa(mem, dfa);
+
+  PipelineOptions opt;
+  opt.streams = 0;
+  auto got = MatchPipeline(small_gpu(), mem, ddfa, opt).run("abc");
+  ASSERT_FALSE(got.is_ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kInvalidArgument);
+
+  opt = {};
+  opt.chunk_bytes = 6;  // not a multiple of 4
+  got = MatchPipeline(small_gpu(), mem, ddfa, opt).run("abc");
+  ASSERT_FALSE(got.is_ok());
+
+  opt = {};
+  opt.variant = KernelVariant::kPfac;  // but constructed with a DFA
+  got = MatchPipeline(small_gpu(), mem, ddfa, opt).run("abc");
+  ASSERT_FALSE(got.is_ok());
+}
+
+TEST(Pipeline, DeviceBudgetTooSmallReportsCapacity) {
+  gpusim::DeviceMemory mem(1 << 20);
+  const ac::PatternSet patterns({std::string("ab")});
+  const ac::Dfa dfa = ac::build_dfa(patterns, 8);
+  kernels::DeviceDfa ddfa(mem, dfa);
+  PipelineOptions opt;
+  opt.batch_bytes = 8u << 20;  // slot buffers alone exceed the 1 MB device
+  auto got = MatchPipeline(small_gpu(), mem, ddfa, opt).run(
+      random_text(9u << 20, 31));
+  ASSERT_FALSE(got.is_ok());
+}
+
+TEST(Pipeline, TimelineShowsOverlapWithTwoStreams) {
+  gpusim::DeviceMemory mem(64u << 20);
+  const ac::PatternSet patterns({std::string("ab")});
+  const ac::Dfa dfa = ac::build_dfa(patterns, 8);
+  kernels::DeviceDfa ddfa(mem, dfa);
+
+  PipelineOptions opt;
+  opt.batch_bytes = 4096;
+  opt.streams = 2;
+  auto got = MatchPipeline(small_gpu(), mem, ddfa, opt).run(random_text(1 << 16, 37));
+  ASSERT_TRUE(got.is_ok());
+  const PipelineStats& st = got.value().stats;
+  EXPECT_EQ(st.batches, 16u);
+  EXPECT_GT(st.makespan_seconds, 0);
+  EXPECT_GE(st.staged_bytes, st.input_bytes);
+  EXPECT_GT(st.overlap_seconds, 0);  // some copy hid under some kernel
+  EXPECT_GE(st.overlap_ratio, 0);
+  EXPECT_LE(st.overlap_ratio, 1.0 + 1e-9);
+  EXPECT_GE(st.latency_p99_seconds, st.latency_p50_seconds);
+  // Timeline carries all three op kinds, one triple per batch.
+  EXPECT_EQ(got.value().timeline.size(), 3 * 16u);
+}
+
+TEST(Pipeline, BackpressureBoundsInFlightBatches) {
+  gpusim::DeviceMemory mem(64u << 20);
+  const ac::PatternSet patterns({std::string("ab")});
+  const ac::Dfa dfa = ac::build_dfa(patterns, 8);
+  kernels::DeviceDfa ddfa(mem, dfa);
+
+  PipelineOptions opt;
+  opt.batch_bytes = 2048;
+  opt.streams = 4;
+  opt.queue_slots = 2;  // fewer device slots than streams: must block
+  auto got = MatchPipeline(small_gpu(), mem, ddfa, opt).run(random_text(1 << 16, 41));
+  ASSERT_TRUE(got.is_ok());
+  EXPECT_LE(got.value().stats.max_queue_depth, 2u);
+  for (const BatchTrace& b : got.value().batches) {
+    EXPECT_LE(b.queue_depth, 2u);
+    EXPECT_GE(b.complete_seconds, b.submit_seconds);
+  }
+  // With 32 batches through 2 slots, submissions must have waited on slots.
+  EXPECT_GT(got.value().stats.blocked_seconds, 0);
+
+  // A roomy queue never blocks: each stream's own FIFO is the only ordering.
+  opt.queue_slots = 0;  // auto: 2x streams
+  got = MatchPipeline(small_gpu(), mem, ddfa, opt).run(random_text(1 << 16, 41));
+  ASSERT_TRUE(got.is_ok());
+  EXPECT_DOUBLE_EQ(got.value().stats.blocked_seconds, 0);
+}
+
+TEST(Pipeline, TimedModeReportsThroughputWithoutMatches) {
+  gpusim::DeviceMemory mem(64u << 20);
+  const ac::PatternSet patterns({std::string("ab"), std::string("cde")});
+  const ac::Dfa dfa = ac::build_dfa(patterns, 8);
+  kernels::DeviceDfa ddfa(mem, dfa);
+
+  PipelineOptions opt;
+  opt.batch_bytes = 64 << 10;
+  opt.streams = 2;
+  opt.mode = gpusim::SimMode::Timed;
+  auto got = MatchPipeline(small_gpu(), mem, ddfa, opt).run(random_text(1 << 20, 43));
+  ASSERT_TRUE(got.is_ok());
+  EXPECT_TRUE(got.value().matches.empty());
+  EXPECT_GT(got.value().stats.throughput_gbps(), 0);
+  // Timing reuse: identical slice lengths reuse one simulated launch.
+  EXPECT_EQ(got.value().stats.batches, 16u);
+}
+
+TEST(Engine, ScanMatchesSerialReference) {
+  const std::vector<std::string> pats = {"he", "she", "his", "hers"};
+  const ac::PatternSet patterns(pats);
+  std::string text = random_text(5000, 47);
+  text.replace(100, 6, "ushers");
+  text.replace(2047, 3, "his");  // spans the default... no, interior
+
+  EngineOptions eopt;
+  eopt.gpu = small_gpu();
+  eopt.batch_bytes = 1024;
+  auto engine = Engine::create(patterns, eopt);
+  ASSERT_TRUE(engine.is_ok()) << engine.status().to_string();
+
+  auto scan = engine.value().scan(text);
+  ASSERT_TRUE(scan.is_ok()) << scan.status().to_string();
+  EXPECT_EQ(scan.value().matches, ac::find_all(engine.value().dfa(), text));
+
+  // Engines are reusable across scans.
+  auto scan2 = engine.value().scan("ushers");
+  ASSERT_TRUE(scan2.is_ok());
+  EXPECT_EQ(scan2.value().matches.size(), 3u);  // she, he, hers
+}
+
+TEST(Engine, EmptyPatternSetFails) {
+  auto engine = Engine::create(ac::PatternSet{});
+  ASSERT_FALSE(engine.is_ok());
+  EXPECT_EQ(engine.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Engine, PfacVariantScans) {
+  EngineOptions eopt;
+  eopt.gpu = small_gpu();
+  eopt.variant = KernelVariant::kPfac;
+  eopt.batch_bytes = 512;
+  auto engine = Engine::create(ac::PatternSet({"ab", "ba"}), eopt);
+  ASSERT_TRUE(engine.is_ok()) << engine.status().to_string();
+  const std::string text = random_text(2000, 53);
+  auto scan = engine.value().scan(text);
+  ASSERT_TRUE(scan.is_ok()) << scan.status().to_string();
+  EXPECT_EQ(scan.value().matches, ac::find_all(engine.value().dfa(), text));
+}
+
+}  // namespace
+}  // namespace acgpu::pipeline

@@ -1,0 +1,67 @@
+// Status / Result<T>: the no-throw error channel used at API boundaries.
+#include "util/error.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace acgpu {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.is_ok());
+  EXPECT_TRUE(static_cast<bool>(s));
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.to_string(), "ok");
+}
+
+TEST(Status, CarriesCodeAndMessage) {
+  const Status s = Status::invalid_argument("streams must be >= 1");
+  EXPECT_FALSE(s.is_ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "streams must be >= 1");
+  EXPECT_EQ(s.to_string(), "invalid_argument: streams must be >= 1");
+}
+
+TEST(Status, FactoriesMapToCodes) {
+  EXPECT_EQ(Status::capacity_exceeded("x").code(), StatusCode::kCapacityExceeded);
+  EXPECT_EQ(Status::internal("x").code(), StatusCode::kInternal);
+  EXPECT_STREQ(to_string(StatusCode::kCapacityExceeded), "capacity_exceeded");
+}
+
+TEST(Status, FromExceptionWrapsWhat) {
+  const Error e("buffer too small");
+  const Status s = Status::from_exception(e, StatusCode::kCapacityExceeded);
+  EXPECT_EQ(s.code(), StatusCode::kCapacityExceeded);
+  EXPECT_EQ(s.message(), "buffer too small");
+}
+
+TEST(Result, HoldsValueOnSuccess) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(r.value(), 42);
+}
+
+TEST(Result, PropagatesStatusOnFailure) {
+  Result<int> r = Status::invalid_argument("nope");
+  ASSERT_FALSE(r.is_ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_THROW(r.value(), Error);  // value() on a failed result is a bug
+}
+
+TEST(Result, OkStatusWithoutValueIsInternalError) {
+  Result<int> r = Status::ok();  // nonsensical: no value to return
+  EXPECT_FALSE(r.is_ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+}
+
+TEST(Result, MoveOnlyValues) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(7);
+  ASSERT_TRUE(r.is_ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 7);
+}
+
+}  // namespace
+}  // namespace acgpu
