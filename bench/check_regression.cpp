@@ -1,0 +1,150 @@
+// check_regression — the telemetry perf-regression gate.
+//
+// Runs the canonical pipeline workload with the metrics registry attached,
+// snapshots it, and compares the snapshot against a checked-in baseline of
+// named bounds (bench/baselines/telemetry_baseline.json). The baseline
+// protects the three load-bearing numbers of the reproduction:
+//
+//   pipeline.overlap_ratio     the multi-stream copy/compute overlap win
+//   gpusim.shared.max_degree   the diagonal scheme's bank-conflict-free claim
+//   gpusim.tex.hit_rate        the texture-cache locality the kernels rely on
+//
+// Exit status: 0 when every check passes, 1 on any violation (missing series
+// included), 2 on bad usage / IO. CI runs it at 64 MB; the ctest entries run
+// the same binary at 8 MB — the baseline bounds hold at both regimes, and a
+// deliberately degraded --streams 1 run is checked to FAIL (WILL_FAIL) so
+// the gate itself is known to bite.
+//
+// Updating the baseline after an intentional perf change:
+//   build/bench/check_regression --write-baseline bench/baselines/telemetry_baseline.json
+// re-bands the gated series around the current run (see docs/OBSERVABILITY.md).
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "acgpu.h"
+#include "workload/markov_corpus.h"
+#include "workload/pattern_extract.h"
+
+using namespace acgpu;
+
+namespace {
+
+/// The gated series — the list --write-baseline re-bands. Order is the
+/// baseline-file order.
+const std::vector<std::string> kGatedSeries = {
+    "pipeline.overlap_ratio",
+    "gpusim.shared.max_degree",
+    "gpusim.tex.hit_rate",
+    "gpusim.global.transactions_per_request",
+};
+
+telemetry::MetricsSnapshot run_workload(const ArgParser& args) {
+  const auto size = static_cast<std::uint64_t>(args.get_bytes("size"));
+  const std::uint64_t pool_bytes = 4u << 20;
+  const std::string corpus =
+      workload::make_corpus(size + pool_bytes,
+                            static_cast<std::uint64_t>(args.get_int("seed")));
+  workload::ExtractConfig ec;
+  ec.count = static_cast<std::uint32_t>(args.get_int("patterns"));
+  ec.min_length = 6;
+  ec.max_length = 16;
+  ec.word_aligned = true;
+  const ac::PatternSet patterns = workload::extract_patterns(
+      {corpus.data() + size, pool_bytes}, ec);
+
+  telemetry::MetricsRegistry registry;
+  EngineOptions opt;
+  opt.variant = pipeline::KernelVariant::kShared;
+  opt.streams = static_cast<std::uint32_t>(args.get_int("streams"));
+  opt.batch_bytes = static_cast<std::uint64_t>(args.get_bytes("batch"));
+  opt.mode = gpusim::SimMode::Timed;
+  opt.device_memory_bytes = 1u << 30;
+  opt.telemetry.metrics = &registry;
+
+  Result<Engine> engine = Engine::create(patterns, opt);
+  ACGPU_CHECK(engine.is_ok(), engine.status().to_string());
+  Result<ScanResult> scan =
+      engine.value().scan({corpus.data(), size});
+  ACGPU_CHECK(scan.is_ok(), scan.status().to_string());
+  return registry.snapshot();
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  ACGPU_CHECK(in.good(), "cannot read baseline file " << path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser args(
+      "check_regression: run the canonical pipeline workload, snapshot the\n"
+      "metrics registry, and gate the snapshot against a checked-in baseline\n"
+      "of named bounds. Exits 1 on any violation.");
+  args.add_flag("baseline", "baseline JSON to gate against",
+                "bench/baselines/telemetry_baseline.json");
+  args.add_flag("size", "input size for the canonical workload", "8MB");
+  args.add_flag("batch", "owned bytes per pipeline batch", "1MB");
+  args.add_flag("streams", "pipeline streams", "4");
+  args.add_flag("patterns", "dictionary size", "2000");
+  args.add_flag("seed", "workload seed", "780");
+  args.add_flag("snapshot", "also dump the snapshot JSON here (empty = skip)", "");
+  args.add_flag("write-baseline",
+                "instead of gating, re-band the gated series around this run "
+                "and write the baseline here",
+                "");
+  args.add_flag("slack", "tolerance band for --write-baseline (fraction)", "0.05");
+  args.add_bool_flag("quiet", "suppress the verdict table");
+  try {
+    if (!args.parse(argc, argv)) return 0;
+
+    const telemetry::MetricsSnapshot snapshot = run_workload(args);
+
+    const std::string snapshot_path = args.get("snapshot");
+    if (!snapshot_path.empty()) {
+      std::ofstream out(snapshot_path);
+      ACGPU_CHECK(out.good(), "cannot write " << snapshot_path);
+      snapshot.write_json(out);
+    }
+
+    const std::string write_path = args.get("write-baseline");
+    if (!write_path.empty()) {
+      std::ofstream out(write_path);
+      ACGPU_CHECK(out.good(), "cannot write " << write_path);
+      telemetry::write_baseline(snapshot, kGatedSeries,
+                                args.get_double("slack"), out);
+      std::printf("check_regression: wrote %s (re-banded %zu series)\n",
+                  write_path.c_str(), kGatedSeries.size());
+      return 0;
+    }
+
+    const std::string baseline_path = args.get("baseline");
+    Result<telemetry::RegressionBaseline> baseline =
+        telemetry::parse_baseline(read_file(baseline_path));
+    ACGPU_CHECK(baseline.is_ok(), baseline.status().to_string());
+
+    const telemetry::RegressionVerdict verdict =
+        telemetry::check_regression(snapshot, baseline.value());
+    if (!args.get_bool("quiet"))
+      telemetry::write_verdict_table(snapshot, baseline.value(), std::cout);
+    if (verdict.pass()) {
+      std::printf("check_regression: PASS (%zu checks, %s @ %lld stream(s))\n",
+                  verdict.checks, format_bytes(args.get_bytes("size")).c_str(),
+                  static_cast<long long>(args.get_int("streams")));
+      return 0;
+    }
+    std::printf("check_regression: FAIL (%zu of %zu checks violated)\n",
+                verdict.violations.size(), verdict.checks);
+    for (const telemetry::RegressionViolation& v : verdict.violations)
+      std::printf("  %s: %s\n", v.name.c_str(), v.detail.c_str());
+    return 1;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "check_regression: %s\n", e.what());
+    return 2;
+  }
+}

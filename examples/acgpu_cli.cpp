@@ -71,6 +71,18 @@ int cmd_scan(const ArgParser& args, const std::vector<std::string>& files) {
   const std::string matcher = args.get("matcher");
   const bool quiet = args.get_bool("count-only");
 
+  // Telemetry sinks (gpu matcher only): --trace accumulates every file's
+  // simulated timeline (plus the host spans) into one Chrome trace; --stats
+  // prints the metrics snapshot after the scans.
+  const std::string trace_path = args.get("trace");
+  const bool want_stats = args.get_bool("stats");
+  const bool want_telemetry = !trace_path.empty() || want_stats;
+  ACGPU_CHECK(!want_telemetry || matcher == "gpu",
+              "--trace/--stats need --matcher=gpu");
+  telemetry::MetricsRegistry registry;
+  telemetry::Tracer tracer;
+  telemetry::ChromeTrace chrome;
+
   // The gpu path goes through acgpu::Engine — built once, scanning every
   // file through the batched multi-stream pipeline.
   std::optional<Engine> engine;
@@ -79,6 +91,10 @@ int cmd_scan(const ArgParser& args, const std::vector<std::string>& files) {
     opt.streams = static_cast<std::uint32_t>(args.get_int("streams"));
     opt.batch_bytes = static_cast<std::uint64_t>(args.get_bytes("batch"));
     opt.match_capacity = 128;
+    if (want_telemetry) {
+      opt.telemetry.metrics = &registry;
+      opt.telemetry.tracer = &tracer;
+    }
     Result<Engine> created = Engine::create(dfa, opt);
     ACGPU_CHECK(created.is_ok(), created.status().to_string());
     engine.emplace(std::move(created).value());
@@ -107,6 +123,12 @@ int cmd_scan(const ArgParser& args, const std::vector<std::string>& files) {
       ACGPU_CHECK(!scan.value().overflowed,
                   "match buffer overflowed; re-run with a CPU matcher");
       count = scan.value().matches.size();
+      if (!trace_path.empty()) {
+        // One Chrome process per file so sequential scans don't overprint.
+        pipeline::TraceExportOptions texport;
+        texport.process_name = "device: " + path;
+        pipeline::add_scan_to_trace(chrome, scan.value(), texport);
+      }
       matches = std::move(scan.value().matches);
     } else {
       ACGPU_CHECK(false, "unknown --matcher '" << matcher
@@ -131,6 +153,15 @@ int cmd_scan(const ArgParser& args, const std::vector<std::string>& files) {
     }
   }
   table.print(std::cout);
+  if (!trace_path.empty()) {
+    chrome.add_tracer(tracer);
+    std::ofstream out(trace_path);
+    ACGPU_CHECK(static_cast<bool>(out), "cannot write '" << trace_path << "'");
+    chrome.write(out);
+    std::printf("wrote %s (open in Perfetto or chrome://tracing)\n",
+                trace_path.c_str());
+  }
+  if (want_stats) registry.snapshot().write_table(std::cout);
   return 0;
 }
 
@@ -146,6 +177,8 @@ int main(int argc, char** argv) {
   args.add_flag("matcher", "scan engine: serial|parallel|compressed|gpu", "serial");
   args.add_flag("streams", "gpu matcher: pipeline streams (>= 2 overlaps)", "2");
   args.add_flag("batch", "gpu matcher: owned bytes per pipeline batch", "4MB");
+  args.add_flag("trace", "gpu matcher: write a Chrome trace of the scans here", "");
+  args.add_bool_flag("stats", "gpu matcher: print the telemetry metrics table");
   args.add_bool_flag("count-only", "suppress per-match output");
   try {
     if (!args.parse(argc, argv)) return 0;

@@ -33,6 +33,11 @@
 #include "ac/trie.h"
 #include "pipeline/engine.h"
 #include "pipeline/pipeline.h"
+#include "pipeline/telemetry_export.h"
+#include "telemetry/json.h"
+#include "telemetry/metrics_registry.h"
+#include "telemetry/regression.h"
+#include "telemetry/trace.h"
 #include "util/arg_parser.h"
 #include "util/byte_units.h"
 #include "util/csv.h"

@@ -4,6 +4,8 @@
 #include <sstream>
 #include <string>
 
+#include "telemetry/metrics_registry.h"
+
 namespace acgpu::gpucheck {
 namespace {
 
@@ -162,6 +164,14 @@ void AuditReport::write_json(std::ostream& out) const {
   out << ",\"banks\":{\"accesses\":" << bank.accesses
       << ",\"conflicted\":" << bank.conflicted_accesses
       << ",\"max_degree\":" << bank.max_degree << "}";
+  out << ",\"telemetry\":{";
+  bool first_series = true;
+  for (const auto& [name, value] : telemetry_series(*this)) {
+    if (!first_series) out << ",";
+    first_series = false;
+    out << "\"" << name << "\":" << value;
+  }
+  out << "}";
   out << ",\"hazards\":[";
   for (std::size_t i = 0; i < hazards.size(); ++i) {
     if (i > 0) out << ",";
@@ -174,6 +184,37 @@ void AuditReport::write_json(std::ostream& out) const {
     out << "}";
   }
   out << "]}";
+}
+
+std::vector<std::pair<std::string, double>> telemetry_series(
+    const AuditReport& report) {
+  const auto ratio = [](std::uint64_t num, std::uint64_t den) {
+    return den == 0 ? 0.0
+                    : static_cast<double>(num) / static_cast<double>(den);
+  };
+  return {
+      {"gpucheck.bank.max_degree", static_cast<double>(report.bank.max_degree)},
+      {"gpucheck.bank.conflict_ratio",
+       ratio(report.bank.conflicted_accesses, report.bank.accesses)},
+      // Transactions per ideal transaction: 1.0 = perfectly coalesced.
+      {"gpucheck.coalescing.ratio",
+       ratio(report.coalescing.load_transactions,
+             report.coalescing.ideal_transactions)},
+      {"gpucheck.coalescing.excess_requests",
+       static_cast<double>(report.coalescing.excess_requests)},
+      {"gpucheck.coalescing.staging_excess",
+       static_cast<double>(report.coalescing.staging_excess)},
+      {"gpucheck.hazards.total", static_cast<double>(report.total_hazards())},
+  };
+}
+
+void publish(const AuditReport& report, telemetry::MetricsRegistry& registry) {
+  for (const auto& [name, value] : telemetry_series(report)) {
+    if (name == "gpucheck.bank.max_degree")
+      registry.gauge(name).set_max(value);
+    else
+      registry.gauge(name).set(value);
+  }
 }
 
 }  // namespace acgpu::gpucheck

@@ -9,9 +9,15 @@
 #include <array>
 #include <cstdint>
 #include <iosfwd>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "gpucheck/hazard.h"
+
+namespace acgpu::telemetry {
+class MetricsRegistry;
+}
 
 namespace acgpu::gpucheck {
 
@@ -83,5 +89,17 @@ struct AuditReport {
   void write_text(std::ostream& out) const;
   void write_json(std::ostream& out) const;
 };
+
+/// The report's telemetry projection: (metric name, value) pairs under the
+/// "gpucheck." prefix (gpucheck.bank.max_degree, gpucheck.coalescing.ratio,
+/// ...). This is the single source of truth for both the "telemetry" object
+/// in AuditReport::write_json and publish() below, so an audit's JSON and a
+/// metrics snapshot of the same run can never disagree.
+std::vector<std::pair<std::string, double>> telemetry_series(
+    const AuditReport& report);
+
+/// Publishes telemetry_series() into `registry` as gauges (max_degree via
+/// set_max so repeated audits keep the worst case).
+void publish(const AuditReport& report, telemetry::MetricsRegistry& registry);
 
 }  // namespace acgpu::gpucheck

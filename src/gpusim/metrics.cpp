@@ -1,6 +1,9 @@
 #include "gpusim/metrics.h"
 
 #include <algorithm>
+#include <string>
+
+#include "telemetry/metrics_registry.h"
 
 namespace acgpu::gpusim {
 
@@ -38,6 +41,39 @@ std::ostream& operator<<(std::ostream& out, const Metrics& m) {
       << " tex_hit=" << m.tex_hit_rate()
       << " blocks=" << m.blocks_completed;
   return out;
+}
+
+void publish(const Metrics& m, telemetry::MetricsRegistry& registry,
+             std::string_view prefix) {
+  const std::string p(prefix);
+  const auto count = [&](const char* name, std::uint64_t value) {
+    registry.counter(p + name).add(value);
+  };
+  count(".issue.warp_instructions", m.warp_instructions);
+  count(".issue.cycles", m.issue_cycles);
+  count(".global.requests", m.global_requests);
+  count(".global.transactions", m.global_transactions);
+  count(".global.bytes", m.global_bytes);
+  count(".shared.requests", m.shared_requests);
+  count(".shared.groups", m.shared_groups);
+  count(".shared.conflict_cycles", m.shared_conflict_cycles);
+  count(".tex.requests", m.tex_requests);
+  count(".tex.lane_fetches", m.tex_lane_fetches);
+  count(".tex.misses", m.tex_misses);
+  count(".tex.l2_misses", m.tex_l2_misses);
+  count(".stall.global_cycles", m.stall_global_cycles);
+  count(".stall.shared_cycles", m.stall_shared_cycles);
+  count(".stall.tex_cycles", m.stall_tex_cycles);
+  count(".stall.barrier_cycles", m.stall_barrier_cycles);
+  count(".barriers", m.barriers);
+  count(".blocks_completed", m.blocks_completed);
+  count(".warps_completed", m.warps_completed);
+  registry.gauge(p + ".shared.max_degree")
+      .set_max(static_cast<double>(m.shared_max_degree));
+  registry.gauge(p + ".shared.avg_degree").set(m.avg_shared_degree());
+  registry.gauge(p + ".tex.hit_rate").set(m.tex_hit_rate());
+  registry.gauge(p + ".global.transactions_per_request")
+      .set(m.avg_transactions_per_request());
 }
 
 }  // namespace acgpu::gpusim

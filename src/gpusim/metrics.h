@@ -5,6 +5,11 @@
 
 #include <cstdint>
 #include <ostream>
+#include <string_view>
+
+namespace acgpu::telemetry {
+class MetricsRegistry;
+}
 
 namespace acgpu::gpusim {
 
@@ -62,5 +67,12 @@ struct Metrics {
 };
 
 std::ostream& operator<<(std::ostream& out, const Metrics& m);
+
+/// Publishes every counter under stable dotted names in the telemetry
+/// registry ("<prefix>.shared.conflict_cycles", "<prefix>.tex.hit_rate",
+/// ...; docs/OBSERVABILITY.md lists the scheme). Counters accumulate across
+/// calls; max-degree and the derived rates are gauges (max / last-write).
+void publish(const Metrics& m, telemetry::MetricsRegistry& registry,
+             std::string_view prefix = "gpusim");
 
 }  // namespace acgpu::gpusim

@@ -1,5 +1,7 @@
 #include "pipeline/engine.h"
 
+#include "telemetry/trace.h"
+
 namespace acgpu {
 namespace {
 
@@ -15,6 +17,8 @@ pipeline::PipelineOptions to_pipeline_options(const EngineOptions& options) {
   popt.threads_per_block = options.threads_per_block;
   popt.match_capacity = options.match_capacity;
   popt.mode = options.mode;
+  popt.metrics = options.telemetry.metrics;
+  popt.tracer = options.telemetry.tracer;
   return popt;
 }
 
@@ -86,6 +90,7 @@ Result<Engine> Engine::create(ac::Dfa dfa, const EngineOptions& options) {
 Result<ScanResult> Engine::scan(std::string_view text) {
   if (pipeline_ == nullptr)
     return Status::internal("Engine used after being moved from");
+  ACGPU_TRACE_SPAN(options_.telemetry.tracer, "engine.scan");
   return pipeline_->run(text);
 }
 

@@ -30,6 +30,20 @@
 
 namespace acgpu {
 
+/// Observability sinks for an Engine (telemetry/metrics_registry.h,
+/// telemetry/trace.h). Both default to null = telemetry off, which costs
+/// nothing on the scan path beyond a branch per batch. When set, every scan
+/// publishes gpusim.*/pipeline.* series into the registry and records
+/// engine.scan -> pipeline.run -> pipeline.batch -> kernel.simulate spans;
+/// pipeline/telemetry_export.h turns the result + tracer into a Chrome
+/// trace, and examples/acgpu_prof.cpp is the ready-made frontend.
+struct TelemetryOptions {
+  telemetry::MetricsRegistry* metrics = nullptr;
+  telemetry::Tracer* tracer = nullptr;
+
+  bool enabled() const { return metrics != nullptr || tracer != nullptr; }
+};
+
 struct EngineOptions {
   /// Device kernel: the paper's shared-memory kernel (default), the
   /// global-memory ablation, or PFAC.
@@ -59,6 +73,9 @@ struct EngineOptions {
   std::uint32_t chunk_bytes = 0;
   std::uint32_t threads_per_block = 256;
   std::uint32_t match_capacity = 64;
+
+  /// Metrics/tracing sinks; zero-cost when left defaulted (off).
+  TelemetryOptions telemetry;
 };
 
 /// One scan's output: global-offset matches plus the pipeline's simulated

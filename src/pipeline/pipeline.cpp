@@ -4,6 +4,8 @@
 #include <map>
 #include <optional>
 
+#include "telemetry/metrics_registry.h"
+#include "telemetry/trace.h"
 #include "util/stats.h"
 
 namespace acgpu::pipeline {
@@ -79,6 +81,52 @@ struct CachedTiming {
   std::uint64_t output_bytes = 0;
 };
 
+constexpr double kSimNs = 1e9;  ///< simulated seconds -> nanoseconds
+
+/// Publishes the run into the registry: the summed kernel counters under
+/// gpusim.*, run aggregates under pipeline.*, per-batch and per-op
+/// distributions under pipeline.batch.* / pipeline.op.*.
+void publish_run(const PipelineResult& result, telemetry::MetricsRegistry& reg) {
+  gpusim::publish(result.metrics, reg);
+
+  const PipelineStats& s = result.stats;
+  reg.counter("pipeline.runs").add(1);
+  reg.counter("pipeline.batches").add(s.batches);
+  reg.counter("pipeline.input_bytes").add(s.input_bytes);
+  reg.counter("pipeline.staged_bytes").add(s.staged_bytes);
+  reg.counter("pipeline.output_bytes").add(s.output_bytes);
+  reg.counter("pipeline.matches_reported").add(result.total_reported);
+  reg.gauge("pipeline.overlap_ratio").set(s.overlap_ratio);
+  reg.gauge("pipeline.throughput_gbps").set(s.throughput_gbps());
+  reg.gauge("pipeline.makespan_seconds").set(s.makespan_seconds);
+  reg.gauge("pipeline.copy_busy_seconds").set(s.copy_busy_seconds);
+  reg.gauge("pipeline.compute_busy_seconds").set(s.compute_busy_seconds);
+  reg.gauge("pipeline.overlap_seconds").set(s.overlap_seconds);
+  reg.gauge("pipeline.blocked_seconds").set(s.blocked_seconds);
+  reg.gauge("pipeline.max_queue_depth").set_max(s.max_queue_depth);
+
+  telemetry::Histogram& latency = reg.histogram("pipeline.batch.latency_ns");
+  telemetry::Histogram& blocked = reg.histogram("pipeline.batch.blocked_ns");
+  telemetry::Histogram& depth = reg.histogram("pipeline.batch.queue_depth");
+  for (const BatchTrace& t : result.batches) {
+    latency.observe((t.complete_seconds - t.submit_seconds) * kSimNs);
+    blocked.observe(t.blocked_seconds * kSimNs);
+    depth.observe(t.queue_depth);
+  }
+
+  telemetry::Histogram& h2d = reg.histogram("pipeline.batch.h2d_ns");
+  telemetry::Histogram& kernel = reg.histogram("pipeline.batch.kernel_ns");
+  telemetry::Histogram& d2h = reg.histogram("pipeline.batch.d2h_ns");
+  for (const gpusim::StreamOp& op : result.timeline) {
+    const double ns = (op.end - op.start) * kSimNs;
+    switch (op.kind) {
+      case gpusim::StreamOpKind::kH2D: h2d.observe(ns); break;
+      case gpusim::StreamOpKind::kKernel: kernel.observe(ns); break;
+      case gpusim::StreamOpKind::kD2H: d2h.observe(ns); break;
+    }
+  }
+}
+
 }  // namespace
 
 MatchPipeline::MatchPipeline(const gpusim::GpuConfig& config,
@@ -103,6 +151,8 @@ Result<PipelineResult> MatchPipeline::run(std::string_view text) {
 
   PipelineResult result;
   if (text.empty()) return result;
+
+  ACGPU_TRACE_SPAN(opt.tracer, "pipeline.run");
 
   const std::uint32_t max_len = opt.variant == KernelVariant::kPfac
                                     ? dpfac_->max_pattern_length()
@@ -174,8 +224,10 @@ Result<PipelineResult> MatchPipeline::run(std::string_view text) {
       const gpusim::StreamId stream = static_cast<gpusim::StreamId>(b % opt.streams);
       const gpusim::DevAddr dst = slot_addr[b % slots];
 
+      ACGPU_TRACE_SPAN(opt.tracer, "pipeline.batch");
       BatchTrace trace;
       trace.index = b;
+      trace.stream = stream;
       trace.owned_bytes = owned;
       trace.staged_bytes = slice;
 
@@ -195,6 +247,7 @@ Result<PipelineResult> MatchPipeline::run(std::string_view text) {
           sim.memcpy_h2d(stream, dst, text.data() + base, slice, "h2d b" + std::to_string(b));
       mem_.fill(dst + slice, 0, 8);
       trace.submit_seconds = sim.timeline()[h2d_id].start;
+      trace.issue_index = h2d_id;
 
       // One kernel launch over the slice. Timed runs may reuse the simulated
       // duration of an earlier same-length batch.
@@ -209,6 +262,7 @@ Result<PipelineResult> MatchPipeline::run(std::string_view text) {
         // Recycle the previous batch's match buffer — unless an access
         // observer is attached, whose cross-launch global-write shadow would
         // misread address reuse as a race.
+        ACGPU_TRACE_SPAN(opt.tracer, "kernel.simulate");
         if (opt.observer == nullptr) mem_.release(batch_mark);
 
         gpusim::LaunchOptions sim_opt;
@@ -296,6 +350,14 @@ Result<PipelineResult> MatchPipeline::run(std::string_view text) {
   }
 
   std::sort(result.matches.begin(), result.matches.end());
+  // Deterministic export order: flush order equals issue order today, but
+  // consumers (trace export, reports) must not depend on that accident.
+  std::sort(result.batches.begin(), result.batches.end(),
+            [](const BatchTrace& a, const BatchTrace& b) {
+              if (a.issue_index != b.issue_index) return a.issue_index < b.issue_index;
+              return a.index < b.index;
+            });
+  if (opt.metrics != nullptr) publish_run(result, *opt.metrics);
   return result;
 }
 

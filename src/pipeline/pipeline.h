@@ -37,6 +37,11 @@
 #include "kernels/pfac_kernel.h"
 #include "util/error.h"
 
+namespace acgpu::telemetry {
+class MetricsRegistry;
+class Tracer;
+}
+
 namespace acgpu::pipeline {
 
 /// Which device kernel the pipeline drives per batch.
@@ -83,14 +88,26 @@ struct PipelineOptions {
   /// shadow would misread a reused match-buffer address as a write race.
   gpusim::AccessObserver* observer = nullptr;
 
+  /// Telemetry sinks (telemetry/metrics_registry.h, telemetry/trace.h).
+  /// Null = off, and the hot path pays one branch per batch. When set, the
+  /// run publishes gpusim.* and pipeline.* series into the registry and
+  /// records host-side spans (run -> batch -> kernel) in the tracer.
+  telemetry::MetricsRegistry* metrics = nullptr;
+  telemetry::Tracer* tracer = nullptr;
+
   /// Rejects inconsistent combinations (PFAC with a store scheme override,
   /// zero streams, queue smaller than the stream count, ...).
   Status validate() const;
 };
 
-/// Per-batch record on the simulated timeline.
+/// Per-batch record on the simulated timeline. `stream` and `issue_index`
+/// tie the record back to the StreamOp timeline so a run's interleaving is
+/// reconstructible (and exportable as a Chrome trace) without re-running;
+/// PipelineResult::batches is sorted by (issue_index, index) before return.
 struct BatchTrace {
   std::uint64_t index = 0;
+  std::uint32_t stream = 0;        ///< stream the batch's ops were issued on
+  std::uint64_t issue_index = 0;   ///< timeline op id of the batch's H2D
   std::uint64_t owned_bytes = 0;   ///< bytes this batch reports matches for
   std::uint64_t staged_bytes = 0;  ///< H2D payload (owned + overlap carry)
   std::uint64_t output_bytes = 0;  ///< D2H payload (counts + match records)

@@ -1,0 +1,162 @@
+// Process-wide metrics registry: labeled counters, gauges, and histograms
+// published under stable dotted names ("gpusim.shared.conflict_cycles",
+// "pipeline.batch.h2d_ns", ...). Every instrumented subsystem — the gpusim
+// kernel counters, the texture cache, scheduler stalls, the stream engines,
+// and the pipeline stages — publishes into one registry, so a single
+// snapshot explains a whole run and CI can diff it against baselines
+// (telemetry/regression.h).
+//
+// Concurrency: counter/gauge updates are lock-free atomics, histogram
+// observations take a per-histogram mutex, and metric registration takes the
+// registry mutex. Returned metric references are stable for the registry's
+// lifetime, so hot paths resolve a name once and publish through the
+// reference. The parallel matchers publish from worker threads; the
+// registry is exercised under ACGPU_TSAN in tests/telemetry_registry_test.
+//
+// Naming scheme (docs/OBSERVABILITY.md): lowercase dotted segments,
+// [a-z0-9_] within a segment, subsystem first ("gpusim.", "pipeline.",
+// "gpucheck."). Histogram snapshots expand into derived series
+// (<name>.count/.mean/.min/.max/.p50/.p90/.p99).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/stats.h"
+
+namespace acgpu::telemetry {
+
+enum class MetricKind : std::uint8_t { kCounter, kGauge, kHistogram };
+
+const char* to_string(MetricKind kind);
+
+/// Monotonically increasing count (events, bytes, cycles). Lock-free.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value (a ratio, a rate, a depth). Lock-free.
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  /// Keeps the maximum of all set_max() calls (e.g. worst conflict degree).
+  void set_max(double v) {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (v > cur && !value_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Distribution summary of a histogram at snapshot time.
+struct HistogramSummary {
+  std::uint64_t count = 0;
+  double mean = 0, min = 0, max = 0;
+  double p50 = 0, p90 = 0, p99 = 0;
+};
+
+/// Sample distribution (latencies, per-batch durations). Guarded by a
+/// per-histogram mutex; percentile queries retain samples up to a cap, while
+/// count/mean/min/max stay exact beyond it.
+class Histogram {
+ public:
+  void observe(double v);
+  HistogramSummary summary() const;
+
+ private:
+  static constexpr std::size_t kSampleCap = 1u << 16;
+
+  mutable std::mutex mu_;
+  Samples samples_;       // retained for percentiles, capped at kSampleCap
+  RunningStats stats_;    // exact count/mean/min/max over every observation
+};
+
+/// One named series in a snapshot. Histograms contribute several entries
+/// (derived ".count"/".p99"/... names) that all carry kind kHistogram.
+struct SnapshotEntry {
+  std::string name;
+  MetricKind kind{};
+  double value = 0;
+};
+
+/// Point-in-time copy of a registry, ordered by name. This is the exchange
+/// format between a run and its consumers: JSON/CSV files, the --stats
+/// table, and the regression gate.
+class MetricsSnapshot {
+ public:
+  std::vector<SnapshotEntry> entries;  ///< sorted by name, names distinct
+
+  std::optional<double> value(std::string_view name) const;
+
+  /// {"metrics":{"name":value,...}} — the schema check_regression and the
+  /// telemetry tests parse back (telemetry/json.h).
+  void write_json(std::ostream& out) const;
+  /// "name,kind,value" rows with a header line.
+  void write_csv(std::ostream& out) const;
+  /// Human-readable aligned table (the --stats view).
+  void write_table(std::ostream& out) const;
+};
+
+/// Parses a snapshot previously serialised by MetricsSnapshot::write_json.
+/// Returns std::nullopt when the text is not valid snapshot JSON.
+std::optional<MetricsSnapshot> parse_snapshot(std::string_view json_text);
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Finds or creates the named metric. Throws acgpu::Error on a malformed
+  /// name or when the name is already registered with a different kind —
+  /// dotted names are a contract, not a convention.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  std::size_t size() const;
+  MetricsSnapshot snapshot() const;
+  /// Drops every registered metric (between runs / tests). References
+  /// obtained before reset() dangle; re-resolve after.
+  void reset();
+
+  /// The process-wide default registry. Library code takes a registry
+  /// pointer (nullptr = telemetry off) rather than reaching for this;
+  /// global() is for tools that want one shared sink without plumbing.
+  static MetricsRegistry& global();
+
+ private:
+  struct Metric {
+    MetricKind kind{};
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Metric& resolve(std::string_view name, MetricKind kind);
+
+  mutable std::mutex mu_;
+  std::map<std::string, Metric, std::less<>> metrics_;
+};
+
+/// True when `name` follows the dotted naming scheme: non-empty [a-z0-9_]
+/// segments joined by single dots.
+bool valid_metric_name(std::string_view name);
+
+}  // namespace acgpu::telemetry

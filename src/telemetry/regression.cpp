@@ -1,0 +1,125 @@
+#include "telemetry/regression.h"
+
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+#include "telemetry/json.h"
+#include "util/table.h"
+
+namespace acgpu::telemetry {
+
+Result<RegressionBaseline> parse_baseline(std::string_view json_text) {
+  const std::optional<JsonValue> root = parse_json(json_text);
+  if (!root || !root->is_object())
+    return Status::invalid_argument("baseline is not a JSON object");
+  const JsonValue* checks = root->find("checks");
+  if (checks == nullptr || !checks->is_array())
+    return Status::invalid_argument("baseline has no \"checks\" array");
+
+  RegressionBaseline baseline;
+  for (const JsonValue& item : checks->array()) {
+    if (!item.is_object())
+      return Status::invalid_argument("baseline check is not an object");
+    const JsonValue* name = item.find("name");
+    if (name == nullptr || !name->is_string())
+      return Status::invalid_argument("baseline check without a \"name\"");
+    RegressionCheck check;
+    check.name = name->string();
+    check.min = item.number_at("min");
+    check.max = item.number_at("max");
+    if (!check.min && !check.max)
+      return Status::invalid_argument("check '" + check.name +
+                                      "' has neither \"min\" nor \"max\"");
+    if (check.min && check.max && *check.min > *check.max)
+      return Status::invalid_argument("check '" + check.name +
+                                      "' has min above max");
+    baseline.checks.push_back(std::move(check));
+  }
+  if (baseline.checks.empty())
+    return Status::invalid_argument("baseline has no checks");
+  return baseline;
+}
+
+namespace {
+
+std::string format_number(double v) {
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+std::optional<RegressionViolation> evaluate(const MetricsSnapshot& snapshot,
+                                            const RegressionCheck& check) {
+  const std::optional<double> value = snapshot.value(check.name);
+  if (!value) {
+    RegressionViolation v;
+    v.name = check.name;
+    v.missing = true;
+    v.detail = "series missing from snapshot";
+    return v;
+  }
+  if (check.min && *value < *check.min) {
+    RegressionViolation v;
+    v.name = check.name;
+    v.value = *value;
+    v.detail = format_number(*value) + " below min " + format_number(*check.min);
+    return v;
+  }
+  if (check.max && *value > *check.max) {
+    RegressionViolation v;
+    v.name = check.name;
+    v.value = *value;
+    v.detail = format_number(*value) + " above max " + format_number(*check.max);
+    return v;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+RegressionVerdict check_regression(const MetricsSnapshot& snapshot,
+                                   const RegressionBaseline& baseline) {
+  RegressionVerdict verdict;
+  verdict.checks = baseline.checks.size();
+  for (const RegressionCheck& check : baseline.checks)
+    if (std::optional<RegressionViolation> v = evaluate(snapshot, check))
+      verdict.violations.push_back(std::move(*v));
+  return verdict;
+}
+
+void write_verdict_table(const MetricsSnapshot& snapshot,
+                         const RegressionBaseline& baseline, std::ostream& out) {
+  Table table;
+  table.set_header({"check", "min", "max", "observed", "verdict"});
+  for (const RegressionCheck& check : baseline.checks) {
+    const std::optional<double> value = snapshot.value(check.name);
+    const std::optional<RegressionViolation> violation = evaluate(snapshot, check);
+    table.add_row({check.name, check.min ? format_number(*check.min) : "-",
+                   check.max ? format_number(*check.max) : "-",
+                   value ? format_number(*value) : "(missing)",
+                   violation ? "FAIL: " + violation->detail : "ok"});
+  }
+  table.print(out);
+}
+
+void write_baseline(const MetricsSnapshot& snapshot,
+                    const std::vector<std::string>& names, double slack,
+                    std::ostream& out) {
+  out << "{\"checks\":[";
+  bool first = true;
+  for (const std::string& name : names) {
+    const std::optional<double> value = snapshot.value(name);
+    ACGPU_CHECK(value.has_value(),
+                "cannot band '" << name << "': series missing from snapshot");
+    if (!first) out << ",";
+    first = false;
+    const double lo = *value >= 0 ? *value * (1 - slack) : *value * (1 + slack);
+    const double hi = *value >= 0 ? *value * (1 + slack) : *value * (1 - slack);
+    out << "\n  {\"name\":\"" << name << "\",\"min\":" << lo << ",\"max\":" << hi
+        << "}";
+  }
+  out << "\n]}\n";
+}
+
+}  // namespace acgpu::telemetry

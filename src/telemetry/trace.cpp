@@ -1,0 +1,237 @@
+#include "telemetry/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <map>
+#include <ostream>
+
+#include "util/error.h"
+
+namespace acgpu::telemetry {
+
+namespace {
+
+/// Per-Tracer serial so thread-local state survives a Tracer being destroyed
+/// and another allocated at the same address (tests do this freely).
+std::uint64_t next_tracer_serial() {
+  static std::atomic<std::uint64_t> serial{1};
+  return serial.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+Tracer::Tracer() : epoch_ns_(now_ns()), serial_(next_tracer_serial()) {}
+
+Tracer::ThreadState& Tracer::thread_state() {
+  thread_local std::map<std::uint64_t, ThreadState> states;
+  ThreadState& st = states[serial_];
+  if (st.track == 0) {
+    std::lock_guard<std::mutex> lock(mu_);
+    st.track = next_track_++;
+  }
+  return st;
+}
+
+std::uint64_t Tracer::begin_span(std::string_view name) {
+  ThreadState& st = thread_state();
+  ActiveSpan span;
+  span.name = std::string(name);
+  span.start_ns = now_ns();
+  span.parent = st.stack.empty() ? 0 : st.stack.back().id;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    span.id = next_id_++;
+  }
+  st.stack.push_back(std::move(span));
+  return st.stack.back().id;
+}
+
+void Tracer::end_span(std::uint64_t id) {
+  ThreadState& st = thread_state();
+  ACGPU_CHECK(!st.stack.empty() && st.stack.back().id == id,
+              "span " << id << " ended out of order (spans are RAII-nested "
+                      << "per thread)");
+  ActiveSpan span = std::move(st.stack.back());
+  st.stack.pop_back();
+
+  TraceEvent event;
+  event.name = std::move(span.name);
+  event.track = st.track;
+  event.start_ns = span.start_ns - epoch_ns_;
+  event.dur_ns = now_ns() - span.start_ns;
+  event.id = span.id;
+  event.parent = span.parent;
+  event.args = std::move(span.args);
+  std::lock_guard<std::mutex> lock(mu_);
+  completed_.push_back(std::move(event));
+}
+
+void Tracer::annotate(std::string_view key, std::string_view value) {
+  ThreadState& st = thread_state();
+  ACGPU_CHECK(!st.stack.empty(), "annotate('" << std::string(key)
+                                              << "') with no open span");
+  st.stack.back().args.emplace_back(std::string(key), std::string(value));
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return completed_;
+}
+
+std::size_t Tracer::event_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return completed_.size();
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::uint64_t ChromeTrace::process(std::string_view name) {
+  for (std::size_t i = 0; i < processes_.size(); ++i)
+    if (processes_[i].name == name) return i + 1;
+  processes_.push_back({std::string(name), {}});
+  return processes_.size();
+}
+
+std::uint64_t ChromeTrace::track(std::uint64_t pid, std::string_view name) {
+  ACGPU_CHECK(pid >= 1 && pid <= processes_.size(), "unknown trace pid " << pid);
+  Process& p = processes_[pid - 1];
+  for (std::size_t i = 0; i < p.tracks.size(); ++i)
+    if (p.tracks[i] == name) return i + 1;
+  p.tracks.push_back(std::string(name));
+  return p.tracks.size();
+}
+
+void ChromeTrace::add_slice(std::uint64_t pid, std::uint64_t tid,
+                            std::string_view name, std::uint64_t start_ns,
+                            std::uint64_t dur_ns,
+                            std::vector<std::pair<std::string, std::string>> args) {
+  slices_.push_back({pid, tid, std::string(name), start_ns, dur_ns, std::move(args)});
+}
+
+void ChromeTrace::add_counter(std::uint64_t pid, std::string_view series,
+                              std::uint64_t t_ns, double value) {
+  counters_.push_back({pid, std::string(series), t_ns, value});
+}
+
+void ChromeTrace::add_tracer(const Tracer& tracer, std::string_view process_name) {
+  const std::uint64_t pid = process(process_name);
+  for (const TraceEvent& e : tracer.events()) {
+    char track_name[32];
+    std::snprintf(track_name, sizeof track_name, "thread %llu",
+                  static_cast<unsigned long long>(e.track));
+    const std::uint64_t tid = track(pid, track_name);
+    std::vector<std::pair<std::string, std::string>> args = e.args;
+    args.emplace_back("span_id", std::to_string(e.id));
+    if (e.parent != 0) args.emplace_back("parent_span_id", std::to_string(e.parent));
+    add_slice(pid, tid, e.name, e.start_ns, e.dur_ns, std::move(args));
+  }
+}
+
+namespace {
+
+/// Trace-event timestamps are microseconds; emit ns-precision fractions.
+void write_us(std::ostream& out, std::uint64_t ns) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%llu.%03llu",
+                static_cast<unsigned long long>(ns / 1000),
+                static_cast<unsigned long long>(ns % 1000));
+  out << buf;
+}
+
+}  // namespace
+
+void ChromeTrace::write(std::ostream& out) const {
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  const auto sep = [&]() {
+    if (!first) out << ",";
+    first = false;
+    out << "\n";
+  };
+
+  // Track metadata: names for every process and thread row.
+  for (std::size_t p = 0; p < processes_.size(); ++p) {
+    sep();
+    out << "{\"ph\":\"M\",\"pid\":" << (p + 1)
+        << ",\"name\":\"process_name\",\"args\":{\"name\":\""
+        << json_escape(processes_[p].name) << "\"}}";
+    for (std::size_t t = 0; t < processes_[p].tracks.size(); ++t) {
+      sep();
+      out << "{\"ph\":\"M\",\"pid\":" << (p + 1) << ",\"tid\":" << (t + 1)
+          << ",\"name\":\"thread_name\",\"args\":{\"name\":\""
+          << json_escape(processes_[p].tracks[t]) << "\"}}";
+    }
+  }
+
+  // Slices, sorted (pid, tid, start, longer-first) so nested host spans
+  // enclose their children and per-track device slices come out monotone.
+  std::vector<const Slice*> order;
+  order.reserve(slices_.size());
+  for (const Slice& s : slices_) order.push_back(&s);
+  std::stable_sort(order.begin(), order.end(), [](const Slice* a, const Slice* b) {
+    if (a->pid != b->pid) return a->pid < b->pid;
+    if (a->tid != b->tid) return a->tid < b->tid;
+    if (a->start_ns != b->start_ns) return a->start_ns < b->start_ns;
+    return a->dur_ns > b->dur_ns;
+  });
+  for (const Slice* s : order) {
+    sep();
+    out << "{\"ph\":\"X\",\"pid\":" << s->pid << ",\"tid\":" << s->tid
+        << ",\"name\":\"" << json_escape(s->name) << "\",\"ts\":";
+    write_us(out, s->start_ns);
+    out << ",\"dur\":";
+    write_us(out, s->dur_ns);
+    if (!s->args.empty()) {
+      out << ",\"args\":{";
+      for (std::size_t i = 0; i < s->args.size(); ++i) {
+        if (i > 0) out << ",";
+        out << "\"" << json_escape(s->args[i].first) << "\":\""
+            << json_escape(s->args[i].second) << "\"";
+      }
+      out << "}";
+    }
+    out << "}";
+  }
+
+  // Counter samples, sorted (pid, series, t) for deterministic output.
+  std::vector<const Counter*> corder;
+  corder.reserve(counters_.size());
+  for (const Counter& c : counters_) corder.push_back(&c);
+  std::stable_sort(corder.begin(), corder.end(), [](const Counter* a, const Counter* b) {
+    if (a->pid != b->pid) return a->pid < b->pid;
+    if (a->series != b->series) return a->series < b->series;
+    return a->t_ns < b->t_ns;
+  });
+  for (const Counter* c : corder) {
+    sep();
+    out << "{\"ph\":\"C\",\"pid\":" << c->pid << ",\"tid\":0,\"name\":\""
+        << json_escape(c->series) << "\",\"ts\":";
+    write_us(out, c->t_ns);
+    out << ",\"args\":{\"value\":" << c->value << "}}";
+  }
+
+  out << "\n]}\n";
+}
+
+}  // namespace acgpu::telemetry

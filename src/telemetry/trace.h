@@ -1,0 +1,173 @@
+// Scoped-span tracing and Chrome trace-event export.
+//
+// Two time domains meet in one trace file, as two Chrome "processes":
+//
+//   - Host spans (Tracer + ACGPU_TRACE_SPAN): wall-clock nanoseconds on the
+//     process's monotonic clock (acgpu::now_ns — the same clock Stopwatch
+//     reads), one track per host thread, RAII nesting giving parent/child
+//     links. Engine::scan -> MatchPipeline::run -> per-batch issue -> kernel
+//     simulation all record here.
+//   - Simulated-device slices (pipeline/telemetry_export.h): the resolved
+//     gpusim stream timeline, one track per stream plus one per engine
+//     (copy/compute), on the simulated clock.
+//
+// ChromeTrace accumulates both, plus counter tracks (queue depth, engine
+// occupancy), and writes the standard trace-event JSON that chrome://tracing
+// and Perfetto load directly (docs/OBSERVABILITY.md shows how).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/stopwatch.h"
+
+namespace acgpu::telemetry {
+
+/// One completed slice destined for a trace track. Timestamps are
+/// nanoseconds in the owning process's clock domain.
+struct TraceEvent {
+  std::string name;
+  std::uint64_t track = 0;     ///< tid within the owning process
+  std::uint64_t start_ns = 0;
+  std::uint64_t dur_ns = 0;
+  std::uint64_t id = 0;        ///< span id, unique within one Tracer
+  std::uint64_t parent = 0;    ///< enclosing span id; 0 = root
+  std::vector<std::pair<std::string, std::string>> args;
+};
+
+/// Collects completed host-side spans. Span begin/end is thread-safe; the
+/// per-thread nesting stack lives in thread-local storage, so spans opened
+/// on different threads land on different tracks and never interleave.
+/// A null Tracer* everywhere means tracing is off and costs one branch.
+class Tracer {
+ public:
+  Tracer();
+
+  /// Opens a span; pair with end_span. Most callers use the Span RAII type
+  /// or ACGPU_TRACE_SPAN instead.
+  std::uint64_t begin_span(std::string_view name);
+  void end_span(std::uint64_t id);
+  /// Attaches a key/value to the currently open span on this thread.
+  void annotate(std::string_view key, std::string_view value);
+
+  /// Monotonic-clock origin (now_ns at construction); exported timestamps
+  /// are relative to it so traces start near t=0.
+  std::uint64_t epoch_ns() const { return epoch_ns_; }
+
+  /// Completed spans so far (copy under the tracer lock). Spans still open
+  /// are not included.
+  std::vector<TraceEvent> events() const;
+  std::size_t event_count() const;
+
+ private:
+  struct ActiveSpan {
+    std::uint64_t id = 0;
+    std::string name;
+    std::uint64_t start_ns = 0;
+    std::uint64_t parent = 0;
+    std::vector<std::pair<std::string, std::string>> args;
+  };
+  struct ThreadState {
+    std::uint64_t track = 0;
+    std::vector<ActiveSpan> stack;
+  };
+
+  ThreadState& thread_state();
+
+  std::uint64_t epoch_ns_ = 0;
+  std::uint64_t serial_ = 0;  ///< keys thread-local state; unique per Tracer
+  mutable std::mutex mu_;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t next_track_ = 1;
+  std::vector<TraceEvent> completed_;
+};
+
+/// RAII span: no-op when `tracer` is null (telemetry off).
+class Span {
+ public:
+  Span(Tracer* tracer, std::string_view name) : tracer_(tracer) {
+    if (tracer_ != nullptr) id_ = tracer_->begin_span(name);
+  }
+  ~Span() {
+    if (tracer_ != nullptr) tracer_->end_span(id_);
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Attaches a key/value argument to this span (no-op when off).
+  void annotate(std::string_view key, std::string_view value) {
+    if (tracer_ != nullptr) tracer_->annotate(key, value);
+  }
+
+ private:
+  Tracer* tracer_;
+  std::uint64_t id_ = 0;
+};
+
+// Scoped span over the enclosing block; `tracer` may be null (no-op).
+//   ACGPU_TRACE_SPAN(tracer, "pipeline.run");
+#define ACGPU_TRACE_SPAN_CONCAT2(a, b) a##b
+#define ACGPU_TRACE_SPAN_CONCAT(a, b) ACGPU_TRACE_SPAN_CONCAT2(a, b)
+#define ACGPU_TRACE_SPAN(tracer, name) \
+  ::acgpu::telemetry::Span ACGPU_TRACE_SPAN_CONCAT(acgpu_trace_span_, __LINE__){(tracer), (name)}
+
+/// Accumulates slices and counter samples across processes (clock domains)
+/// and writes Chrome trace-event JSON. Deterministic output: tracks are
+/// emitted in registration order, slices sorted by (pid, tid, start).
+class ChromeTrace {
+ public:
+  /// Registers (or finds) a Chrome "process" — one clock domain / top-level
+  /// group in the Perfetto UI.
+  std::uint64_t process(std::string_view name);
+  /// Registers (or finds) a named track inside a process.
+  std::uint64_t track(std::uint64_t pid, std::string_view name);
+
+  void add_slice(std::uint64_t pid, std::uint64_t tid, std::string_view name,
+                 std::uint64_t start_ns, std::uint64_t dur_ns,
+                 std::vector<std::pair<std::string, std::string>> args = {});
+  /// One sample on a counter track ("queue depth" over time). Chrome draws
+  /// step functions between samples.
+  void add_counter(std::uint64_t pid, std::string_view series,
+                   std::uint64_t t_ns, double value);
+  /// Folds a Tracer's completed spans in as `process_name`, one track per
+  /// source thread, timestamps re-based to the tracer epoch.
+  void add_tracer(const Tracer& tracer, std::string_view process_name = "acgpu host");
+
+  std::size_t slice_count() const { return slices_.size(); }
+
+  /// Standard {"traceEvents":[...]} JSON; ts/dur in microseconds as the
+  /// format requires (fractional, so nanosecond precision survives).
+  void write(std::ostream& out) const;
+
+ private:
+  struct Process {
+    std::string name;
+    std::vector<std::string> tracks;  // tid = index + 1
+  };
+  struct Slice {
+    std::uint64_t pid = 0, tid = 0;
+    std::string name;
+    std::uint64_t start_ns = 0, dur_ns = 0;
+    std::vector<std::pair<std::string, std::string>> args;
+  };
+  struct Counter {
+    std::uint64_t pid = 0;
+    std::string series;
+    std::uint64_t t_ns = 0;
+    double value = 0;
+  };
+
+  std::vector<Process> processes_;  // pid = index + 1
+  std::vector<Slice> slices_;
+  std::vector<Counter> counters_;
+};
+
+/// Escapes a string for embedding in a JSON string literal.
+std::string json_escape(std::string_view s);
+
+}  // namespace acgpu::telemetry

@@ -2,26 +2,40 @@
 #pragma once
 
 #include <chrono>
+#include <cstdint>
 
 namespace acgpu {
+
+/// Nanoseconds on the process's single monotonic clock
+/// (std::chrono::steady_clock). Telemetry span timestamps
+/// (telemetry/trace.h) and Stopwatch timings both read this function, so a
+/// trace never mixes clock domains with the timings printed next to it.
+inline std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
 
 /// Monotonic stopwatch. Started on construction; restart() re-zeroes it.
 class Stopwatch {
  public:
-  Stopwatch() : start_(clock::now()) {}
+  Stopwatch() : start_(now_ns()) {}
 
-  void restart() { start_ = clock::now(); }
+  void restart() { start_ = now_ns(); }
 
   /// Elapsed seconds since construction or the last restart().
   double seconds() const {
-    return std::chrono::duration<double>(clock::now() - start_).count();
+    return static_cast<double>(now_ns() - start_) * 1e-9;
   }
 
   double millis() const { return seconds() * 1e3; }
 
+  /// Elapsed nanoseconds on the shared monotonic clock.
+  std::uint64_t nanos() const { return now_ns() - start_; }
+
  private:
-  using clock = std::chrono::steady_clock;
-  clock::time_point start_;
+  std::uint64_t start_;
 };
 
 }  // namespace acgpu

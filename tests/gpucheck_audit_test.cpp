@@ -6,10 +6,13 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "oracle/workload_gen.h"
+#include "telemetry/json.h"
+#include "telemetry/metrics_registry.h"
 #include "util/error.h"
 
 namespace acgpu::gpucheck {
@@ -137,6 +140,43 @@ TEST(GpucheckAudit, SweepDefaultsToAllTargets) {
   const std::vector<SweepTargetResult> results =
       audit_conformance(/*seed=*/7, /*iterations=*/1);
   EXPECT_EQ(results.size(), all_audit_targets().size());
+}
+
+// telemetry_series() is the single source of truth for the report's metric
+// projection: the registry snapshot, the JSON report's "telemetry" object,
+// and the raw report fields must all agree.
+TEST(GpucheckAudit, TelemetryProjectionAgreesEverywhere) {
+  const AuditOutcome outcome =
+      audit_workload(AuditTarget::kAcSharedDiagonal, wide_workload());
+  const auto series = telemetry_series(outcome.report);
+  ASSERT_FALSE(series.empty());
+
+  const auto at = [&series](const std::string& name) {
+    for (const auto& [n, v] : series)
+      if (n == name) return v;
+    ADD_FAILURE() << "series " << name << " missing";
+    return 0.0;
+  };
+  EXPECT_EQ(at("gpucheck.bank.max_degree"),
+            static_cast<double>(outcome.report.bank.max_degree));
+  EXPECT_EQ(at("gpucheck.hazards.total"),
+            static_cast<double>(outcome.report.total_hazards()));
+
+  telemetry::MetricsRegistry registry;
+  publish(outcome.report, registry);
+  const telemetry::MetricsSnapshot snap = registry.snapshot();
+  for (const auto& [name, value] : series)
+    EXPECT_EQ(snap.value(name), value) << name;
+
+  std::ostringstream json;
+  outcome.report.write_json(json);
+  const std::optional<telemetry::JsonValue> doc =
+      telemetry::parse_json(json.str());
+  ASSERT_TRUE(doc.has_value()) << "audit JSON must parse";
+  const telemetry::JsonValue* embedded = doc->find("telemetry");
+  ASSERT_NE(embedded, nullptr);
+  for (const auto& [name, value] : series)
+    EXPECT_EQ(embedded->number_at(name), value) << name;
 }
 
 }  // namespace

@@ -1,0 +1,172 @@
+// MetricsRegistry: naming contract, kind safety, snapshot/serialisation
+// round trips, and concurrent publishing (the parallel matchers publish from
+// worker threads — build with -DACGPU_TSAN=ON to run this file under
+// ThreadSanitizer).
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "telemetry/metrics_registry.h"
+#include "util/error.h"
+
+namespace acgpu::telemetry {
+namespace {
+
+TEST(MetricName, ValidatesDottedLowercaseScheme) {
+  EXPECT_TRUE(valid_metric_name("gpusim.shared.conflict_cycles"));
+  EXPECT_TRUE(valid_metric_name("pipeline.batch.h2d_ns"));
+  EXPECT_TRUE(valid_metric_name("a"));
+  EXPECT_TRUE(valid_metric_name("a1.b_2"));
+
+  EXPECT_FALSE(valid_metric_name(""));
+  EXPECT_FALSE(valid_metric_name("."));
+  EXPECT_FALSE(valid_metric_name("a."));
+  EXPECT_FALSE(valid_metric_name(".a"));
+  EXPECT_FALSE(valid_metric_name("a..b"));
+  EXPECT_FALSE(valid_metric_name("Upper.case"));
+  EXPECT_FALSE(valid_metric_name("sp ace"));
+  EXPECT_FALSE(valid_metric_name("da-sh"));
+}
+
+TEST(MetricsRegistry, CounterGaugeHistogramBasics) {
+  MetricsRegistry reg;
+  reg.counter("t.count").add(3);
+  reg.counter("t.count").add();
+  reg.gauge("t.gauge").set(2.5);
+  reg.histogram("t.hist").observe(1);
+  reg.histogram("t.hist").observe(3);
+
+  EXPECT_EQ(reg.counter("t.count").value(), 4u);
+  EXPECT_DOUBLE_EQ(reg.gauge("t.gauge").value(), 2.5);
+  const HistogramSummary h = reg.histogram("t.hist").summary();
+  EXPECT_EQ(h.count, 2u);
+  EXPECT_DOUBLE_EQ(h.mean, 2.0);
+  EXPECT_DOUBLE_EQ(h.min, 1.0);
+  EXPECT_DOUBLE_EQ(h.max, 3.0);
+  EXPECT_EQ(reg.size(), 3u);
+}
+
+TEST(MetricsRegistry, GaugeSetMaxKeepsWorstCase) {
+  MetricsRegistry reg;
+  Gauge& g = reg.gauge("t.max");
+  g.set_max(2);
+  g.set_max(1);
+  EXPECT_DOUBLE_EQ(g.value(), 2.0);
+  g.set_max(5);
+  EXPECT_DOUBLE_EQ(g.value(), 5.0);
+}
+
+TEST(MetricsRegistry, RejectsMalformedNamesAndKindMismatches) {
+  MetricsRegistry reg;
+  EXPECT_THROW(reg.counter("Bad.Name"), Error);
+  EXPECT_THROW(reg.gauge(""), Error);
+  reg.counter("t.series");
+  EXPECT_THROW(reg.gauge("t.series"), Error);
+  EXPECT_THROW(reg.histogram("t.series"), Error);
+  EXPECT_NO_THROW(reg.counter("t.series"));  // same kind: find, not create
+}
+
+TEST(MetricsRegistry, SnapshotIsSortedAndExpandsHistograms) {
+  MetricsRegistry reg;
+  reg.gauge("z.last").set(9);
+  reg.counter("a.first").add(1);
+  reg.histogram("m.lat").observe(10);
+  reg.histogram("m.lat").observe(20);
+
+  const MetricsSnapshot snap = reg.snapshot();
+  ASSERT_FALSE(snap.entries.empty());
+  for (std::size_t i = 1; i < snap.entries.size(); ++i)
+    EXPECT_LT(snap.entries[i - 1].name, snap.entries[i].name);
+
+  EXPECT_EQ(snap.value("a.first"), 1.0);
+  EXPECT_EQ(snap.value("z.last"), 9.0);
+  // Histogram series expand into derived names.
+  EXPECT_EQ(snap.value("m.lat.count"), 2.0);
+  EXPECT_EQ(snap.value("m.lat.mean"), 15.0);
+  EXPECT_EQ(snap.value("m.lat.min"), 10.0);
+  EXPECT_EQ(snap.value("m.lat.max"), 20.0);
+  ASSERT_TRUE(snap.value("m.lat.p50").has_value());
+  ASSERT_TRUE(snap.value("m.lat.p90").has_value());
+  ASSERT_TRUE(snap.value("m.lat.p99").has_value());
+  EXPECT_FALSE(snap.value("m.lat").has_value());
+  EXPECT_FALSE(snap.value("no.such").has_value());
+}
+
+TEST(MetricsRegistry, JsonSnapshotRoundTrips) {
+  MetricsRegistry reg;
+  reg.counter("rt.count").add(7);
+  reg.gauge("rt.ratio").set(0.25);
+  reg.histogram("rt.ns").observe(100);
+
+  std::ostringstream json;
+  reg.snapshot().write_json(json);
+  const std::optional<MetricsSnapshot> back = parse_snapshot(json.str());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->entries.size(), reg.snapshot().entries.size());
+  EXPECT_EQ(back->value("rt.count"), 7.0);
+  EXPECT_EQ(back->value("rt.ratio"), 0.25);
+  EXPECT_EQ(back->value("rt.ns.count"), 1.0);
+
+  EXPECT_FALSE(parse_snapshot("not json").has_value());
+  EXPECT_FALSE(parse_snapshot("{\"nope\":1}").has_value());
+}
+
+TEST(MetricsRegistry, CsvSnapshotHasHeaderAndAllSeries) {
+  MetricsRegistry reg;
+  reg.counter("c.one").add(1);
+  reg.gauge("g.two").set(2);
+  std::ostringstream csv;
+  reg.snapshot().write_csv(csv);
+  const std::string text = csv.str();
+  EXPECT_NE(text.find("name,kind,value"), std::string::npos);
+  EXPECT_NE(text.find("c.one,counter,"), std::string::npos);
+  EXPECT_NE(text.find("g.two,gauge,"), std::string::npos);
+}
+
+TEST(MetricsRegistry, ResetDropsEverything) {
+  MetricsRegistry reg;
+  reg.counter("t.a").add(1);
+  reg.gauge("t.b").set(1);
+  EXPECT_EQ(reg.size(), 2u);
+  reg.reset();
+  EXPECT_EQ(reg.size(), 0u);
+  EXPECT_EQ(reg.counter("t.a").value(), 0u);  // fresh metric after reset
+}
+
+// The TSAN satellite: concurrent registration and publishing from many
+// threads, each mixing find-or-create with hot-path updates on shared and
+// private series. Counter totals are exact because add() is atomic.
+TEST(MetricsRegistry, ConcurrentPublishIsExactAndRaceFree) {
+  MetricsRegistry reg;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 5000;
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg, t] {
+      const std::string own = "worker.t" + std::to_string(t) + ".ops";
+      for (int i = 0; i < kIters; ++i) {
+        reg.counter("shared.ops").add();
+        reg.counter(own).add();
+        reg.gauge("shared.depth").set_max(static_cast<double>(i % 7));
+        reg.histogram("shared.latency_ns").observe(static_cast<double>(i));
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+
+  EXPECT_EQ(reg.counter("shared.ops").value(),
+            static_cast<std::uint64_t>(kThreads) * kIters);
+  for (int t = 0; t < kThreads; ++t)
+    EXPECT_EQ(reg.counter("worker.t" + std::to_string(t) + ".ops").value(),
+              static_cast<std::uint64_t>(kIters));
+  EXPECT_DOUBLE_EQ(reg.gauge("shared.depth").value(), 6.0);
+  EXPECT_EQ(reg.histogram("shared.latency_ns").summary().count,
+            static_cast<std::uint64_t>(kThreads) * kIters);
+}
+
+}  // namespace
+}  // namespace acgpu::telemetry

@@ -1,0 +1,139 @@
+// The perf-regression gate: baseline parsing, verdicts (including the
+// demonstration that a degraded overlap ratio FAILS the checked-in bounds),
+// and the --write-baseline banding round trip.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "telemetry/metrics_registry.h"
+#include "telemetry/regression.h"
+
+namespace acgpu::telemetry {
+namespace {
+
+constexpr const char* kBaselineJson = R"({
+  "workload": {"size_bytes": 8388608, "streams": 4},
+  "checks": [
+    {"name": "pipeline.overlap_ratio", "min": 0.90},
+    {"name": "gpusim.shared.max_degree", "min": 1, "max": 2},
+    {"name": "gpusim.tex.hit_rate", "min": 0.20}
+  ]
+})";
+
+MetricsSnapshot healthy_snapshot() {
+  MetricsRegistry reg;
+  reg.gauge("pipeline.overlap_ratio").set(0.95);
+  reg.gauge("gpusim.shared.max_degree").set(2);
+  reg.gauge("gpusim.tex.hit_rate").set(0.24);
+  return reg.snapshot();
+}
+
+TEST(RegressionBaseline, ParsesChecksWithBounds) {
+  const Result<RegressionBaseline> b = parse_baseline(kBaselineJson);
+  ASSERT_TRUE(b.is_ok()) << b.status().to_string();
+  ASSERT_EQ(b.value().checks.size(), 3u);
+  EXPECT_EQ(b.value().checks[0].name, "pipeline.overlap_ratio");
+  EXPECT_EQ(b.value().checks[0].min, 0.90);
+  EXPECT_FALSE(b.value().checks[0].max.has_value());
+  EXPECT_EQ(b.value().checks[1].min, 1.0);
+  EXPECT_EQ(b.value().checks[1].max, 2.0);
+}
+
+TEST(RegressionBaseline, RejectsMalformedDocuments) {
+  EXPECT_FALSE(parse_baseline("not json").is_ok());
+  EXPECT_FALSE(parse_baseline("{}").is_ok());  // no checks array
+  EXPECT_FALSE(parse_baseline(R"({"checks": [{"min": 1}]})").is_ok());
+  EXPECT_FALSE(  // a check needs at least one bound
+      parse_baseline(R"({"checks": [{"name": "a.b"}]})").is_ok());
+  EXPECT_FALSE(  // inverted band
+      parse_baseline(R"({"checks": [{"name": "a.b", "min": 2, "max": 1}]})")
+          .is_ok());
+}
+
+TEST(Regression, HealthySnapshotPasses) {
+  const Result<RegressionBaseline> b = parse_baseline(kBaselineJson);
+  ASSERT_TRUE(b.is_ok());
+  const RegressionVerdict v = check_regression(healthy_snapshot(), b.value());
+  EXPECT_TRUE(v.pass());
+  EXPECT_EQ(v.checks, 3u);
+}
+
+// The acceptance demo: degrade the overlap ratio (what dropping to one
+// stream does to the pipeline) and the gate must fail with a verdict that
+// names the series.
+TEST(Regression, DegradedOverlapRatioFails) {
+  MetricsRegistry reg;
+  reg.gauge("pipeline.overlap_ratio").set(0.0);  // single-stream: no overlap
+  reg.gauge("gpusim.shared.max_degree").set(2);
+  reg.gauge("gpusim.tex.hit_rate").set(0.24);
+  const Result<RegressionBaseline> b = parse_baseline(kBaselineJson);
+  ASSERT_TRUE(b.is_ok());
+  const RegressionVerdict v = check_regression(reg.snapshot(), b.value());
+  EXPECT_FALSE(v.pass());
+  ASSERT_EQ(v.violations.size(), 1u);
+  EXPECT_EQ(v.violations[0].name, "pipeline.overlap_ratio");
+  EXPECT_FALSE(v.violations[0].missing);
+  EXPECT_NE(v.violations[0].detail.find("below min"), std::string::npos);
+}
+
+TEST(Regression, ValueAboveMaxFails) {
+  MetricsRegistry reg;
+  reg.gauge("pipeline.overlap_ratio").set(0.95);
+  reg.gauge("gpusim.shared.max_degree").set(16);  // naive-layout regression
+  reg.gauge("gpusim.tex.hit_rate").set(0.24);
+  const Result<RegressionBaseline> b = parse_baseline(kBaselineJson);
+  ASSERT_TRUE(b.is_ok());
+  const RegressionVerdict v = check_regression(reg.snapshot(), b.value());
+  ASSERT_EQ(v.violations.size(), 1u);
+  EXPECT_EQ(v.violations[0].name, "gpusim.shared.max_degree");
+  EXPECT_NE(v.violations[0].detail.find("above max"), std::string::npos);
+}
+
+TEST(Regression, MissingSeriesIsAViolation) {
+  MetricsRegistry reg;  // publishes nothing
+  const Result<RegressionBaseline> b = parse_baseline(kBaselineJson);
+  ASSERT_TRUE(b.is_ok());
+  const RegressionVerdict v = check_regression(reg.snapshot(), b.value());
+  EXPECT_EQ(v.violations.size(), 3u);
+  for (const RegressionViolation& violation : v.violations)
+    EXPECT_TRUE(violation.missing);
+}
+
+TEST(Regression, VerdictTableNamesEveryCheck) {
+  const Result<RegressionBaseline> b = parse_baseline(kBaselineJson);
+  ASSERT_TRUE(b.is_ok());
+  std::ostringstream out;
+  write_verdict_table(healthy_snapshot(), b.value(), out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("pipeline.overlap_ratio"), std::string::npos);
+  EXPECT_NE(text.find("gpusim.shared.max_degree"), std::string::npos);
+  EXPECT_NE(text.find("gpusim.tex.hit_rate"), std::string::npos);
+  EXPECT_NE(text.find("ok"), std::string::npos);
+}
+
+// --write-baseline round trip: the banded baseline parses back and the
+// snapshot it was derived from passes it.
+TEST(Regression, WriteBaselineBandsCurrentValues) {
+  const MetricsSnapshot snap = healthy_snapshot();
+  std::ostringstream out;
+  write_baseline(snap,
+                 {"pipeline.overlap_ratio", "gpusim.shared.max_degree",
+                  "gpusim.tex.hit_rate"},
+                 /*slack=*/0.10, out);
+  const Result<RegressionBaseline> b = parse_baseline(out.str());
+  ASSERT_TRUE(b.is_ok()) << b.status().to_string();
+  ASSERT_EQ(b.value().checks.size(), 3u);
+  const RegressionVerdict v = check_regression(snap, b.value());
+  EXPECT_TRUE(v.pass()) << (v.violations.empty() ? "" : v.violations[0].detail);
+  // Bands really are value +/- slack.
+  for (const RegressionCheck& c : b.value().checks) {
+    const double value = snap.value(c.name).value();
+    ASSERT_TRUE(c.min.has_value());
+    ASSERT_TRUE(c.max.has_value());
+    EXPECT_NEAR(*c.min, value * 0.90, 1e-9);
+    EXPECT_NEAR(*c.max, value * 1.10, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace acgpu::telemetry

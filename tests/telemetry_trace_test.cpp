@@ -1,0 +1,259 @@
+// Tracer span nesting/ordering and Chrome-trace JSON round trips: the
+// emitted file must parse (telemetry/json.h), and every track's slices must
+// be monotone and either disjoint or properly nested — Perfetto renders
+// anything else as garbage.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+#include <thread>
+
+#include "pipeline/engine.h"
+#include "pipeline/telemetry_export.h"
+#include "telemetry/json.h"
+#include "telemetry/trace.h"
+#include "workload/markov_corpus.h"
+#include "workload/pattern_extract.h"
+
+namespace acgpu::telemetry {
+namespace {
+
+TEST(Tracer, RecordsNestingAsParentLinks) {
+  Tracer tracer;
+  {
+    ACGPU_TRACE_SPAN(&tracer, "outer");
+    {
+      ACGPU_TRACE_SPAN(&tracer, "inner");
+    }
+    {
+      Span s(&tracer, "sibling");
+      s.annotate("key", "value");
+    }
+  }
+  const std::vector<TraceEvent> events = tracer.events();
+  ASSERT_EQ(events.size(), 3u);
+  // Completion order: inner, sibling, outer.
+  EXPECT_EQ(events[0].name, "inner");
+  EXPECT_EQ(events[1].name, "sibling");
+  EXPECT_EQ(events[2].name, "outer");
+  const TraceEvent& outer = events[2];
+  EXPECT_EQ(events[0].parent, outer.id);
+  EXPECT_EQ(events[1].parent, outer.id);
+  EXPECT_EQ(outer.parent, 0u);
+  // The parent span encloses its children on the timeline.
+  for (int i : {0, 1}) {
+    EXPECT_GE(events[i].start_ns, outer.start_ns);
+    EXPECT_LE(events[i].start_ns + events[i].dur_ns,
+              outer.start_ns + outer.dur_ns);
+  }
+  ASSERT_EQ(events[1].args.size(), 1u);
+  EXPECT_EQ(events[1].args[0].first, "key");
+  EXPECT_EQ(events[1].args[0].second, "value");
+}
+
+TEST(Tracer, NullTracerSpansAreNoOps) {
+  Tracer* off = nullptr;
+  ACGPU_TRACE_SPAN(off, "ignored");
+  Span s(off, "also ignored");
+  s.annotate("k", "v");  // must not crash
+}
+
+TEST(Tracer, ThreadsGetTheirOwnTracks) {
+  Tracer tracer;
+  {
+    ACGPU_TRACE_SPAN(&tracer, "main");
+    std::thread worker([&tracer] { ACGPU_TRACE_SPAN(&tracer, "worker"); });
+    worker.join();
+  }
+  const std::vector<TraceEvent> events = tracer.events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_NE(events[0].track, events[1].track);
+  // A span opened on another thread is not a child of this thread's span.
+  for (const TraceEvent& e : events) EXPECT_EQ(e.parent, 0u);
+}
+
+TEST(Tracer, OpenSpansAreExcludedFromEvents) {
+  Tracer tracer;
+  const std::uint64_t id = tracer.begin_span("open");
+  EXPECT_EQ(tracer.event_count(), 0u);
+  tracer.end_span(id);
+  EXPECT_EQ(tracer.event_count(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Chrome trace-event JSON round trips.
+// ---------------------------------------------------------------------------
+
+struct ParsedSlice {
+  double ts = 0, dur = 0;
+};
+
+/// Parses trace JSON and groups the ph:"X" slices per (pid, tid) in file
+/// order; asserts the envelope shape along the way.
+std::map<std::pair<double, double>, std::vector<ParsedSlice>> slices_by_track(
+    const std::string& text) {
+  const std::optional<JsonValue> doc = parse_json(text);
+  EXPECT_TRUE(doc.has_value()) << "trace JSON must parse";
+  std::map<std::pair<double, double>, std::vector<ParsedSlice>> tracks;
+  if (!doc.has_value()) return tracks;
+  const JsonValue* events = doc->find("traceEvents");
+  EXPECT_NE(events, nullptr);
+  EXPECT_TRUE(events->is_array());
+  for (const JsonValue& e : events->array()) {
+    const JsonValue* ph = e.find("ph");
+    EXPECT_TRUE(ph != nullptr && ph->is_string());
+    if (ph == nullptr || !ph->is_string() || ph->string() != "X") continue;
+    ParsedSlice s;
+    s.ts = e.number_at("ts").value();
+    s.dur = e.number_at("dur").value();
+    tracks[{e.number_at("pid").value(), e.number_at("tid").value()}].push_back(s);
+  }
+  return tracks;
+}
+
+/// Every track: starts monotone; consecutive slices disjoint or nested.
+void expect_tracks_well_formed(
+    const std::map<std::pair<double, double>, std::vector<ParsedSlice>>& tracks) {
+  const double eps = 1e-3;  // written at ns precision, in us units
+  for (const auto& [key, slices] : tracks) {
+    for (std::size_t i = 1; i < slices.size(); ++i) {
+      const ParsedSlice& prev = slices[i - 1];
+      const ParsedSlice& cur = slices[i];
+      EXPECT_GE(cur.ts + eps, prev.ts)
+          << "track (" << key.first << "," << key.second << ") slice " << i;
+      const bool disjoint = cur.ts + eps >= prev.ts + prev.dur;
+      const bool nested = cur.ts + cur.dur <= prev.ts + prev.dur + eps;
+      EXPECT_TRUE(disjoint || nested)
+          << "track (" << key.first << "," << key.second << ") slice " << i
+          << " overlaps its predecessor without nesting";
+    }
+  }
+}
+
+/// Thread/process names declared via ph:"M" metadata events.
+std::vector<std::string> metadata_names(const std::string& text,
+                                        const std::string& which) {
+  std::vector<std::string> names;
+  const std::optional<JsonValue> doc = parse_json(text);
+  if (!doc.has_value()) return names;
+  for (const JsonValue& e : doc->find("traceEvents")->array()) {
+    const JsonValue* ph = e.find("ph");
+    const JsonValue* name = e.find("name");
+    if (ph == nullptr || !ph->is_string() || ph->string() != "M") continue;
+    if (name == nullptr || name->string() != which) continue;
+    names.push_back(e.find("args")->find("name")->string());
+  }
+  return names;
+}
+
+TEST(ChromeTrace, HandBuiltSlicesRoundTrip) {
+  ChromeTrace trace;
+  const std::uint64_t pid = trace.process("test process");
+  const std::uint64_t tid = trace.track(pid, "test track");
+  trace.add_slice(pid, tid, "outer", 1000, 5000, {{"k", "v"}});
+  trace.add_slice(pid, tid, "inner", 2000, 1000);
+  trace.add_slice(pid, tid, "later", 7000, 500);
+  trace.add_counter(pid, "depth", 1000, 1);
+  trace.add_counter(pid, "depth", 6000, 0);
+
+  std::ostringstream out;
+  trace.write(out);
+  const std::string text = out.str();
+
+  const auto tracks = slices_by_track(text);
+  ASSERT_EQ(tracks.size(), 1u);
+  EXPECT_EQ(tracks.begin()->second.size(), 3u);
+  expect_tracks_well_formed(tracks);
+
+  const auto pnames = metadata_names(text, "process_name");
+  ASSERT_EQ(pnames.size(), 1u);
+  EXPECT_EQ(pnames[0], "test process");
+  const auto tnames = metadata_names(text, "thread_name");
+  ASSERT_EQ(tnames.size(), 1u);
+  EXPECT_EQ(tnames[0], "test track");
+
+  // Counter samples survive as ph:"C" events.
+  const std::optional<JsonValue> doc = parse_json(text);
+  int counters = 0;
+  for (const JsonValue& e : doc->find("traceEvents")->array())
+    if (e.find("ph")->string() == "C") ++counters;
+  EXPECT_EQ(counters, 2);
+}
+
+TEST(ChromeTrace, TracerSpansExportNestedNotOverlapping) {
+  Tracer tracer;
+  {
+    ACGPU_TRACE_SPAN(&tracer, "a");
+    { ACGPU_TRACE_SPAN(&tracer, "b"); }
+    { ACGPU_TRACE_SPAN(&tracer, "c"); }
+  }
+  ChromeTrace trace;
+  trace.add_tracer(tracer);
+  std::ostringstream out;
+  trace.write(out);
+  const auto tracks = slices_by_track(out.str());
+  ASSERT_EQ(tracks.size(), 1u);  // one host thread -> one track
+  EXPECT_EQ(tracks.begin()->second.size(), 3u);
+  expect_tracks_well_formed(tracks);
+}
+
+// End-to-end: a real (small) multi-stream pipeline run exported through
+// pipeline/telemetry_export.h must parse, carry >= 2 stream tracks plus the
+// engine tracks, keep every track well-formed, and include the counter
+// tracks.
+TEST(ChromeTrace, PipelineExportHasStreamAndEngineTracks) {
+  const std::string corpus = workload::make_corpus(300 * 1024, 11);
+  workload::ExtractConfig ec;
+  ec.count = 50;
+  ec.min_length = 4;
+  ec.max_length = 12;
+  const ac::PatternSet patterns =
+      workload::extract_patterns({corpus.data() + 256 * 1024, 44 * 1024}, ec);
+
+  Tracer tracer;
+  EngineOptions opt;
+  opt.streams = 2;
+  opt.batch_bytes = 64 * 1024;
+  opt.mode = gpusim::SimMode::Timed;
+  opt.telemetry.tracer = &tracer;
+  Result<Engine> engine = Engine::create(patterns, opt);
+  ASSERT_TRUE(engine.is_ok()) << engine.status().to_string();
+  Result<ScanResult> scan =
+      engine.value().scan({corpus.data(), 256 * 1024});
+  ASSERT_TRUE(scan.is_ok()) << scan.status().to_string();
+
+  std::ostringstream out;
+  pipeline::write_chrome_trace(scan.value(), &tracer, out);
+  const std::string text = out.str();
+
+  const auto tnames = metadata_names(text, "thread_name");
+  int stream_tracks = 0;
+  bool copy = false, compute = false;
+  for (const std::string& n : tnames) {
+    if (n.rfind("stream ", 0) == 0) ++stream_tracks;
+    if (n == "copy engine") copy = true;
+    if (n == "compute engine") compute = true;
+  }
+  EXPECT_GE(stream_tracks, 2);
+  EXPECT_TRUE(copy);
+  EXPECT_TRUE(compute);
+  // Two processes: host spans + simulated device.
+  EXPECT_EQ(metadata_names(text, "process_name").size(), 2u);
+
+  expect_tracks_well_formed(slices_by_track(text));
+
+  const std::optional<JsonValue> doc = parse_json(text);
+  ASSERT_TRUE(doc.has_value());
+  bool queue_counter = false, busy_counter = false;
+  for (const JsonValue& e : doc->find("traceEvents")->array()) {
+    if (e.find("ph")->string() != "C") continue;
+    const std::string& name = e.find("name")->string();
+    queue_counter |= name == "pipeline.queue_depth";
+    busy_counter |= name == "device.engines_busy";
+  }
+  EXPECT_TRUE(queue_counter);
+  EXPECT_TRUE(busy_counter);
+}
+
+}  // namespace
+}  // namespace acgpu::telemetry
