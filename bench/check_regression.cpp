@@ -18,6 +18,12 @@
 // Updating the baseline after an intentional perf change:
 //   build/bench/check_regression --write-baseline bench/baselines/telemetry_baseline.json
 // re-bands the gated series around the current run (see docs/OBSERVABILITY.md).
+//
+// --mode serve swaps the workload for the streaming session service driver
+// (run_serve_workload below) and gates the serve.* counters against
+// bench/baselines/serve_baseline.json: a deterministic single-threaded
+// replay of 48 seeded streams through a 32-session / 8-chunk-queue service,
+// so evictions, kOverloaded rejections, and superbatch counts are exact.
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -38,6 +44,22 @@ const std::vector<std::string> kGatedSeries = {
     "gpusim.shared.max_degree",
     "gpusim.tex.hit_rate",
     "gpusim.global.transactions_per_request",
+};
+
+/// --mode serve gates the streaming session service instead. The driver is
+/// single-threaded and fully seeded, so every one of these counters is
+/// bit-deterministic (bench/baselines/serve_baseline.json pins most of them
+/// exactly, min == max).
+const std::vector<std::string> kServeGatedSeries = {
+    "serve.sessions.opened",
+    "serve.sessions.evicted",
+    "serve.feeds.accepted",
+    "serve.feeds.rejected",
+    "serve.queue.max_depth_chunks",
+    "serve.batches",
+    "serve.scan.host_fallbacks",
+    "serve.matches.delivered",
+    "serve.matches.spanning",
 };
 
 telemetry::MetricsSnapshot run_workload(const ArgParser& args) {
@@ -71,6 +93,63 @@ telemetry::MetricsSnapshot run_workload(const ArgParser& args) {
   return registry.snapshot();
 }
 
+/// The canonical serve workload: sequentially replay N seeded streams
+/// through a service sized so every control path fires deterministically —
+/// the session cap is below N (LRU evictions), the queue holds 8 chunks
+/// under AdmissionPolicy::kReject (kOverloaded backpressure, answered by
+/// pump()), and coalescing packs exactly one queue-full of chunks per
+/// superbatch. Single caller thread + Functional sim = reproducible
+/// counters. Every session is also verified against its serial reference,
+/// so the gate doubles as an end-to-end correctness check.
+telemetry::MetricsSnapshot run_serve_workload(const ArgParser& args) {
+  const auto sessions =
+      static_cast<std::size_t>(args.get_int("serve-sessions"));
+  const std::uint64_t seed = static_cast<std::uint64_t>(args.get_int("seed"));
+  constexpr std::size_t kStreamBytes = 4096;
+  constexpr std::size_t kChunk = 256;
+
+  telemetry::MetricsRegistry registry;
+  serve::ServeOptions opt;
+  opt.engine.mode = gpusim::SimMode::Functional;
+  opt.engine.gpu.num_sms = 4;
+  opt.engine.device_memory_bytes = 64u << 20;
+  opt.max_sessions = 32;
+  opt.max_queue_chunks = 8;
+  opt.coalesce_bytes = 8 * kChunk;
+  opt.admission = serve::AdmissionPolicy::kReject;
+  opt.metrics = &registry;
+
+  Result<serve::StreamService> service = serve::StreamService::create(
+      ac::PatternSet({"he", "she", "his", "hers", "ab"}), opt);
+  ACGPU_CHECK(service.is_ok(), service.status().to_string());
+  serve::StreamService& srv = service.value();
+
+  for (std::size_t i = 0; i < sessions; ++i) {
+    Rng rng(derive_seed(seed, i));
+    std::string stream(kStreamBytes, '\0');
+    for (char& c : stream) c = "hershise ab"[rng.next_below(11)];
+
+    const serve::SessionId id = srv.open().value();
+    for (std::size_t pos = 0; pos < kStreamBytes; pos += kChunk) {
+      for (;;) {
+        const Status s =
+            srv.feed(id, std::string_view(stream).substr(pos, kChunk));
+        if (s.is_ok()) break;
+        ACGPU_CHECK(s.code() == StatusCode::kOverloaded, s.to_string());
+        ACGPU_CHECK(srv.pump().is_ok(), "pump failed");
+      }
+    }
+    ACGPU_CHECK(srv.drain().is_ok(), "drain failed");
+    std::vector<ac::Match> got = srv.poll(id).value();
+    ac::normalize_matches(got);
+    std::vector<ac::Match> expected = ac::find_all(srv.dfa(), stream);
+    ac::normalize_matches(expected);
+    ACGPU_CHECK(got == expected,
+                "serve session " << id << " diverged from serial reference");
+  }
+  return registry.snapshot();
+}
+
 std::string read_file(const std::string& path) {
   std::ifstream in(path);
   ACGPU_CHECK(in.good(), "cannot read baseline file " << path);
@@ -86,8 +165,12 @@ int main(int argc, char** argv) {
       "check_regression: run the canonical pipeline workload, snapshot the\n"
       "metrics registry, and gate the snapshot against a checked-in baseline\n"
       "of named bounds. Exits 1 on any violation.");
+  args.add_flag("mode",
+                "what to gate: pipeline (canonical Engine workload) or serve "
+                "(streaming session service)", "pipeline");
   args.add_flag("baseline", "baseline JSON to gate against",
                 "bench/baselines/telemetry_baseline.json");
+  args.add_flag("serve-sessions", "mode=serve: streams to replay", "48");
   args.add_flag("size", "input size for the canonical workload", "8MB");
   args.add_flag("batch", "owned bytes per pipeline batch", "1MB");
   args.add_flag("streams", "pipeline streams", "4");
@@ -102,8 +185,13 @@ int main(int argc, char** argv) {
   args.add_bool_flag("quiet", "suppress the verdict table");
   try {
     if (!args.parse(argc, argv)) return 0;
+    const std::string mode = args.get("mode");
+    ACGPU_CHECK(mode == "pipeline" || mode == "serve",
+                "--mode must be pipeline or serve, got '" << mode << "'");
+    const bool serve_mode = mode == "serve";
 
-    const telemetry::MetricsSnapshot snapshot = run_workload(args);
+    const telemetry::MetricsSnapshot snapshot =
+        serve_mode ? run_serve_workload(args) : run_workload(args);
 
     const std::string snapshot_path = args.get("snapshot");
     if (!snapshot_path.empty()) {
@@ -116,10 +204,11 @@ int main(int argc, char** argv) {
     if (!write_path.empty()) {
       std::ofstream out(write_path);
       ACGPU_CHECK(out.good(), "cannot write " << write_path);
-      telemetry::write_baseline(snapshot, kGatedSeries,
-                                args.get_double("slack"), out);
+      const std::vector<std::string>& gated =
+          serve_mode ? kServeGatedSeries : kGatedSeries;
+      telemetry::write_baseline(snapshot, gated, args.get_double("slack"), out);
       std::printf("check_regression: wrote %s (re-banded %zu series)\n",
-                  write_path.c_str(), kGatedSeries.size());
+                  write_path.c_str(), gated.size());
       return 0;
     }
 
@@ -133,9 +222,14 @@ int main(int argc, char** argv) {
     if (!args.get_bool("quiet"))
       telemetry::write_verdict_table(snapshot, baseline.value(), std::cout);
     if (verdict.pass()) {
-      std::printf("check_regression: PASS (%zu checks, %s @ %lld stream(s))\n",
-                  verdict.checks, format_bytes(args.get_bytes("size")).c_str(),
-                  static_cast<long long>(args.get_int("streams")));
+      if (serve_mode)
+        std::printf("check_regression: PASS (%zu checks, serve @ %lld sessions)\n",
+                    verdict.checks,
+                    static_cast<long long>(args.get_int("serve-sessions")));
+      else
+        std::printf("check_regression: PASS (%zu checks, %s @ %lld stream(s))\n",
+                    verdict.checks, format_bytes(args.get_bytes("size")).c_str(),
+                    static_cast<long long>(args.get_int("streams")));
       return 0;
     }
     std::printf("check_regression: FAIL (%zu of %zu checks violated)\n",

@@ -83,9 +83,23 @@ int cmd_scan(const ArgParser& args, const std::vector<std::string>& files) {
   telemetry::Tracer tracer;
   telemetry::ChromeTrace chrome;
 
+  // --chunk-bytes=N streams each file through the session service in N-byte
+  // feeds instead of one resident scan; matches are identical either way
+  // (the serve conformance suite enforces it). Trace export is per-scan and
+  // has no streaming analogue, so the two flags are mutually exclusive.
+  const std::uint64_t chunk_bytes =
+      static_cast<std::uint64_t>(args.get_bytes("chunk-bytes"));
+  ACGPU_CHECK(chunk_bytes == 0 || matcher == "gpu",
+              "--chunk-bytes needs --matcher=gpu");
+  ACGPU_CHECK(chunk_bytes == 0 || trace_path.empty(),
+              "--chunk-bytes streams through the session service; "
+              "--trace only applies to one-shot scans");
+
   // The gpu path goes through acgpu::Engine — built once, scanning every
-  // file through the batched multi-stream pipeline.
+  // file through the batched multi-stream pipeline. With --chunk-bytes the
+  // Engine is owned by a StreamService that carries DFA state across feeds.
   std::optional<Engine> engine;
+  std::optional<serve::StreamService> service;
   if (matcher == "gpu") {
     EngineOptions opt;
     opt.streams = static_cast<std::uint32_t>(args.get_int("streams"));
@@ -95,9 +109,20 @@ int cmd_scan(const ArgParser& args, const std::vector<std::string>& files) {
       opt.telemetry.metrics = &registry;
       opt.telemetry.tracer = &tracer;
     }
-    Result<Engine> created = Engine::create(dfa, opt);
-    ACGPU_CHECK(created.is_ok(), created.status().to_string());
-    engine.emplace(std::move(created).value());
+    if (chunk_bytes > 0) {
+      serve::ServeOptions sopt;
+      sopt.engine = opt;
+      sopt.admission = serve::AdmissionPolicy::kAutoFlush;
+      if (want_stats) sopt.metrics = &registry;
+      Result<serve::StreamService> created =
+          serve::StreamService::create(ac::Dfa(dfa), sopt);
+      ACGPU_CHECK(created.is_ok(), created.status().to_string());
+      service.emplace(std::move(created).value());
+    } else {
+      Result<Engine> created = Engine::create(dfa, opt);
+      ACGPU_CHECK(created.is_ok(), created.status().to_string());
+      engine.emplace(std::move(created).value());
+    }
   }
 
   Table table;
@@ -117,6 +142,23 @@ int cmd_scan(const ArgParser& args, const std::vector<std::string>& files) {
       ac::CountSink sink;
       ac::match_compressed(c, dfa, text, sink);
       count = sink.count();
+    } else if (matcher == "gpu" && service.has_value()) {
+      // One session per file: feed --chunk-bytes slices, drain, poll. The
+      // session's boundary continuation makes the chunking invisible.
+      Result<serve::SessionId> session = service->open();
+      ACGPU_CHECK(session.is_ok(), session.status().to_string());
+      for (std::size_t pos = 0; pos < text.size(); pos += chunk_bytes) {
+        const Status fed = service->feed(
+            session.value(), std::string_view(text).substr(pos, chunk_bytes));
+        ACGPU_CHECK(fed.is_ok(), fed.to_string());
+      }
+      ACGPU_CHECK(service->drain().is_ok(), "drain failed");
+      Result<std::vector<ac::Match>> polled = service->poll(session.value());
+      ACGPU_CHECK(polled.is_ok(), polled.status().to_string());
+      matches = std::move(polled).value();
+      ac::normalize_matches(matches);  // discovery order -> one-shot order
+      count = matches.size();
+      ACGPU_CHECK(service->close(session.value()).is_ok(), "close failed");
     } else if (matcher == "gpu") {
       Result<ScanResult> scan = engine->scan(text);
       ACGPU_CHECK(scan.is_ok(), scan.status().to_string());
@@ -177,6 +219,9 @@ int main(int argc, char** argv) {
   args.add_flag("matcher", "scan engine: serial|parallel|compressed|gpu", "serial");
   args.add_flag("streams", "gpu matcher: pipeline streams (>= 2 overlaps)", "2");
   args.add_flag("batch", "gpu matcher: owned bytes per pipeline batch", "4MB");
+  args.add_flag("chunk-bytes",
+                "gpu matcher: stream each file through the session service "
+                "in feeds of this size (0 = one-shot scan)", "0");
   args.add_flag("trace", "gpu matcher: write a Chrome trace of the scans here", "");
   args.add_bool_flag("stats", "gpu matcher: print the telemetry metrics table");
   args.add_bool_flag("count-only", "suppress per-match output");

@@ -5,7 +5,8 @@
 // Aho-Corasick toolkit (ac/), a discrete-event SIMT GPU simulator standing
 // in for the paper's GTX 285 (gpusim/), the paper's two matching kernels and
 // the PFAC variant (kernels/), the batched multi-stream matching pipeline and
-// the acgpu::Engine facade (pipeline/), a Core2-class serial timing model
+// the acgpu::Engine facade (pipeline/), the streaming session service for
+// stateful cross-chunk scanning (serve/), a Core2-class serial timing model
 // (cpumodel/), workload generators (workload/), the evaluation harness that
 // regenerates the paper's figures (harness/), and the cross-matcher
 // differential conformance oracle (oracle/).
@@ -34,6 +35,10 @@
 #include "pipeline/engine.h"
 #include "pipeline/pipeline.h"
 #include "pipeline/telemetry_export.h"
+#include "serve/scheduler.h"
+#include "serve/service.h"
+#include "serve/session.h"
+#include "serve/session_manager.h"
 #include "telemetry/json.h"
 #include "telemetry/metrics_registry.h"
 #include "telemetry/regression.h"

@@ -3,6 +3,7 @@
 // the differential runner can treat a CPU scan and a simulated kernel
 // launch identically.
 #include <algorithm>
+#include <optional>
 #include <sstream>
 
 #include "ac/chunking.h"
@@ -17,6 +18,7 @@
 #include "kernels/pfac_kernel.h"
 #include "oracle/matcher.h"
 #include "pipeline/pipeline.h"
+#include "serve/service.h"
 #include "util/error.h"
 #include "util/rng.h"
 
@@ -367,6 +369,95 @@ class PipelineMatcher final : public Matcher {
   }
 };
 
+/// The streaming session service (src/serve/) end to end: the text is fed
+/// in salt-derived random slices (empty feeds, 1-byte feeds, packet-sized
+/// feeds) so every slice boundary probes the session's boundary
+/// continuation, while the engine variant, stream count, batch size, and
+/// queue/coalesce knobs are drawn from the salt too. A salt-chosen decoy
+/// session feeds interleaved traffic through the same service so the
+/// superbatch partitioner is exercised across sessions. Like the pipeline
+/// adapter, overrides try_run to forward the service's own Status codes.
+class ServeMatcher final : public Matcher {
+ public:
+  const std::string& name() const override {
+    static const std::string n = "serve";
+    return n;
+  }
+
+  std::vector<ac::Match> run(const CompiledWorkload& w, std::uint64_t salt) const override {
+    return try_run(w, salt).value();  // throws acgpu::Error on a failed Status
+  }
+
+  Result<std::vector<ac::Match>> try_run(const CompiledWorkload& w,
+                                         std::uint64_t salt) const override {
+    Rng rng(derive_seed(salt, /*stream=*/11));
+    serve::ServeOptions opt;
+    static constexpr pipeline::KernelVariant kVariants[] = {
+        pipeline::KernelVariant::kShared,
+        pipeline::KernelVariant::kGlobalOnly,
+        pipeline::KernelVariant::kPfac,
+    };
+    opt.engine.variant = kVariants[rng.next_below(std::size(kVariants))];
+    opt.engine.streams = 1 + static_cast<std::uint32_t>(rng.next_below(3));
+    const std::uint64_t cap = rng.next_bool(0.25)
+                                  ? w.text().size() + 16
+                                  : std::min<std::uint64_t>(w.text().size(), 64);
+    opt.engine.batch_bytes = rng.next_in(1, std::max<std::uint64_t>(1, cap));
+    opt.engine.chunk_bytes = pick_chunk_bytes(w, 32);
+    opt.engine.threads_per_block = 64;
+    opt.engine.mode = gpusim::SimMode::Functional;
+    opt.engine.gpu = sim_config();
+    opt.engine.device_memory_bytes = 64u << 20;
+    // Tiny bounds so admission control and coalescing both fire; kAutoFlush
+    // keeps the adapter total (it scans inline instead of rejecting).
+    opt.max_queue_chunks = 2 + static_cast<std::uint32_t>(rng.next_below(15));
+    opt.coalesce_bytes = 1 + rng.next_below(4096);
+    opt.admission = serve::AdmissionPolicy::kAutoFlush;
+
+    auto service = serve::StreamService::create(w.patterns(), opt);
+    if (!service.is_ok()) return service.status();
+    serve::StreamService& srv = service.value();
+
+    Result<serve::SessionId> id = srv.open();
+    if (!id.is_ok()) return id.status();
+    // Decoy stream interleaved through the same service: its chunks share
+    // superbatches with the primary session's, so the partition filter must
+    // keep the two streams' matches apart.
+    std::optional<serve::SessionId> decoy;
+    if (rng.next_bool(0.5)) {
+      Result<serve::SessionId> d = srv.open();
+      if (!d.is_ok()) return d.status();
+      decoy = d.value();
+    }
+
+    const std::string_view text = w.text();
+    std::size_t pos = 0;
+    while (pos < text.size()) {
+      std::size_t len = 0;
+      switch (rng.next_below(4)) {
+        case 0: len = 0; break;                          // empty feed
+        case 1: len = 1; break;                          // byte-at-a-time
+        case 2: len = 1 + rng.next_below(16); break;     // small slices
+        default: len = 1 + rng.next_below(256); break;   // packet-sized
+      }
+      len = std::min(len, text.size() - pos);
+      if (Status s = srv.feed(id.value(), text.substr(pos, len)); !s) return s;
+      pos += len;
+      if (decoy.has_value() && rng.next_bool(0.5)) {
+        const std::size_t dlen =
+            std::min<std::size_t>(1 + rng.next_below(64), text.size());
+        if (Status s = srv.feed(*decoy, text.substr(0, dlen)); !s) return s;
+      }
+    }
+    if (Status s = srv.drain(); !s) return s;
+    Result<std::vector<ac::Match>> out = srv.poll(id.value());
+    if (!out.is_ok()) return out.status();
+    std::vector<ac::Match> matches = std::move(out).value();
+    ac::normalize_matches(matches);
+    return matches;
+  }
+};
+
 // ---------------------------------------------------------------------------
 // Registry
 // ---------------------------------------------------------------------------
@@ -393,6 +484,7 @@ std::unique_ptr<Matcher> instantiate(std::string_view name) {
   if (name == "gpu-compressed") return std::make_unique<GpuCompressedMatcher>();
   if (name == "gpu-pfac") return std::make_unique<GpuPfacMatcher>();
   if (name == "pipeline") return std::make_unique<PipelineMatcher>();
+  if (name == "serve") return std::make_unique<ServeMatcher>();
   return nullptr;
 }
 
@@ -403,7 +495,7 @@ const std::vector<std::string>& registered_matcher_names() {
       "naive",      "nfa",        "serial",         "chunked",
       "parallel",   "stream",     "compressed",     "pfac",
       "gpu-global", "gpu-shared", "gpu-shared-naive", "gpu-compressed",
-      "gpu-pfac",   "pipeline",
+      "gpu-pfac",   "pipeline",   "serve",
   };
   return names;
 }

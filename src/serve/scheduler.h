@@ -1,0 +1,120 @@
+// Admission-controlled chunk queue + superbatch coalescer for the session
+// service.
+//
+// Feeding one Engine::scan per arriving chunk would waste the batched
+// pipeline: most chunks are packet-sized, and the pipeline's copy/compute
+// overlap only pays off on large inputs. The scheduler instead parks
+// accepted chunks in a bounded queue and coalesces many sessions' pending
+// chunks into one contiguous superbatch per scan. Correctness of the
+// concatenation relies on the partition filter in scan_batch(): a match is
+// credited to the chunk containing its END byte and kept only when its
+// START lies in the same chunk, so
+//
+//  - matches fabricated across a joint between two different sessions'
+//    chunks are discarded, and
+//  - a genuine cross-chunk match of one session is also discarded here —
+//    the session's boundary continuation (serve/session.h) already reported
+//    it at feed time — keeping every match exactly-once.
+//
+// Admission is a hard bound on queued chunks and bytes: when the queue is
+// full the scheduler answers Status::kOverloaded (backpressure) instead of
+// growing without bound. A single chunk larger than the whole byte budget
+// is admitted only when the queue is empty, so it can never deadlock the
+// producer that must drain it.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "ac/dfa.h"
+#include "ac/match.h"
+#include "pipeline/engine.h"
+#include "serve/session.h"
+#include "util/error.h"
+
+namespace acgpu::serve {
+
+/// One accepted chunk awaiting a bulk scan. Bytes are owned: the caller's
+/// buffer is free to die the moment feed() returns.
+struct PendingChunk {
+  SessionId session = 0;
+  std::uint64_t global_base = 0;  ///< stream offset of bytes[0]
+  std::string bytes;
+};
+
+struct SchedulerOptions {
+  std::uint64_t max_queue_bytes = 32u << 20;
+  std::uint32_t max_queue_chunks = 4096;
+  /// Target superbatch size: take_batch() pops whole chunks until adding
+  /// the next one would exceed this (always at least one chunk).
+  std::uint64_t coalesce_bytes = 4u << 20;
+
+  Status validate() const;
+};
+
+/// Where each coalesced chunk landed in the superbatch text.
+struct ChunkSpan {
+  SessionId session = 0;
+  std::uint64_t begin = 0;        ///< offset in the superbatch
+  std::uint64_t end = 0;          ///< one past the chunk's last byte
+  std::uint64_t global_base = 0;  ///< stream offset of the chunk's byte 0
+};
+
+struct CoalescedBatch {
+  std::string text;               ///< concatenated chunk bytes
+  std::vector<ChunkSpan> spans;   ///< ascending, contiguous, non-empty
+};
+
+class Scheduler {
+ public:
+  explicit Scheduler(const SchedulerOptions& options);
+
+  /// Can the queue take `bytes` more right now? kOverloaded when not.
+  Status admission(std::uint64_t bytes) const;
+
+  /// Enqueues after an admission() re-check; empty chunks are accepted and
+  /// dropped (nothing to scan — the session bookkeeping already happened).
+  Status admit(PendingChunk chunk);
+
+  bool has_work() const { return !queue_.empty(); }
+  std::uint64_t queued_bytes() const { return queued_bytes_; }
+  std::uint32_t queued_chunks() const { return static_cast<std::uint32_t>(queue_.size()); }
+
+  /// Pops the oldest chunks into one superbatch (FIFO across sessions, so a
+  /// session's own chunks stay in feed order). Requires has_work().
+  CoalescedBatch take_batch();
+
+  /// Drops every queued chunk of `session` (closed or evicted), freeing its
+  /// queue space. Returns the number of chunks dropped.
+  std::size_t forget(SessionId session);
+
+  const SchedulerOptions& options() const { return options_; }
+
+ private:
+  SchedulerOptions options_;
+  std::deque<PendingChunk> queue_;
+  std::uint64_t queued_bytes_ = 0;
+};
+
+/// Result of scanning one superbatch: per-session matches with global
+/// offsets, ready for Session::deliver.
+struct BatchScan {
+  struct Delivery {
+    SessionId session = 0;
+    ac::Match match;
+  };
+  std::vector<Delivery> matches;
+  bool host_fallback = false;  ///< device buffer overflowed / engine failed
+};
+
+/// Scans a coalesced superbatch through the engine and partitions the
+/// matches back onto sessions with the start-in-same-chunk filter. When the
+/// device match buffer overflows (or the engine reports any error), the
+/// batch is re-scanned exactly on the host DFA — serving degrades to host
+/// speed instead of dropping matches.
+BatchScan scan_batch(Engine& engine, const ac::Dfa& dfa,
+                     const CoalescedBatch& batch);
+
+}  // namespace acgpu::serve

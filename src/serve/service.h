@@ -1,0 +1,173 @@
+// StreamService — the streaming session service over acgpu::Engine.
+//
+// The Engine (pipeline/engine.h) answers "scan this resident text"; the
+// service answers the ROADMAP's production question: many concurrent
+// traffic streams, each arriving chunk by chunk, with patterns spanning
+// arbitrarily many chunk boundaries. It owns
+//
+//   Session         carried boundary state per stream (serve/session.h)
+//   SessionManager  bounded live-session set with LRU eviction
+//   Scheduler       bounded queue + superbatch coalescer + partitioner
+//
+// and one Engine that bulk-scans coalesced superbatches.
+//
+//   auto service = serve::StreamService::create(patterns, options);
+//   auto id = service.value().open();
+//   service.value().feed(id.value(), chunk);     // any chunking, any order
+//   ...
+//   service.value().drain();
+//   auto matches = service.value().poll(id.value());   // global offsets
+//
+// Contracts (docs/SERVING.md spells them out):
+//
+//  - Exactly-once: across every chunking of a stream, poll() accumulates
+//    exactly the matches Engine::scan would report on the concatenated
+//    stream (compare after ac::normalize_matches). Enforced as the 15th
+//    conformance matcher ("serve") and by the fuzzed-chunking tests.
+//  - Backpressure: feed() returns Status with code kOverloaded when the
+//    bounded queue is full — the service never buffers unboundedly. With
+//    AdmissionPolicy::kAutoFlush (synchronous default) the service instead
+//    scans inline, so feed() only blocks, never rejects.
+//  - Eviction: open() beyond max_sessions evicts the LRU session; its
+//    carried state, queued chunks, and unpolled matches are dropped.
+//  - Drain/shutdown: drain() returns once every accepted chunk has been
+//    scanned and delivered; shutdown() drains, stops accepting, and joins
+//    the worker. The destructor shuts down.
+//
+// Threading: every public method is safe to call from any thread. With
+// background=true a single worker thread consumes the queue (feed never
+// scans); otherwise scans run inline on the calling thread, serialized by
+// the service mutex.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "pipeline/engine.h"
+#include "serve/scheduler.h"
+#include "serve/session.h"
+#include "serve/session_manager.h"
+#include "util/error.h"
+
+namespace acgpu::serve {
+
+/// What feed() does when the bounded queue cannot take the chunk.
+enum class AdmissionPolicy : std::uint8_t {
+  /// Resolved at create(): kReject when background, kAutoFlush otherwise.
+  kDefault,
+  /// Scan inline to make room, then accept. Synchronous mode only: feed()
+  /// may block on an Engine scan but never returns kOverloaded.
+  kAutoFlush,
+  /// Return kOverloaded; the caller retries after pump() (synchronous) or
+  /// after the worker catches up (background).
+  kReject,
+};
+
+const char* to_string(AdmissionPolicy policy);
+
+struct ServeOptions {
+  /// The bulk-scan engine. The kernel variant also picks the sessions'
+  /// boundary mode: kPfac streams carry a tail buffer, the AC-DFA variants
+  /// carry live DFA state.
+  EngineOptions engine;
+
+  /// Live-session cap (LRU eviction beyond it).
+  std::uint32_t max_sessions = 1024;
+  /// Quotas stamped onto every session at open().
+  SessionLimits session_limits;
+
+  /// Bounded-queue admission control (see SchedulerOptions).
+  std::uint64_t max_queue_bytes = 32u << 20;
+  std::uint32_t max_queue_chunks = 4096;
+  std::uint64_t coalesce_bytes = 4u << 20;
+
+  /// true: a worker thread consumes the queue; feed() never scans.
+  bool background = false;
+  AdmissionPolicy admission = AdmissionPolicy::kDefault;
+
+  /// serve.* series sink; null = off. (Engine telemetry is configured
+  /// separately through engine.telemetry.)
+  telemetry::MetricsRegistry* metrics = nullptr;
+
+  Status validate() const;
+};
+
+/// Point-in-time service counters (also published as serve.* metrics).
+struct ServiceStats {
+  std::uint64_t sessions_opened = 0;
+  std::uint64_t sessions_evicted = 0;
+  std::uint64_t sessions_live = 0;
+  std::uint64_t feeds_accepted = 0;
+  std::uint64_t feeds_rejected = 0;   ///< kOverloaded answers
+  std::uint64_t quota_rejects = 0;    ///< kCapacityExceeded answers
+  std::uint64_t bytes_accepted = 0;
+  std::uint64_t batches = 0;          ///< superbatches scanned
+  std::uint64_t host_fallbacks = 0;   ///< overflow/engine-failure rescans
+  std::uint64_t matches_delivered = 0;
+  std::uint64_t spanning_matches = 0;
+  std::uint64_t matches_dropped_closed = 0;  ///< delivery after close/evict
+  std::uint64_t queued_chunks = 0;
+  std::uint64_t queued_bytes = 0;
+  std::uint64_t max_queue_depth_chunks = 0;
+  std::uint64_t drains = 0;
+};
+
+class StreamService {
+ public:
+  /// Compiles `patterns` into an Engine and stands the service up. Fails
+  /// (no throw) on invalid options or Engine::create failure.
+  static Result<StreamService> create(const ac::PatternSet& patterns,
+                                      const ServeOptions& options = {});
+  /// From a precompiled DFA (e.g. acgpu_cli --dict). Variant kPfac needs
+  /// the pattern set and is rejected here, mirroring Engine::create.
+  static Result<StreamService> create(ac::Dfa dfa,
+                                      const ServeOptions& options = {});
+
+  StreamService(StreamService&&) noexcept;
+  StreamService& operator=(StreamService&&) noexcept;
+  ~StreamService();  ///< shutdown()
+
+  /// Opens a session (may evict the LRU one). Fails after shutdown().
+  Result<SessionId> open();
+
+  /// Feeds the next chunk of `id`'s stream. Empty chunks are accepted
+  /// no-ops. Failure codes: kInvalidArgument (unknown/closed/evicted id, or
+  /// after shutdown), kCapacityExceeded (session byte quota), kOverloaded
+  /// (bounded queue full under AdmissionPolicy::kReject — retry later).
+  Status feed(SessionId id, std::string_view chunk);
+
+  /// Takes the matches delivered so far (global byte offsets, discovery
+  /// order — normalize before comparing with a batch scan). drain() first
+  /// for a complete answer.
+  Result<std::vector<ac::Match>> poll(SessionId id);
+
+  /// Per-session counters (buffered + polled).
+  Result<SessionStats> session_stats(SessionId id) const;
+
+  /// Destroys the session and forgets its queued chunks.
+  Status close(SessionId id);
+
+  /// Synchronous mode: scan one coalesced superbatch inline (how kReject
+  /// callers make room). No-op when the queue is empty; invalid in
+  /// background mode (the worker owns the engine there).
+  Status pump();
+
+  /// Blocks until every accepted chunk has been scanned and delivered.
+  Status drain();
+
+  /// drain(), stop accepting opens/feeds, join the worker. Idempotent.
+  void shutdown();
+
+  ServiceStats stats() const;
+  const ServeOptions& options() const;
+  const ac::Dfa& dfa() const;
+
+ private:
+  struct Impl;
+  explicit StreamService(std::unique_ptr<Impl> impl);
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace acgpu::serve

@@ -1,0 +1,122 @@
+#include "serve/session.h"
+
+#include <algorithm>
+
+namespace acgpu::serve {
+
+const char* to_string(BoundaryMode mode) {
+  switch (mode) {
+    case BoundaryMode::kDfaState: return "dfa-state";
+    case BoundaryMode::kPfacTail: return "pfac-tail";
+  }
+  return "?";
+}
+
+Session::Session(SessionId id, const ac::Dfa& dfa, const ac::PfacAutomaton* pfac,
+                 BoundaryMode mode, const SessionLimits& limits)
+    : id_(id), dfa_(&dfa), pfac_(pfac), mode_(mode), limits_(limits) {
+  ACGPU_CHECK(mode_ != BoundaryMode::kPfacTail || pfac_ != nullptr,
+              "session " << id << ": kPfacTail needs a PfacAutomaton");
+}
+
+Status Session::admit_bytes(std::uint64_t n) const {
+  if (limits_.max_bytes != 0 && stats_.bytes_fed + n > limits_.max_bytes)
+    return Status::capacity_exceeded(
+        "session " + std::to_string(id_) + ": byte quota " +
+        std::to_string(limits_.max_bytes) + " exhausted (" +
+        std::to_string(stats_.bytes_fed) + " fed, " + std::to_string(n) +
+        " more)");
+  return Status::ok();
+}
+
+bool Session::deliver(ac::Match m) {
+  if (limits_.max_matches != 0 && stats_.matches_delivered >= limits_.max_matches) {
+    ++stats_.matches_dropped;
+    stats_.truncated = true;
+    return false;
+  }
+  matches_.push_back(m);
+  ++stats_.matches_delivered;
+  return true;
+}
+
+void Session::deliver_spanning(std::uint64_t global_end, std::int32_t pattern) {
+  ++stats_.spanning_matches;
+  deliver(ac::Match{global_end, pattern});
+}
+
+void Session::begin_chunk(std::string_view chunk) {
+  if (mode_ == BoundaryMode::kDfaState)
+    begin_chunk_dfa(chunk);
+  else
+    begin_chunk_pfac(chunk);
+  stats_.bytes_fed += chunk.size();
+  ++stats_.chunks_fed;
+}
+
+void Session::begin_chunk_dfa(std::string_view chunk) {
+  const std::uint32_t x = dfa_->max_pattern_length();
+  const std::uint64_t base = stats_.bytes_fed;
+  // A spanning match ends within the first X-1 chunk bytes (it starts at
+  // least one byte earlier and is at most X long), so that prefix is the
+  // only stretch the continuation has to walk.
+  const std::size_t prefix =
+      std::min<std::size_t>(chunk.size(), x > 0 ? x - 1 : 0);
+  std::int32_t s = state_;
+  for (std::size_t i = 0; i < prefix; ++i) {
+    s = dfa_->next(s, static_cast<std::uint8_t>(chunk[i]));
+    if (dfa_->is_match(s)) {
+      for (const std::int32_t* p = dfa_->output_begin(s); p != dfa_->output_end(s); ++p)
+        // Keep spanning matches only: start = base + i + 1 - len < base.
+        // Matches contained in the chunk are the bulk scanner's to report.
+        if (dfa_->pattern_length(*p) > i + 1) deliver_spanning(base + i, *p);
+    }
+  }
+  if (chunk.size() >= x) {
+    // The DFA state is the longest suffix of history that is a pattern
+    // prefix — at most X bytes — so after a chunk of >= X bytes it is fully
+    // determined by the chunk's last X bytes: re-root instead of walking
+    // the whole chunk. (No match emission here: anything ending in these
+    // bytes is contained in the chunk and belongs to the bulk scanner.)
+    s = 0;
+    for (std::size_t i = chunk.size() - x; i < chunk.size(); ++i)
+      s = dfa_->next(s, static_cast<std::uint8_t>(chunk[i]));
+  }
+  // else: prefix == chunk.size() (chunk shorter than X), s is already exact.
+  state_ = s;
+}
+
+void Session::begin_chunk_pfac(std::string_view chunk) {
+  const std::uint32_t x = pfac_->max_pattern_length();
+  const std::uint64_t base = stats_.bytes_fed;
+  const std::size_t keep = x > 0 ? x - 1 : 0;
+  if (!tail_.empty() && !chunk.empty()) {
+    // Root one failureless instance at every tail position over tail +
+    // first X-1 chunk bytes; an instance dies within X bytes, so nothing
+    // past that prefix can matter.
+    std::string buf = tail_;
+    buf.append(chunk.substr(0, std::min<std::size_t>(chunk.size(), keep)));
+    const std::size_t tail_len = tail_.size();
+    for (std::size_t t = 0; t < tail_len; ++t)
+      pfac_->run_from(buf, t, [&](std::size_t end, std::int32_t pattern) {
+        // Matches ending inside the tail were reported by earlier feeds;
+        // only those reaching into the new chunk are new.
+        if (end >= tail_len) deliver_spanning(base + (end - tail_len), pattern);
+      });
+  }
+  // New tail: the last X-1 bytes of (history + chunk).
+  if (chunk.size() >= keep) {
+    tail_.assign(chunk.substr(chunk.size() - keep));
+  } else {
+    tail_.append(chunk);
+    if (tail_.size() > keep) tail_.erase(0, tail_.size() - keep);
+  }
+}
+
+std::vector<ac::Match> Session::take_matches() {
+  std::vector<ac::Match> out;
+  out.swap(matches_);
+  return out;
+}
+
+}  // namespace acgpu::serve

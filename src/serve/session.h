@@ -1,0 +1,128 @@
+// One live traffic stream inside the streaming session service (serve/).
+//
+// The paper's kernels — and the batched pipeline built on them — assume the
+// whole input is resident and catch boundary-spanning matches with an
+// X-byte overlap re-scan. A served stream cannot do that: data arrives in
+// chunks, a pattern may straddle arbitrarily many chunk boundaries, and the
+// previous chunk's bytes are gone by the time the next one arrives. A
+// Session therefore carries just enough *state* across feed() calls to make
+// chunked scanning exact without re-scanning history:
+//
+//  - kDfaState (AC-DFA engine variants): the carried DFA state is, by
+//    construction, the longest suffix of everything fed so far that is a
+//    prefix of some pattern. Advancing it over the first X-1 bytes of a new
+//    chunk discovers every match that *spans* into the chunk (start before
+//    the chunk, end inside it); matches wholly inside the chunk are the bulk
+//    scanner's job. Because that suffix is at most X bytes long, the state
+//    after a long chunk can be recomputed from the chunk's last X bytes
+//    alone — host work per feed is O(X), independent of chunk size.
+//
+//  - kPfacTail (failureless/PFAC engine variant): PFAC has no carried state
+//    to resume — an instance is rooted at every start position — so the
+//    session instead keeps a bounded tail buffer of the last X-1 bytes of
+//    history and roots boundary instances at each tail position, keeping
+//    only matches that end inside the new chunk.
+//
+// Either way a boundary match is discovered exactly once, at the feed that
+// completes it, with a global (stream-absolute) byte offset — and the bulk
+// scanner never needs bytes from more than one chunk.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ac/dfa.h"
+#include "ac/match.h"
+#include "ac/pfac.h"
+#include "util/error.h"
+
+namespace acgpu::serve {
+
+/// Deterministic session identity: the manager hands them out starting at 1
+/// in open() order and never reuses one.
+using SessionId = std::uint64_t;
+
+/// How a session bridges chunk boundaries (picked from the engine variant).
+enum class BoundaryMode : std::uint8_t { kDfaState, kPfacTail };
+
+const char* to_string(BoundaryMode mode);
+
+/// Per-session quotas; 0 = unlimited.
+struct SessionLimits {
+  /// Total bytes a session may feed; further feeds fail kCapacityExceeded.
+  std::uint64_t max_bytes = 0;
+  /// Matches retained per session; beyond it matches are dropped and the
+  /// session is marked truncated (the stats record how many).
+  std::uint64_t max_matches = 0;
+};
+
+struct SessionStats {
+  std::uint64_t bytes_fed = 0;
+  std::uint64_t chunks_fed = 0;
+  std::uint64_t matches_delivered = 0;  ///< retained (includes polled ones)
+  std::uint64_t spanning_matches = 0;   ///< found by the boundary continuation
+  std::uint64_t matches_dropped = 0;    ///< lost to the match quota
+  bool truncated = false;               ///< match quota was hit at least once
+};
+
+class Session {
+ public:
+  /// `dfa` must outlive the session; `pfac` is required (and used) only in
+  /// kPfacTail mode.
+  Session(SessionId id, const ac::Dfa& dfa, const ac::PfacAutomaton* pfac,
+          BoundaryMode mode, const SessionLimits& limits);
+
+  SessionId id() const { return id_; }
+  BoundaryMode mode() const { return mode_; }
+
+  /// Quota admission for `n` more bytes; checked before any state mutates.
+  Status admit_bytes(std::uint64_t n) const;
+
+  /// Boundary continuation for the next chunk: emits every match spanning
+  /// into `chunk` (global start before the chunk's first byte) into the
+  /// delivery buffer, advances the carried state / tail buffer, and bumps
+  /// the global offset. Must be called exactly once per fed chunk, in feed
+  /// order, *before* the chunk's bulk matches are delivered.
+  void begin_chunk(std::string_view chunk);
+
+  /// Delivery from the bulk scanner: `m.end` is a global byte offset. The
+  /// match quota is applied here (spanning matches pass through too).
+  /// Returns false when the quota dropped the match.
+  bool deliver(ac::Match m);
+
+  /// Global offset of the next byte to be fed.
+  std::uint64_t bytes_fed() const { return stats_.bytes_fed; }
+
+  /// Hands the buffered matches to the caller (poll). Order is discovery
+  /// order, which interleaves boundary and bulk deliveries — normalize with
+  /// ac::normalize_matches before comparing against a batch scan.
+  std::vector<ac::Match> take_matches();
+  std::size_t buffered() const { return matches_.size(); }
+
+  const SessionStats& stats() const { return stats_; }
+
+  /// Carried automaton context — exposed for tests and debugging.
+  std::int32_t dfa_state() const { return state_; }
+  std::string_view tail() const { return tail_; }
+
+ private:
+  void deliver_spanning(std::uint64_t global_end, std::int32_t pattern);
+  void begin_chunk_dfa(std::string_view chunk);
+  void begin_chunk_pfac(std::string_view chunk);
+
+  SessionId id_ = 0;
+  const ac::Dfa* dfa_ = nullptr;
+  const ac::PfacAutomaton* pfac_ = nullptr;
+  BoundaryMode mode_ = BoundaryMode::kDfaState;
+  SessionLimits limits_;
+
+  std::int32_t state_ = 0;  ///< kDfaState: carried DFA state (0 = root)
+  std::string tail_;        ///< kPfacTail: last X-1 bytes of history
+
+  std::vector<ac::Match> matches_;  ///< delivered, awaiting poll
+  SessionStats stats_;
+};
+
+}  // namespace acgpu::serve

@@ -1,0 +1,54 @@
+#include "serve/session_manager.h"
+
+namespace acgpu::serve {
+
+SessionManager::SessionManager(std::uint32_t capacity) : capacity_(capacity) {
+  ACGPU_CHECK(capacity_ >= 1, "SessionManager capacity must be >= 1, got " << capacity);
+}
+
+Session& SessionManager::open(const ac::Dfa& dfa, const ac::PfacAutomaton* pfac,
+                              BoundaryMode mode, const SessionLimits& limits,
+                              std::optional<SessionId>* evicted) {
+  if (evicted != nullptr) evicted->reset();
+  if (sessions_.size() >= capacity_) {
+    const SessionId victim = lru_.back();
+    lru_.pop_back();
+    sessions_.erase(victim);
+    ++evicted_;
+    if (evicted != nullptr) *evicted = victim;
+  }
+  const SessionId id = next_id_++;
+  ++opened_;
+  lru_.push_front(id);
+  auto [it, inserted] = sessions_.try_emplace(
+      id, Entry{Session(id, dfa, pfac, mode, limits), lru_.begin()});
+  ACGPU_CHECK(inserted, "session id " << id << " already live");
+  return it->second.session;
+}
+
+Session* SessionManager::touch(SessionId id) {
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) return nullptr;
+  lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+  it->second.lru_pos = lru_.begin();
+  return &it->second.session;
+}
+
+Session* SessionManager::find(SessionId id) {
+  auto it = sessions_.find(id);
+  return it == sessions_.end() ? nullptr : &it->second.session;
+}
+
+bool SessionManager::close(SessionId id) {
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) return false;
+  lru_.erase(it->second.lru_pos);
+  sessions_.erase(it);
+  return true;
+}
+
+std::vector<SessionId> SessionManager::ids_by_recency() const {
+  return {lru_.begin(), lru_.end()};
+}
+
+}  // namespace acgpu::serve

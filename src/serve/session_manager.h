@@ -1,0 +1,68 @@
+// Bounded ownership of live sessions with LRU eviction.
+//
+// The ROADMAP's north star is millions of concurrent streams; the host
+// cannot hold per-stream state for all of them forever, so the manager caps
+// live sessions at a fixed capacity and evicts the least-recently-touched
+// one to admit a new open(). Eviction is forgetful by design — the evicted
+// stream's carried state, tail buffer, and undelivered matches are dropped
+// (an IDS that loses a flow's state re-anchors on the next flow) — and the
+// service reports it through serve.sessions.evicted so operators can size
+// the capacity to their traffic.
+//
+// Ids are deterministic: 1, 2, 3, ... in open() order, never reused, so a
+// replayed workload names the same sessions every time.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <unordered_map>
+
+#include "serve/session.h"
+
+namespace acgpu::serve {
+
+class SessionManager {
+ public:
+  /// At most `capacity` live sessions (>= 1).
+  explicit SessionManager(std::uint32_t capacity);
+
+  /// Opens a new session (most-recently-used position). At capacity, the
+  /// LRU session is destroyed first and its id reported via `evicted`.
+  Session& open(const ac::Dfa& dfa, const ac::PfacAutomaton* pfac,
+                BoundaryMode mode, const SessionLimits& limits,
+                std::optional<SessionId>* evicted = nullptr);
+
+  /// Looks a session up and marks it most recently used. Returns nullptr
+  /// for ids that were never opened, were closed, or were evicted.
+  Session* touch(SessionId id);
+
+  /// Peek without disturbing recency (stats, dispatch of bulk matches).
+  Session* find(SessionId id);
+
+  /// Destroys a session; false when the id is not live.
+  bool close(SessionId id);
+
+  std::size_t live() const { return sessions_.size(); }
+  std::uint32_t capacity() const { return capacity_; }
+  std::uint64_t opened() const { return opened_; }
+  std::uint64_t evicted() const { return evicted_; }
+
+  /// Live ids, most recently used first (tests, introspection).
+  std::vector<SessionId> ids_by_recency() const;
+
+ private:
+  struct Entry {
+    Session session;
+    std::list<SessionId>::iterator lru_pos;
+  };
+
+  std::uint32_t capacity_;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t opened_ = 0;
+  std::uint64_t evicted_ = 0;
+  std::list<SessionId> lru_;  ///< front = most recently used
+  std::unordered_map<SessionId, Entry> sessions_;
+};
+
+}  // namespace acgpu::serve

@@ -30,6 +30,7 @@ enum class StatusCode {
   kOk = 0,
   kInvalidArgument,   ///< caller passed something the API rejects
   kCapacityExceeded,  ///< fixed buffer/queue/device budget too small
+  kOverloaded,        ///< transient backpressure: retry after the queue drains
   kInternal,          ///< invariant broke inside the library
 };
 
@@ -38,6 +39,7 @@ inline const char* to_string(StatusCode code) {
     case StatusCode::kOk: return "ok";
     case StatusCode::kInvalidArgument: return "invalid_argument";
     case StatusCode::kCapacityExceeded: return "capacity_exceeded";
+    case StatusCode::kOverloaded: return "overloaded";
     case StatusCode::kInternal: return "internal";
   }
   return "?";
@@ -56,6 +58,12 @@ class Status {
   }
   static Status capacity_exceeded(std::string msg) {
     return Status(StatusCode::kCapacityExceeded, std::move(msg));
+  }
+  /// Admission control said no for now (bounded queue full); unlike
+  /// kCapacityExceeded this is transient — retry once the consumer catches
+  /// up. The streaming session service (serve/) is the main producer.
+  static Status overloaded(std::string msg) {
+    return Status(StatusCode::kOverloaded, std::move(msg));
   }
   static Status internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));

@@ -91,6 +91,41 @@ TEST(PipelineStitching, TextExactMultipleOfBatchLeavesNoTrailingBatch) {
   EXPECT_EQ(got.value().stats.batches, 4u);  // not 5
 }
 
+TEST(PipelineStitching, MatchEndingExactlyOnBatchBoundaryReportedOnce) {
+  // "edge" occupies bytes 252..255 with batch_bytes=256: its last byte is
+  // the batch's last byte, and the overlap carry re-scans those bytes at
+  // the head of batch 1 — the ownership rule must keep exactly one copy.
+  std::string text = random_text(512, 17);
+  text.replace(252, 4, "edge");
+  PipelineOptions opt;
+  opt.batch_bytes = 256;
+  expect_conforms({"edge"}, text, opt);
+}
+
+TEST(PipelineStitching, MatchStartingExactlyOnBatchBoundaryReportedOnce) {
+  // "edge" starts at byte 256 — the first byte batch 1 owns — but the
+  // overlap carry means batch 1's slice starts earlier; the match must be
+  // credited to batch 1 exactly once.
+  std::string text = random_text(512, 19);
+  text.replace(256, 4, "edge");
+  PipelineOptions opt;
+  opt.batch_bytes = 256;
+  expect_conforms({"edge"}, text, opt);
+}
+
+TEST(PipelineStitching, BoundaryExactMatchesAcrossEveryCutOffset) {
+  // Slide a pattern across a batch boundary byte by byte so it ends on the
+  // boundary, starts on it, and straddles it at every interior offset.
+  const std::string needle = "abcd";
+  for (std::size_t start = 248; start <= 256; ++start) {
+    std::string text = random_text(512, 23 + start);
+    text.replace(start, needle.size(), needle);
+    PipelineOptions opt;
+    opt.batch_bytes = 256;
+    expect_conforms({needle}, text, opt);
+  }
+}
+
 TEST(PipelineStitching, SingleByteBatches) {
   PipelineOptions opt;
   opt.batch_bytes = 1;  // pathological: every byte is its own batch

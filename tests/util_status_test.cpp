@@ -26,8 +26,19 @@ TEST(Status, CarriesCodeAndMessage) {
 
 TEST(Status, FactoriesMapToCodes) {
   EXPECT_EQ(Status::capacity_exceeded("x").code(), StatusCode::kCapacityExceeded);
+  EXPECT_EQ(Status::overloaded("x").code(), StatusCode::kOverloaded);
   EXPECT_EQ(Status::internal("x").code(), StatusCode::kInternal);
   EXPECT_STREQ(to_string(StatusCode::kCapacityExceeded), "capacity_exceeded");
+  EXPECT_STREQ(to_string(StatusCode::kOverloaded), "overloaded");
+}
+
+TEST(Status, OverloadedIsDistinctFromCapacityExceeded) {
+  // kOverloaded means "retry later" (transient backpressure from the serve
+  // queue); kCapacityExceeded means a fixed budget is simply too small.
+  const Status transient = Status::overloaded("queue full");
+  const Status permanent = Status::capacity_exceeded("quota exhausted");
+  EXPECT_NE(transient.code(), permanent.code());
+  EXPECT_EQ(transient.to_string(), "overloaded: queue full");
 }
 
 TEST(Status, FromExceptionWrapsWhat) {
