@@ -24,6 +24,19 @@
 // bench/baselines/serve_baseline.json: a deterministic single-threaded
 // replay of 48 seeded streams through a 32-session / 8-chunk-queue service,
 // so evictions, kOverloaded rejections, and superbatch counts are exact.
+//
+// --mode latency is the latency-under-load gate: a fixed chunk trace is
+// replayed through the serve Scheduler into superbatches, each superbatch is
+// scanned through the Engine in Timed mode, and completions are chained
+// through a deterministic queueing model (arrival i at i * interval;
+// C_i = max(A_i, C_{i-1}) + makespan_i; latency = C_i - A_i). The p50/p99 of
+// that latency distribution are pinned in bench/baselines/
+// latency_baseline.json, generated from a streams=2 run — so a throughput
+// win that regresses tail latency past the old two-stream behaviour fails
+// the gate. A degraded --pool-depth 1 run (no staging depth, the pipeline
+// cannot absorb arrival bursts, the backlog grows without bound) is checked
+// to FAIL (WILL_FAIL) so this gate is also known to bite.
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -62,6 +75,15 @@ const std::vector<std::string> kServeGatedSeries = {
     "serve.matches.spanning",
 };
 
+/// --mode latency pins the tail of the under-load latency distribution. The
+/// queueing model is deterministic (fixed trace, simulated makespans), so
+/// these percentiles are stable run to run; the baseline bands them against
+/// the streams=2 reference configuration.
+const std::vector<std::string> kLatencyGatedSeries = {
+    "pipeline.load.latency_ns.p50",
+    "pipeline.load.latency_ns.p99",
+};
+
 telemetry::MetricsSnapshot run_workload(const ArgParser& args) {
   const auto size = static_cast<std::uint64_t>(args.get_bytes("size"));
   const std::uint64_t pool_bytes = 4u << 20;
@@ -80,6 +102,7 @@ telemetry::MetricsSnapshot run_workload(const ArgParser& args) {
   EngineOptions opt;
   opt.variant = pipeline::KernelVariant::kShared;
   opt.streams = static_cast<std::uint32_t>(args.get_int("streams"));
+  opt.pool_depth = static_cast<std::uint32_t>(args.get_int("pool-depth"));
   opt.batch_bytes = static_cast<std::uint64_t>(args.get_bytes("batch"));
   opt.mode = gpusim::SimMode::Timed;
   opt.device_memory_bytes = 1u << 30;
@@ -150,6 +173,92 @@ telemetry::MetricsSnapshot run_serve_workload(const ArgParser& args) {
   return registry.snapshot();
 }
 
+/// The latency-under-load driver: a fixed chunk trace coalesced by the
+/// serve Scheduler into superbatches, each scanned through one Engine in
+/// Timed mode. Arrivals are modelled at a fixed interval; completions chain
+/// FIFO through the single engine, so when the per-superbatch makespan
+/// exceeds the interval the backlog — and with it the tail latency — grows
+/// without bound. Everything is seeded and simulated: the percentiles are
+/// deterministic.
+telemetry::MetricsSnapshot run_latency_workload(const ArgParser& args) {
+  const std::uint64_t seed = static_cast<std::uint64_t>(args.get_int("seed"));
+  const auto batches =
+      static_cast<std::uint32_t>(args.get_int("latency-batches"));
+  const double interval =
+      static_cast<double>(args.get_int("latency-interval-us")) * 1e-6;
+  // 4 MB superbatches: large enough that the staging pool's smaller
+  // rebalanced batches amortise the fixed per-transfer PCIe setup cost, the
+  // regime the pipeline is built for (a 1 MB superbatch would be pure
+  // overhead — 16 transfers of setup against 250 us of payload).
+  constexpr std::uint64_t kChunkBytes = 1u << 20;
+  constexpr std::uint32_t kChunksPerBatch = 4;
+  constexpr std::size_t kSessions = 8;
+  const std::uint64_t chunks =
+      static_cast<std::uint64_t>(batches) * kChunksPerBatch;
+  const std::uint64_t trace_bytes = chunks * kChunkBytes;
+
+  const std::uint64_t pool_bytes = 4u << 20;
+  const std::string corpus = workload::make_corpus(trace_bytes + pool_bytes, seed);
+  workload::ExtractConfig ec;
+  ec.count = static_cast<std::uint32_t>(args.get_int("patterns"));
+  ec.min_length = 6;
+  ec.max_length = 16;
+  ec.word_aligned = true;
+  const ac::PatternSet patterns = workload::extract_patterns(
+      {corpus.data() + trace_bytes, pool_bytes}, ec);
+
+  telemetry::MetricsRegistry registry;
+  EngineOptions opt;
+  opt.variant = pipeline::KernelVariant::kShared;
+  opt.streams = static_cast<std::uint32_t>(args.get_int("streams"));
+  opt.pool_depth = static_cast<std::uint32_t>(args.get_int("pool-depth"));
+  opt.batch_bytes = static_cast<std::uint64_t>(args.get_bytes("batch"));
+  opt.mode = gpusim::SimMode::Timed;
+  opt.device_memory_bytes = 1u << 30;
+  Result<Engine> engine = Engine::create(patterns, opt);
+  ACGPU_CHECK(engine.is_ok(), engine.status().to_string());
+
+  // Replay the trace through the scheduler exactly as serve would: chunks
+  // round-robin across sessions, coalesced FIFO into superbatches. The
+  // queue bounds are sized to admit the whole fixed trace — admission
+  // backpressure is the serve gate's concern, not this one's.
+  serve::SchedulerOptions sopt;
+  sopt.coalesce_bytes = kChunksPerBatch * kChunkBytes;
+  sopt.max_queue_bytes = trace_bytes + 1;
+  sopt.max_queue_chunks = static_cast<std::uint32_t>(chunks) + 1;
+  serve::Scheduler sched(sopt);
+  std::vector<std::uint64_t> session_offset(kSessions, 0);
+  for (std::uint64_t i = 0; i < chunks; ++i) {
+    serve::PendingChunk chunk;
+    chunk.session = static_cast<serve::SessionId>(i % kSessions);
+    chunk.global_base = session_offset[i % kSessions];
+    chunk.bytes = corpus.substr(i * kChunkBytes, kChunkBytes);
+    session_offset[i % kSessions] += kChunkBytes;
+    ACGPU_CHECK(sched.admit(std::move(chunk)).is_ok(), "admit failed");
+  }
+
+  telemetry::Histogram& latency = registry.histogram("pipeline.load.latency_ns");
+  telemetry::Gauge& backlog = registry.gauge("pipeline.load.max_backlog_seconds");
+  double prev_complete = 0;
+  double max_backlog = 0;
+  std::uint32_t batch_index = 0;
+  while (sched.has_work()) {
+    const serve::CoalescedBatch batch = sched.take_batch();
+    Result<ScanResult> scan = engine.value().scan(batch.text);
+    ACGPU_CHECK(scan.is_ok(), scan.status().to_string());
+    const double arrival = batch_index * interval;
+    const double complete =
+        std::max(arrival, prev_complete) + scan.value().stats.makespan_seconds;
+    latency.observe((complete - arrival) * 1e9);
+    max_backlog = std::max(max_backlog, prev_complete - arrival);
+    prev_complete = complete;
+    ++batch_index;
+  }
+  backlog.set(std::max(max_backlog, 0.0));
+  registry.counter("pipeline.load.batches").add(batch_index);
+  return registry.snapshot();
+}
+
 std::string read_file(const std::string& path) {
   std::ifstream in(path);
   ACGPU_CHECK(in.good(), "cannot read baseline file " << path);
@@ -166,14 +275,20 @@ int main(int argc, char** argv) {
       "metrics registry, and gate the snapshot against a checked-in baseline\n"
       "of named bounds. Exits 1 on any violation.");
   args.add_flag("mode",
-                "what to gate: pipeline (canonical Engine workload) or serve "
-                "(streaming session service)", "pipeline");
+                "what to gate: pipeline (canonical Engine workload), serve "
+                "(streaming session service), or latency (under-load tail "
+                "latency through the scheduler)", "pipeline");
   args.add_flag("baseline", "baseline JSON to gate against",
                 "bench/baselines/telemetry_baseline.json");
   args.add_flag("serve-sessions", "mode=serve: streams to replay", "48");
+  args.add_flag("latency-batches", "mode=latency: superbatches to replay", "48");
+  args.add_flag("latency-interval-us",
+                "mode=latency: superbatch arrival interval (microseconds)",
+                "3000");
   args.add_flag("size", "input size for the canonical workload", "8MB");
   args.add_flag("batch", "owned bytes per pipeline batch", "1MB");
   args.add_flag("streams", "pipeline streams", "4");
+  args.add_flag("pool-depth", "staging-pool depth (0 = auto, 2x streams)", "0");
   args.add_flag("patterns", "dictionary size", "2000");
   args.add_flag("seed", "workload seed", "780");
   args.add_flag("snapshot", "also dump the snapshot JSON here (empty = skip)", "");
@@ -186,12 +301,16 @@ int main(int argc, char** argv) {
   try {
     if (!args.parse(argc, argv)) return 0;
     const std::string mode = args.get("mode");
-    ACGPU_CHECK(mode == "pipeline" || mode == "serve",
-                "--mode must be pipeline or serve, got '" << mode << "'");
+    ACGPU_CHECK(mode == "pipeline" || mode == "serve" || mode == "latency",
+                "--mode must be pipeline, serve, or latency, got '" << mode
+                                                                    << "'");
     const bool serve_mode = mode == "serve";
+    const bool latency_mode = mode == "latency";
 
     const telemetry::MetricsSnapshot snapshot =
-        serve_mode ? run_serve_workload(args) : run_workload(args);
+        serve_mode     ? run_serve_workload(args)
+        : latency_mode ? run_latency_workload(args)
+                       : run_workload(args);
 
     const std::string snapshot_path = args.get("snapshot");
     if (!snapshot_path.empty()) {
@@ -205,7 +324,9 @@ int main(int argc, char** argv) {
       std::ofstream out(write_path);
       ACGPU_CHECK(out.good(), "cannot write " << write_path);
       const std::vector<std::string>& gated =
-          serve_mode ? kServeGatedSeries : kGatedSeries;
+          serve_mode     ? kServeGatedSeries
+          : latency_mode ? kLatencyGatedSeries
+                         : kGatedSeries;
       telemetry::write_baseline(snapshot, gated, args.get_double("slack"), out);
       std::printf("check_regression: wrote %s (re-banded %zu series)\n",
                   write_path.c_str(), gated.size());
@@ -226,6 +347,14 @@ int main(int argc, char** argv) {
         std::printf("check_regression: PASS (%zu checks, serve @ %lld sessions)\n",
                     verdict.checks,
                     static_cast<long long>(args.get_int("serve-sessions")));
+      else if (latency_mode)
+        std::printf(
+            "check_regression: PASS (%zu checks, latency @ %lld superbatches "
+            "every %lld us, %lld stream(s))\n",
+            verdict.checks,
+            static_cast<long long>(args.get_int("latency-batches")),
+            static_cast<long long>(args.get_int("latency-interval-us")),
+            static_cast<long long>(args.get_int("streams")));
       else
         std::printf("check_regression: PASS (%zu checks, %s @ %lld stream(s))\n",
                     verdict.checks, format_bytes(args.get_bytes("size")).c_str(),

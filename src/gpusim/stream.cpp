@@ -19,6 +19,7 @@ StreamSim::StreamSim(const GpuConfig& config, DeviceMemory& gmem)
     : cfg_(config), gmem_(gmem) {
   ACGPU_CHECK(cfg_.copy_engines >= 1, "need at least one copy engine");
   copy_engine_free_.assign(cfg_.copy_engines, 0.0);
+  readback_engine_free_.assign(cfg_.readback_engines, 0.0);
 }
 
 StreamId StreamSim::create_stream() {
@@ -40,7 +41,11 @@ double StreamSim::enqueue(StreamId stream, StreamOpKind kind, double duration,
                           std::uint64_t bytes, std::string label) {
   StreamState& s = state(stream);
   double* engine_free = &compute_free_;
-  if (kind != StreamOpKind::kKernel) {
+  if (kind == StreamOpKind::kD2H && !readback_engine_free_.empty()) {
+    // Dedicated readback queue(s): a D2H never waits behind an H2D.
+    engine_free = &*std::min_element(readback_engine_free_.begin(),
+                                     readback_engine_free_.end());
+  } else if (kind != StreamOpKind::kKernel) {
     // With several DMA engines, a transfer grabs whichever frees first.
     engine_free = &*std::min_element(copy_engine_free_.begin(), copy_engine_free_.end());
   }
@@ -147,12 +152,19 @@ double merged_busy(std::vector<std::pair<double, double>>& spans) {
 
 OverlapStats StreamSim::overlap() const {
   OverlapStats stats;
-  std::vector<std::pair<double, double>> copy, compute;
+  std::vector<std::pair<double, double>> copy, compute, h2d, d2h;
   for (const StreamOp& op : timeline_) {
-    (op.kind == StreamOpKind::kKernel ? compute : copy).emplace_back(op.start, op.end);
+    if (op.kind == StreamOpKind::kKernel) {
+      compute.emplace_back(op.start, op.end);
+    } else {
+      copy.emplace_back(op.start, op.end);
+      (op.kind == StreamOpKind::kH2D ? h2d : d2h).emplace_back(op.start, op.end);
+    }
     stats.makespan = std::max(stats.makespan, op.end);
   }
   stats.copy_busy = merged_busy(copy);
+  stats.h2d_busy = merged_busy(h2d);
+  stats.d2h_busy = merged_busy(d2h);
   stats.compute_busy = merged_busy(compute);
   // Overlap = |copy ∪ compute| subtracted from the sum of the two unions.
   std::vector<std::pair<double, double>> all;

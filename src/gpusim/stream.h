@@ -5,9 +5,12 @@
 // execution across independent streams. StreamSim models that layer the way
 // GT200-era hardware does it: one DMA copy engine (H2D and D2H serialise on
 // it), one compute engine (no concurrent kernels), and per-stream FIFO
-// ordering. Operations resolve eagerly — enqueue order is issue order, so an
-// op starts at max(stream ready, engine free, recorded dependencies) and the
-// whole timeline is known as soon as the last op is enqueued.
+// ordering. GpuConfig::readback_engines >= 1 switches to the Fermi-and-later
+// dual-copy layout: D2H ops occupy their own engine(s), so an upload and a
+// readback overlap on the full-duplex PCIe link. Operations resolve eagerly —
+// enqueue order is issue order, so an op starts at max(stream ready, engine
+// free, recorded dependencies) and the whole timeline is known as soon as the
+// last op is enqueued.
 //
 // Functional side effects (the actual byte movement, the kernel's stores)
 // happen at enqueue time in program order; only the *clock* is simulated.
@@ -45,7 +48,9 @@ struct StreamOp {
 
 /// Busy/overlap accounting over a resolved timeline.
 struct OverlapStats {
-  double copy_busy = 0;     ///< union of copy-engine busy intervals
+  double copy_busy = 0;     ///< union of all transfer busy intervals (both directions)
+  double h2d_busy = 0;      ///< union of upload (H2D) busy intervals
+  double d2h_busy = 0;      ///< union of readback (D2H) busy intervals
   double compute_busy = 0;  ///< union of kernel busy intervals
   double overlapped = 0;    ///< time both engine classes were busy at once
   double makespan = 0;      ///< completion of the last operation
@@ -124,7 +129,9 @@ class StreamSim {
   const GpuConfig& cfg_;
   DeviceMemory& gmem_;
   std::vector<StreamState> streams_;
-  std::vector<double> copy_engine_free_;  ///< one slot per DMA engine
+  std::vector<double> copy_engine_free_;  ///< one slot per DMA engine (H2D; D2H too
+                                          ///< when no dedicated readback engine)
+  std::vector<double> readback_engine_free_;  ///< dedicated D2H queues (may be empty)
   double compute_free_ = 0;
   std::vector<StreamOp> timeline_;
   std::vector<double> events_;

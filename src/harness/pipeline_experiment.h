@@ -19,7 +19,10 @@ namespace acgpu::harness {
 struct PipelineSweepConfig {
   std::uint64_t text_bytes = 64ull << 20;
   std::uint64_t batch_bytes = 4ull << 20;
-  std::vector<std::uint32_t> stream_counts = {1, 2, 4};
+  std::vector<std::uint32_t> stream_counts = {1, 2, 4, 8};
+  /// Staging-pool depths per stream count (0 = auto, 2x streams). streams=1
+  /// only runs depth 0 — a single lane cannot use a deeper pool.
+  std::vector<std::uint32_t> pool_depths = {0, 2, 8};
   std::vector<std::uint32_t> pattern_counts = {1000, 4000, 8000};
   /// Pattern lengths, uniform in [min, max] (the paper's range is 4-16).
   /// The floor of 6 keeps the dictionary representative of keyword lists
@@ -44,11 +47,12 @@ struct PipelineSweepConfig {
   gpusim::GpuConfig gpu = gpusim::GpuConfig::gtx285();
 };
 
-/// One (pattern count, stream count) grid point, with the single-buffer
-/// baseline measured on the same dictionary and input.
+/// One (pattern count, stream count, pool depth) grid point, with the
+/// single-buffer baseline measured on the same dictionary and input.
 struct PipelinePoint {
   std::uint32_t pattern_count = 0;
   std::uint32_t streams = 0;
+  std::uint32_t pool_depth_request = 0;  ///< 0 = auto (2x streams)
   pipeline::PipelineStats stats;
   double baseline_seconds = 0;  ///< single-buffer: H2D, kernel, D2H in series
 
@@ -69,16 +73,33 @@ struct PipelineSweepResult {
   std::vector<PipelinePoint> points;
 
   /// Best speedup over the single-buffer baseline among multi-stream
-  /// points — the number the >= 1.5x acceptance criterion gates on.
+  /// points (streams >= 2) — kept for the progress table.
   double best_multi_stream_speedup() const;
+
+  /// Best speedup among deep points (streams >= 4) at the largest pattern
+  /// count — the number the >= 2.0x acceptance criterion gates on.
+  double best_deep_stream_speedup() const;
+
+  /// True when the streams=4 point beats streams=2 on makespan (auto pool
+  /// depth, largest pattern count) — proof the stream clamp no longer
+  /// collapses the two configurations into byte-identical runs.
+  bool streams4_vs_2_distinct() const;
+
+  /// Deepest in-flight batch count observed across the sweep.
+  std::uint64_t max_queue_depth() const;
+
+  /// The full plateau-break criterion: >= 2.0x at streams >= 4, distinct
+  /// streams=4 vs streams=2 points, and a queue that actually goes deeper
+  /// than the old double buffer (max_queue_depth > 2).
+  bool criterion_pass() const;
 };
 
-/// Runs the sweep in Timed mode. Progress lines go to `progress` when
-/// non-null. Throws acgpu::Error if any pipeline run fails.
+/// Runs the streams x pool-depth sweep in Timed mode. Progress lines go to
+/// `progress` when non-null. Throws acgpu::Error if any pipeline run fails.
 PipelineSweepResult run_pipeline_sweep(const PipelineSweepConfig& config,
                                        std::ostream* progress);
 
-/// Serialises the sweep (config, per-point stats, and the >= 1.5x criterion
+/// Serialises the sweep (config, per-point stats, and the >= 2.0x criterion
 /// verdict) as one JSON object — the BENCH_pipeline.json schema.
 void write_pipeline_json(const PipelineSweepResult& result, std::ostream& out);
 

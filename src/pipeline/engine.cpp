@@ -12,7 +12,9 @@ pipeline::PipelineOptions to_pipeline_options(const EngineOptions& options) {
   popt.stt_placement = options.stt_placement;
   popt.streams = options.streams;
   popt.batch_bytes = options.batch_bytes;
-  popt.queue_slots = options.queue_slots;
+  popt.pool_depth = options.pool_depth;
+  popt.readback_depth = options.readback_depth;
+  popt.split_readback = options.split_readback;
   popt.chunk_bytes = options.chunk_bytes;
   popt.threads_per_block = options.threads_per_block;
   popt.match_capacity = options.match_capacity;

@@ -54,12 +54,20 @@ struct EngineOptions {
   kernels::SttPlacement stt_placement = kernels::SttPlacement::kTexture;
 
   /// Streams the pipeline cycles batches across (>= 2 overlaps copy with
-  /// compute; 1 is the serial-staging baseline).
+  /// compute; 1 is the serial-staging baseline). Clamped to the staging
+  /// pool depth — never silently: see pipeline.streams_clamped.
   std::uint32_t streams = 2;
-  /// Owned input bytes per pipeline batch.
+  /// Owned input bytes per pipeline batch (a ceiling — high stream counts
+  /// shrink the effective batch so every lane stays fed).
   std::uint64_t batch_bytes = 4u << 20;
-  /// Bounded submission queue in batches; 0 = 2x streams.
-  std::uint32_t queue_slots = 0;
+  /// Upload staging-pool depth in slice buffers; 0 = 2x streams.
+  std::uint32_t pool_depth = 0;
+  /// Readback staging-pool depth in output buffers; 0 = pool_depth.
+  std::uint32_t readback_depth = 0;
+  /// Issue D2H copies on a dedicated readback DMA queue (full-duplex PCIe).
+  /// false = the GT200 single-copy-queue model, where uploads and readbacks
+  /// serialize on one engine.
+  bool split_readback = true;
 
   /// Functional simulates every block (exact matches — the default);
   /// Timed samples waves for throughput studies and skips match collection.

@@ -1,9 +1,12 @@
 #include "pipeline/pipeline.h"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdio>
 #include <map>
 #include <optional>
 
+#include "pipeline/staging_pool.h"
 #include "telemetry/metrics_registry.h"
 #include "telemetry/trace.h"
 #include "util/stats.h"
@@ -34,6 +37,57 @@ Status PipelineOptions::validate() const {
 
 namespace {
 
+/// Resolved staging-layer geometry: pool depths, the stream clamp, and the
+/// rebalanced batch size (PipelineStats mirrors these for the run).
+struct StagingPlan {
+  std::uint32_t pool_depth = 0;
+  std::uint32_t readback_depth = 0;
+  std::uint32_t effective_streams = 0;
+  std::uint64_t batch_bytes = 0;
+  bool streams_clamped = false;
+};
+
+/// rebalance_batches floor: batches never shrink below this (nor below the
+/// configured batch_bytes when that is already smaller).
+constexpr std::uint64_t kAutoBatchFloor = 64u << 10;
+/// rebalance_batches target: keep every lane at least this many batches deep.
+constexpr std::uint64_t kBatchesPerLane = 4;
+
+StagingPlan resolve_staging(const PipelineOptions& opt, std::uint64_t text_len) {
+  StagingPlan plan;
+  plan.pool_depth = opt.pool_depth != 0 ? opt.pool_depth : 2 * opt.streams;
+  plan.effective_streams = std::min(opt.streams, plan.pool_depth);
+  plan.streams_clamped = plan.effective_streams < opt.streams;
+  plan.readback_depth =
+      opt.readback_depth != 0 ? opt.readback_depth : plan.pool_depth;
+
+  plan.batch_bytes = opt.batch_bytes;
+  if (opt.rebalance_batches && text_len > 0) {
+    const std::uint64_t lanes = plan.effective_streams;
+    const std::uint64_t target = (text_len + kBatchesPerLane * lanes - 1) /
+                                 (kBatchesPerLane * lanes);
+    if (target < plan.batch_bytes)
+      plan.batch_bytes =
+          std::max(target, std::min<std::uint64_t>(plan.batch_bytes, kAutoBatchFloor));
+  }
+  return plan;
+}
+
+/// One-time (per process) stream-clamp warning; every occurrence still
+/// counts into pipeline.streams_clamped and the run's stats.
+void warn_streams_clamped(std::uint32_t requested, std::uint32_t pool_depth,
+                          std::uint32_t effective) {
+  static std::atomic<bool> warned{false};
+  if (warned.exchange(true, std::memory_order_relaxed)) return;
+  std::fprintf(stderr,
+               "acgpu pipeline: requested %u streams exceed the staging pool "
+               "depth %u; running %u stream(s). Raise PipelineOptions::"
+               "pool_depth (or leave it 0 = 2x streams) to feed every lane. "
+               "(warning printed once per process; see "
+               "pipeline.streams_clamped)\n",
+               requested, pool_depth, effective);
+}
+
 struct BatchGeometry {
   std::uint32_t overlap = 0;      ///< max_pattern_length - 1 carry bytes
   std::uint32_t chunk_bytes = 0;  ///< AC kernels only
@@ -44,13 +98,14 @@ struct BatchGeometry {
 /// Derives chunk/block geometry, shrinking the block when the shared-memory
 /// staging region would not fit the SM.
 Result<BatchGeometry> resolve_geometry(const PipelineOptions& opt,
+                                       std::uint64_t batch_bytes,
                                        const gpusim::GpuConfig& config,
                                        std::uint32_t max_pattern_length,
                                        std::uint64_t text_len) {
   BatchGeometry g;
   g.overlap = max_pattern_length > 0 ? max_pattern_length - 1 : 0;
   g.threads_per_block = opt.threads_per_block;
-  g.slice_cap = std::min<std::uint64_t>(opt.batch_bytes, text_len) + g.overlap;
+  g.slice_cap = std::min<std::uint64_t>(batch_bytes, text_len) + g.overlap;
 
   if (opt.variant == KernelVariant::kPfac) return g;
 
@@ -100,17 +155,28 @@ void publish_run(const PipelineResult& result, telemetry::MetricsRegistry& reg) 
   reg.gauge("pipeline.throughput_gbps").set(s.throughput_gbps());
   reg.gauge("pipeline.makespan_seconds").set(s.makespan_seconds);
   reg.gauge("pipeline.copy_busy_seconds").set(s.copy_busy_seconds);
+  reg.gauge("pipeline.h2d_busy_seconds").set(s.h2d_busy_seconds);
+  reg.gauge("pipeline.d2h_busy_seconds").set(s.d2h_busy_seconds);
   reg.gauge("pipeline.compute_busy_seconds").set(s.compute_busy_seconds);
   reg.gauge("pipeline.overlap_seconds").set(s.overlap_seconds);
   reg.gauge("pipeline.blocked_seconds").set(s.blocked_seconds);
+  reg.gauge("pipeline.readback_wait_seconds").set(s.readback_wait_seconds);
   reg.gauge("pipeline.max_queue_depth").set_max(s.max_queue_depth);
+  reg.gauge("pipeline.pool_depth").set(s.pool_depth);
+  reg.gauge("pipeline.readback_depth").set(s.readback_depth);
+  reg.gauge("pipeline.effective_streams").set(s.effective_streams);
+  reg.gauge("pipeline.effective_batch_bytes").set(
+      static_cast<double>(s.effective_batch_bytes));
+  if (s.streams_clamped) reg.counter("pipeline.streams_clamped").add(1);
 
   telemetry::Histogram& latency = reg.histogram("pipeline.batch.latency_ns");
   telemetry::Histogram& blocked = reg.histogram("pipeline.batch.blocked_ns");
+  telemetry::Histogram& rb_wait = reg.histogram("pipeline.batch.readback_wait_ns");
   telemetry::Histogram& depth = reg.histogram("pipeline.batch.queue_depth");
   for (const BatchTrace& t : result.batches) {
     latency.observe((t.complete_seconds - t.submit_seconds) * kSimNs);
     blocked.observe(t.blocked_seconds * kSimNs);
+    rb_wait.observe(t.readback_wait_seconds * kSimNs);
     depth.observe(t.queue_depth);
   }
 
@@ -157,23 +223,35 @@ Result<PipelineResult> MatchPipeline::run(std::string_view text) {
   const std::uint32_t max_len = opt.variant == KernelVariant::kPfac
                                     ? dpfac_->max_pattern_length()
                                     : ddfa_->max_pattern_length();
-  Result<BatchGeometry> geo = resolve_geometry(opt, config_, max_len, text.size());
+  const StagingPlan plan = resolve_staging(opt, text.size());
+  if (plan.streams_clamped)
+    warn_streams_clamped(opt.streams, plan.pool_depth, plan.effective_streams);
+
+  Result<BatchGeometry> geo =
+      resolve_geometry(opt, plan.batch_bytes, config_, max_len, text.size());
   if (!geo) return geo.status();
   const BatchGeometry g = geo.value();
 
-  const std::uint32_t slots = opt.queue_slots != 0 ? opt.queue_slots : 2 * opt.streams;
   const std::uint64_t batch_count =
-      (text.size() + opt.batch_bytes - 1) / opt.batch_bytes;
+      (text.size() + plan.batch_bytes - 1) / plan.batch_bytes;
 
   try {
-    gpusim::StreamSim sim(config_, mem_);
-    for (std::uint32_t s = 0; s < opt.streams; ++s) sim.create_stream();
+    // split_readback gives the device a dedicated D2H queue (the PCIe link
+    // is full duplex). The sim keeps a reference to its config, so the
+    // adjusted copy must outlive it.
+    gpusim::GpuConfig run_cfg = config_;
+    if (opt.split_readback && run_cfg.readback_engines == 0)
+      run_cfg.readback_engines = 1;
+    gpusim::StreamSim sim(run_cfg, mem_);
+    for (std::uint32_t s = 0; s < plan.effective_streams; ++s) sim.create_stream();
 
-    // Device slot ring: one staged-input buffer per queue slot (+8 pad bytes
-    // so word-granular staging loads never run off the slice).
+    // Staging pools, allocated below batch_mark so per-batch recycling never
+    // frees them. Upload slices carry 8 pad bytes (word-granular staging
+    // loads never run off the slice); readback leases are 0-byte accounting
+    // entries — the kernel launches allocate the real output buffers.
     const std::size_t outer_mark = mem_.mark();
-    std::vector<gpusim::DevAddr> slot_addr(slots);
-    for (std::uint32_t s = 0; s < slots; ++s) slot_addr[s] = mem_.alloc(g.slice_cap + 8);
+    StagingPool upload(mem_, {plan.pool_depth, g.slice_cap, 8, false});
+    StagingPool readback(mem_, {plan.readback_depth, 0, 0, false});
     const std::size_t batch_mark = mem_.mark();
 
     std::vector<double> completion;  // per batch: D2H end on the timeline
@@ -195,9 +273,16 @@ Result<PipelineResult> MatchPipeline::run(std::string_view text) {
     const auto flush_pending = [&]() {
       if (!pending) return;
       BatchTrace& t = pending->trace;
+      // Readback staging lease: held from here (the batch's kernel has long
+      // ended) to D2H end, recycled independently of the upload pool.
+      const StagingPool::Lease rb = readback.try_acquire().value();
+      t.readback_wait_seconds =
+          std::max(0.0, rb.ready - sim.stream_ready(pending->stream));
+      sim.wait_until(pending->stream, rb.ready);
       const std::uint64_t d2h_id = sim.charge_d2h(
           pending->stream, t.output_bytes, "d2h b" + std::to_string(t.index));
       t.complete_seconds = sim.op_end(d2h_id);
+      readback.release(rb.index, t.complete_seconds);
       completion.push_back(t.complete_seconds);
       t.queue_depth = 1;
       for (std::uint64_t j = 0; j < t.index; ++j)
@@ -207,6 +292,7 @@ Result<PipelineResult> MatchPipeline::run(std::string_view text) {
       result.stats.staged_bytes += t.staged_bytes;
       result.stats.output_bytes += t.output_bytes;
       result.stats.blocked_seconds += t.blocked_seconds;
+      result.stats.readback_wait_seconds += t.readback_wait_seconds;
       result.stats.max_queue_depth =
           std::max(result.stats.max_queue_depth, t.queue_depth);
       result.batches.push_back(t);
@@ -218,11 +304,12 @@ Result<PipelineResult> MatchPipeline::run(std::string_view text) {
         dpfac_ != nullptr ? &dpfac_->host_automaton() : nullptr;
 
     for (std::uint64_t b = 0; b < batch_count; ++b) {
-      const std::uint64_t base = b * opt.batch_bytes;
-      const std::uint64_t owned = std::min<std::uint64_t>(opt.batch_bytes, text.size() - base);
+      const std::uint64_t base = b * plan.batch_bytes;
+      const std::uint64_t owned =
+          std::min<std::uint64_t>(plan.batch_bytes, text.size() - base);
       const std::uint64_t slice = std::min<std::uint64_t>(owned + g.overlap, text.size() - base);
-      const gpusim::StreamId stream = static_cast<gpusim::StreamId>(b % opt.streams);
-      const gpusim::DevAddr dst = slot_addr[b % slots];
+      const gpusim::StreamId stream =
+          static_cast<gpusim::StreamId>(b % plan.effective_streams);
 
       ACGPU_TRACE_SPAN(opt.tracer, "pipeline.batch");
       BatchTrace trace;
@@ -231,17 +318,16 @@ Result<PipelineResult> MatchPipeline::run(std::string_view text) {
       trace.owned_bytes = owned;
       trace.staged_bytes = slice;
 
-      // A single slot leaves nothing to pipeline the issue order across:
-      // the previous batch's D2H must precede this batch's H2D.
-      if (slots == 1) flush_pending();
-
-      // Backpressure: the slot this batch wants is busy until the batch
-      // `slots` ago fully drains (its D2H completes).
-      if (b >= slots) {
-        const double dep = completion[b - slots];
-        trace.blocked_seconds = std::max(0.0, dep - sim.stream_ready(stream));
-        sim.wait_until(stream, dep);
-      }
+      // Upload staging lease: held from H2D start to KERNEL end (the kernel
+      // is the last reader of the staged slice), so this batch never waits
+      // on a readback it does not depend on. The pool hands back the buffer
+      // that drains earliest; any wait is genuine upload backpressure. The
+      // single-threaded driver releases every lease within its iteration,
+      // so the pool cannot be exhausted here (value() is safe).
+      const StagingPool::Lease up = upload.try_acquire().value();
+      const gpusim::DevAddr dst = up.addr;
+      trace.blocked_seconds = std::max(0.0, up.ready - sim.stream_ready(stream));
+      sim.wait_until(stream, up.ready);
 
       const std::uint64_t h2d_id =
           sim.memcpy_h2d(stream, dst, text.data() + base, slice, "h2d b" + std::to_string(b));
@@ -324,6 +410,11 @@ Result<PipelineResult> MatchPipeline::run(std::string_view text) {
         if (reuse) timing_cache[slice] = {trace.kernel_seconds, trace.output_bytes};
       }
 
+      // The kernel was the last reader of the staged slice: the upload
+      // buffer recycles at kernel end, not D2H end — what lets a deep pool
+      // keep feeding lanes while readbacks drain.
+      upload.release(up.index, sim.stream_ready(stream));
+
       // Issue the PREVIOUS batch's D2H now that this batch's H2D and kernel
       // are in the copy/compute queues, then hold this one back in turn.
       flush_pending();
@@ -336,9 +427,16 @@ Result<PipelineResult> MatchPipeline::run(std::string_view text) {
     result.stats.input_bytes = text.size();
     result.stats.makespan_seconds = ov.makespan;
     result.stats.copy_busy_seconds = ov.copy_busy;
+    result.stats.h2d_busy_seconds = ov.h2d_busy;
+    result.stats.d2h_busy_seconds = ov.d2h_busy;
     result.stats.compute_busy_seconds = ov.compute_busy;
     result.stats.overlap_seconds = ov.overlapped;
     result.stats.overlap_ratio = ov.overlap_ratio();
+    result.stats.effective_streams = plan.effective_streams;
+    result.stats.pool_depth = plan.pool_depth;
+    result.stats.readback_depth = plan.readback_depth;
+    result.stats.effective_batch_bytes = plan.batch_bytes;
+    result.stats.streams_clamped = plan.streams_clamped;
     result.stats.latency_p50_seconds = latencies.percentile(50);
     result.stats.latency_p90_seconds = latencies.percentile(90);
     result.stats.latency_p99_seconds = latencies.percentile(99);

@@ -2,28 +2,41 @@
 //
 // The paper's kernels assume the text is already resident on the device; at
 // production scale the PCIe copy dominates a monolithic launch. MatchPipeline
-// splits an arbitrarily large input into batches, cycles them through N
-// simulated streams (gpusim/stream.h), and double-buffers device slots so the
-// copy engine stages batch k+1 while the compute engine matches batch k:
+// splits an arbitrarily large input into batches and runs each through a
+// three-stage software pipeline — upload (H2D), compute (kernel), readback
+// (D2H) — cycled across N simulated streams (gpusim/stream.h). Each stream
+// is one pipeline lane; stages of different batches overlap because the
+// upload engine, the compute engine, and the readback engine are independent
+// resources:
 //
-//   stream 0:  [H2D b0][kernel b0]        [D2H b0][H2D b2][kernel b2]...
-//   stream 1:          [H2D b1]   [kernel b1]     [D2H b1]   [H2D b3]...
+//   upload:   [H2D b0][H2D b1][H2D b2][H2D b3]...
+//   compute:          [krn b0][krn b1][krn b2]...
+//   readback:                 [D2H b0][D2H b1]...
 //
-// The single copy engine serves its queue in issue order, so the driver
-// issues in software-pipelined order — each batch's D2H is enqueued after
-// the NEXT batch's H2D + kernel. Issuing depth-first (H2D, kernel, D2H per
-// batch) would head-of-line-block every H2D behind the previous batch's
-// D2H and serialize the whole timeline.
+// Staging is a sized buffer pool (pipeline/staging_pool.h), not a fixed
+// double-buffer: `pool_depth` upload slices (leased H2D -> kernel end, the
+// kernel being the last reader of the staged input) and `readback_depth`
+// output buffers (leased kernel end -> D2H end) recycle independently, so a
+// batch's upload never waits on a readback it does not depend on. Requested
+// streams are clamped to the pool depth — a pool of D buffers can only feed
+// D lanes — and the clamp is surfaced (stats.streams_clamped, the
+// pipeline.streams_clamped counter, a one-time warning) instead of silently
+// degrading.
+//
+// Readback runs on its own DMA queue by default (`split_readback`, modelled
+// by gpusim's dedicated readback engine): the PCIe link is full duplex, so
+// an upload and a readback proceed simultaneously and throughput approaches
+// the upload-bound limit serial(copy+compute)/max(h2d, kernel, d2h) instead
+// of plateauing at the shared-engine bound. The driver still issues each
+// batch's D2H after the NEXT batch's H2D + kernel (software-pipelined issue
+// order), which keeps the legacy shared-engine mode (split_readback=false)
+// from head-of-line-blocking uploads behind readbacks.
 //
 // Correctness at batch boundaries uses the same X-byte overlap rule as
 // ac/chunking.h, one level up: each batch's device slice carries
 // max_pattern_length-1 bytes of the next batch, and a match is kept iff its
 // START lies in the batch's owned range — so matches spanning a boundary are
 // reported exactly once, by the earlier batch.
-//
-// Submission is a bounded queue: a batch occupies a device slot from H2D
-// until its D2H completes; when all slots are in flight the producer blocks
-// on the oldest outstanding batch (backpressure on the simulated clock).
 #pragma once
 
 #include <cstdint>
@@ -54,16 +67,29 @@ struct PipelineOptions {
   kernels::StoreScheme scheme = kernels::StoreScheme::kDiagonal;
   kernels::SttPlacement stt_placement = kernels::SttPlacement::kTexture;
 
-  /// Streams to cycle batches across. 1 = no overlap (the baseline the
-  /// BENCH_pipeline numbers compare against).
+  /// Streams (pipeline lanes) to cycle batches across. 1 = no overlap (the
+  /// baseline the BENCH_pipeline numbers compare against). Clamped to the
+  /// staging-pool depth, with the clamp surfaced (never silent).
   std::uint32_t streams = 2;
   /// Owned input bytes per batch (the device slice adds the overlap carry).
+  /// When `rebalance_batches` is set this is a ceiling: high stream counts
+  /// shrink the effective batch so every lane stays fed.
   std::uint64_t batch_bytes = 4u << 20;
-  /// Bounded-queue depth in batches (device slots). 0 = 2x streams, the
-  /// classic double-buffer sizing. Values below the stream count are legal
-  /// but memory-constrained: submission then blocks on the oldest in-flight
-  /// batch before a stream's own FIFO would, throttling the overlap.
-  std::uint32_t queue_slots = 0;
+  /// Upload staging-pool depth in device slice buffers. 0 = 2x streams.
+  /// Effective streams = min(streams, pool_depth): a pool of D buffers can
+  /// feed at most D lanes (stats.streams_clamped reports the clamp).
+  std::uint32_t pool_depth = 0;
+  /// Readback staging-pool depth in output buffers. 0 = pool_depth.
+  std::uint32_t readback_depth = 0;
+  /// Issue D2H copies on a dedicated readback DMA queue (full-duplex PCIe).
+  /// false falls back to the GT200 single-copy-queue model, where uploads
+  /// and readbacks serialise on one engine — the historical 1.63x plateau.
+  bool split_readback = true;
+  /// Shrink the effective batch size when the stream count is high enough
+  /// that `batch_bytes` would leave lanes idle (target: >= 4 batches per
+  /// lane, never below 64 KB or above batch_bytes). Purely a timing
+  /// rebalance — matches are exact for any batch size.
+  bool rebalance_batches = true;
 
   /// Per-thread chunk for the AC kernels; 0 derives the smallest legal value
   /// (>= 32, a multiple of 4, larger than the overlap).
@@ -96,7 +122,8 @@ struct PipelineOptions {
   telemetry::Tracer* tracer = nullptr;
 
   /// Rejects inconsistent combinations (PFAC with a store scheme override,
-  /// zero streams, queue smaller than the stream count, ...).
+  /// zero streams, ...). Streams above the pool depth are NOT an error —
+  /// they clamp, and the clamp is surfaced in the run's stats/telemetry.
   Status validate() const;
 };
 
@@ -114,7 +141,8 @@ struct BatchTrace {
   double submit_seconds = 0;       ///< H2D start (after any backpressure wait)
   double complete_seconds = 0;     ///< D2H end
   double kernel_seconds = 0;
-  double blocked_seconds = 0;  ///< time the submit waited for a free slot
+  double blocked_seconds = 0;  ///< time the submit waited for an upload buffer
+  double readback_wait_seconds = 0;  ///< time the D2H waited for a readback buffer
   std::uint32_t queue_depth = 0;  ///< in-flight batches at submit (incl. this)
 };
 
@@ -124,12 +152,23 @@ struct PipelineStats {
   std::uint64_t staged_bytes = 0;  ///< total H2D payload (incl. overlap carry)
   std::uint64_t output_bytes = 0;  ///< total D2H payload
   double makespan_seconds = 0;     ///< simulated end-to-end (copy + compute)
-  double copy_busy_seconds = 0;
+  double copy_busy_seconds = 0;    ///< all transfers (both directions)
+  double h2d_busy_seconds = 0;     ///< upload stage busy time
+  double d2h_busy_seconds = 0;     ///< readback stage busy time
   double compute_busy_seconds = 0;
-  double overlap_seconds = 0;  ///< both engines busy simultaneously
+  double overlap_seconds = 0;  ///< both engine classes busy simultaneously
   double overlap_ratio = 0;    ///< overlap / min(copy, compute) busy time
-  double blocked_seconds = 0;  ///< total backpressure wait
+  double blocked_seconds = 0;  ///< total upload-buffer backpressure wait
+  double readback_wait_seconds = 0;  ///< total readback-buffer wait
   std::uint32_t max_queue_depth = 0;
+
+  /// Resolved staging geometry for the run — what actually executed, after
+  /// pool-depth defaults, the stream clamp, and batch rebalancing.
+  std::uint32_t effective_streams = 0;
+  std::uint32_t pool_depth = 0;      ///< upload staging buffers
+  std::uint32_t readback_depth = 0;  ///< readback staging buffers
+  std::uint64_t effective_batch_bytes = 0;
+  bool streams_clamped = false;  ///< requested streams exceeded the pool depth
   double latency_p50_seconds = 0;  ///< per-batch submit -> D2H-complete
   double latency_p90_seconds = 0;
   double latency_p99_seconds = 0;

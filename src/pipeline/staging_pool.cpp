@@ -1,0 +1,93 @@
+#include "pipeline/staging_pool.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace acgpu::pipeline {
+
+StagingPool::StagingPool(gpusim::DeviceMemory& mem, const Options& options)
+    : mem_(mem), options_(options) {
+  ACGPU_CHECK(options.buffers >= 1, "StagingPool needs at least one buffer");
+  slots_.resize(options.buffers);
+  for (Slot& slot : slots_)
+    slot.addr = mem_.alloc(options_.buffer_bytes + options_.pad_bytes);
+}
+
+StagingPool::Lease StagingPool::lease_locked(std::uint32_t index) {
+  Slot& slot = slots_[index];
+  slot.leased = true;
+  ++in_use_;
+  max_in_use_ = std::max(max_in_use_, in_use_);
+  ++acquires_;
+  return Lease{slot.addr, index, slot.ready};
+}
+
+std::optional<StagingPool::Lease> StagingPool::try_acquire() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint32_t best = size();
+  for (std::uint32_t i = 0; i < size(); ++i) {
+    if (slots_[i].leased) continue;
+    if (best == size() || slots_[i].ready < slots_[best].ready) best = i;
+  }
+  if (best == size()) return std::nullopt;
+  return lease_locked(best);
+}
+
+StagingPool::Lease StagingPool::acquire_blocking() {
+  std::unique_lock<std::mutex> lock(mu_);
+  bool waited = false;
+  for (;;) {
+    std::uint32_t best = size();
+    for (std::uint32_t i = 0; i < size(); ++i) {
+      if (slots_[i].leased) continue;
+      if (best == size() || slots_[i].ready < slots_[best].ready) best = i;
+    }
+    if (best != size()) {
+      if (waited) ++exhaustion_waits_;
+      return lease_locked(best);
+    }
+    waited = true;
+    available_cv_.wait(lock);
+  }
+}
+
+void StagingPool::release(std::uint32_t index, double drained_at) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ACGPU_CHECK(index < size(), "StagingPool::release: index " << index
+                                    << " out of range (pool of " << size() << ")");
+    Slot& slot = slots_[index];
+    ACGPU_CHECK(slot.leased,
+                "StagingPool::release: buffer " << index << " is not leased");
+    if (options_.poison_on_release)
+      mem_.fill(slot.addr, kPoisonByte,
+                options_.buffer_bytes + options_.pad_bytes);
+    slot.leased = false;
+    slot.ready = std::max(slot.ready, drained_at);
+    --in_use_;
+  }
+  available_cv_.notify_one();
+}
+
+std::uint32_t StagingPool::available() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return size() - in_use_;
+}
+
+std::uint32_t StagingPool::max_in_use() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return max_in_use_;
+}
+
+std::uint64_t StagingPool::acquires() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return acquires_;
+}
+
+std::uint64_t StagingPool::exhaustion_waits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return exhaustion_waits_;
+}
+
+}  // namespace acgpu::pipeline

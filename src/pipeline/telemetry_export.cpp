@@ -21,7 +21,10 @@ void add_scan_to_trace(telemetry::ChromeTrace& trace, const PipelineResult& resu
 
   // Register stream tracks first (ascending ids), then the engine rows, so
   // the Perfetto layout reads top-down: per-stream program order, then the
-  // two hardware engines the streams contend for.
+  // hardware engines the streams contend for. Readback gets its own row:
+  // with the pipeline's split-readback mode an upload and a readback run
+  // simultaneously (full-duplex PCIe), so folding D2H onto the copy row
+  // would draw overlapping slices on one track.
   std::uint32_t max_stream = 0;
   for (const gpusim::StreamOp& op : result.timeline)
     max_stream = std::max(max_stream, op.stream);
@@ -29,6 +32,7 @@ void add_scan_to_trace(telemetry::ChromeTrace& trace, const PipelineResult& resu
   for (std::uint32_t s = 0; s <= max_stream; ++s)
     stream_tid[s] = trace.track(pid, "stream " + std::to_string(s));
   const std::uint64_t copy_tid = trace.track(pid, "copy engine");
+  const std::uint64_t readback_tid = trace.track(pid, "readback engine");
   const std::uint64_t compute_tid = trace.track(pid, "compute engine");
 
   for (const gpusim::StreamOp& op : result.timeline) {
@@ -40,8 +44,11 @@ void add_scan_to_trace(telemetry::ChromeTrace& trace, const PipelineResult& resu
     if (op.bytes > 0) args.emplace_back("bytes", std::to_string(op.bytes));
     const std::string& name = op.label.empty() ? "(unnamed op)" : op.label;
     trace.add_slice(pid, stream_tid[op.stream], name, start, dur, args);
-    const std::uint64_t engine_tid =
-        op.kind == gpusim::StreamOpKind::kKernel ? compute_tid : copy_tid;
+    const std::uint64_t engine_tid = op.kind == gpusim::StreamOpKind::kKernel
+                                         ? compute_tid
+                                         : op.kind == gpusim::StreamOpKind::kD2H
+                                               ? readback_tid
+                                               : copy_tid;
     trace.add_slice(pid, engine_tid, name, start, dur, std::move(args));
   }
 

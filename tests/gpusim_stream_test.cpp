@@ -206,5 +206,58 @@ TEST(StreamSim, MultipleCopyEnginesRunConcurrently) {
   EXPECT_DOUBLE_EQ(sim.timeline()[1].start, 0);  // second engine picks it up
 }
 
+TEST(StreamSim, DedicatedReadbackEngineDuplexesTransfers) {
+  GpuConfig cfg = test_config();
+  cfg.readback_engines = 1;
+  DeviceMemory mem(1 << 20);
+  StreamSim sim(cfg, mem);
+  const StreamId a = sim.create_stream();
+  const StreamId b = sim.create_stream();
+  const DevAddr buf = mem.alloc(4096);
+  std::vector<char> host(4096);
+
+  // An upload and a readback on different streams: full-duplex PCIe, both
+  // start at t=0 instead of serialising on one DMA engine.
+  sim.memcpy_h2d(a, buf, host.data(), 1000);
+  sim.memcpy_d2h(b, host.data() + 2048, buf, 1000);
+  const auto& ops = sim.timeline();
+  EXPECT_DOUBLE_EQ(ops[0].start, 0);
+  EXPECT_DOUBLE_EQ(ops[1].start, 0);
+
+  // A second D2H queues behind the first on the readback engine, leaving
+  // the upload engine free.
+  sim.memcpy_d2h(b, host.data() + 3000, buf, 1000);
+  sim.memcpy_h2d(a, buf + 2048, host.data(), 1000);
+  EXPECT_DOUBLE_EQ(sim.timeline()[2].start, 1e-6);  // behind first D2H
+  EXPECT_DOUBLE_EQ(sim.timeline()[3].start, 1e-6);  // behind first H2D only
+
+  const OverlapStats ov = sim.overlap();
+  EXPECT_DOUBLE_EQ(ov.h2d_busy, 2e-6);
+  EXPECT_DOUBLE_EQ(ov.d2h_busy, 2e-6);
+  // Both directions fully overlapped: the union of transfer intervals is
+  // half the serialised total.
+  EXPECT_DOUBLE_EQ(ov.copy_busy, 2e-6);
+}
+
+TEST(StreamSim, LegacySingleEngineStillSerialisesBothDirections) {
+  // readback_engines = 0 (the GT200 default) must keep the historical
+  // shared-engine behaviour: a D2H queues behind an in-flight H2D.
+  DeviceMemory mem(1 << 20);
+  StreamSim sim(test_config(), mem);
+  const StreamId a = sim.create_stream();
+  const StreamId b = sim.create_stream();
+  const DevAddr buf = mem.alloc(4096);
+  std::vector<char> host(4096);
+
+  sim.memcpy_h2d(a, buf, host.data(), 1000);
+  sim.memcpy_d2h(b, host.data() + 2048, buf, 1000);
+  EXPECT_DOUBLE_EQ(sim.timeline()[1].start, 1e-6);
+
+  const OverlapStats ov = sim.overlap();
+  EXPECT_DOUBLE_EQ(ov.h2d_busy, 1e-6);
+  EXPECT_DOUBLE_EQ(ov.d2h_busy, 1e-6);
+  EXPECT_DOUBLE_EQ(ov.copy_busy, 2e-6);  // no duplexing: intervals abut
+}
+
 }  // namespace
 }  // namespace acgpu::gpusim
