@@ -1,0 +1,252 @@
+// ac_hostcheck — happens-before audit of the async host pipeline, the
+// host-side sibling of ac_memcheck:
+//
+//   ac_hostcheck                            # full staging-geometry sweep
+//   ac_hostcheck --configs=s2-d2-split      # one geometry
+//   ac_hostcheck --iterations 10 --seed 7   # a deeper sweep
+//   ac_hostcheck --json                     # machine-readable report
+//   ac_hostcheck --broken                   # negative controls: every
+//                                           # seeded-broken schedule must be
+//                                           # flagged with its expected kind
+//   ac_hostcheck --broken-run=early-release # run ONE broken schedule; exits
+//                                           # 1 when hazards are found (the
+//                                           # WILL_FAIL ctest entries)
+//   ac_hostcheck --list                     # config + broken-schedule names
+//
+// Each geometry runs real Engine::scan calls under the hostcheck Recorder;
+// the analyzer reconstructs the op DAG (stream FIFO, event edges, the
+// staging pool's release/wait_until handshake) and reports conflicting
+// device accesses that are only ordered by timing luck, lease-protocol
+// violations, and lock-order cycles over the serve mutexes. Match output is
+// diffed against the serial reference at the same time.
+//
+// Exit status: 0 when every config audits clean and conformant (or every
+// broken schedule is caught), 1 on hazards/mismatches (or a missed broken
+// schedule), 2 on bad usage.
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string_view>
+
+#include "hostcheck/audit.h"
+#include "hostcheck/broken.h"
+#include "util/arg_parser.h"
+#include "util/byte_units.h"
+#include "util/error.h"
+#include "util/stopwatch.h"
+#include "util/table.h"
+
+using namespace acgpu;
+
+namespace {
+
+hostcheck::HostAuditConfig parse_config(const std::string& name) {
+  hostcheck::HostAuditConfig config;
+  unsigned streams = 0;
+  unsigned depth = 0;
+  char mode[8] = {0};
+  const bool ok =
+      std::sscanf(name.c_str(), "s%u-d%u-%7s", &streams, &depth, mode) == 3 &&
+      streams >= 1 && depth >= 1 &&
+      (std::string_view(mode) == "split" || std::string_view(mode) == "shared");
+  ACGPU_CHECK(ok, "bad config '" << name
+                                 << "' (want s<streams>-d<depth>-split|shared, "
+                                    "e.g. s2-d2-split)");
+  config.streams = streams;
+  config.depth = depth;
+  config.split_readback = std::string_view(mode) == "split";
+  return config;
+}
+
+std::vector<hostcheck::HostAuditConfig> parse_configs(const std::string& csv) {
+  std::vector<hostcheck::HostAuditConfig> configs;
+  std::istringstream in(csv);
+  std::string token;
+  while (std::getline(in, token, ','))
+    if (!token.empty()) configs.push_back(parse_config(token));
+  return configs;
+}
+
+/// --broken: every seeded-broken schedule must be flagged with its expected
+/// hazard kind. Returns the number of schedules the analyzer MISSED.
+int run_broken_controls(bool json, bool quiet) {
+  struct Row {
+    hostcheck::BrokenSchedule schedule;
+    hostcheck::HostAuditReport report;
+    bool caught = false;
+  };
+  std::vector<Row> rows;
+  for (const hostcheck::BrokenSchedule s : hostcheck::all_broken_schedules()) {
+    Row row{s, hostcheck::run_broken_schedule(s), false};
+    row.caught = row.report.count(hostcheck::expected_hazard(s)) > 0;
+    rows.push_back(std::move(row));
+  }
+
+  int missed = 0;
+  if (json) {
+    std::ostream& out = std::cout;
+    out << "{\"schedules\":[";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      if (i > 0) out << ",";
+      out << "{\"schedule\":\"" << to_string(rows[i].schedule)
+          << "\",\"expected\":\""
+          << to_string(hostcheck::expected_hazard(rows[i].schedule))
+          << "\",\"caught\":" << (rows[i].caught ? "true" : "false")
+          << ",\"report\":";
+      rows[i].report.write_json(out);
+      out << "}";
+      missed += rows[i].caught ? 0 : 1;
+    }
+    out << "],\"missed\":" << missed << "}\n";
+    return missed;
+  }
+
+  Table table;
+  table.set_header({"broken schedule", "expected hazard", "hazards", "caught"});
+  for (const Row& row : rows) {
+    table.add_row({to_string(row.schedule),
+                   to_string(hostcheck::expected_hazard(row.schedule)),
+                   std::to_string(row.report.total_hazards()),
+                   row.caught ? "yes" : "NO"});
+    missed += row.caught ? 0 : 1;
+  }
+  table.print(std::cout);
+  if (missed > 0 && !quiet)
+    for (const Row& row : rows)
+      if (!row.caught) {
+        std::printf("\n--- %s (missed) ---\n", to_string(row.schedule));
+        row.report.write_text(std::cout);
+      }
+  std::printf(missed == 0 ? "all broken schedules caught.\n"
+                          : "%d broken schedule(s) NOT caught.\n",
+              missed);
+  return missed;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser args(
+      "Host-pipeline happens-before auditor: drives real Engine scans (and\n"
+      "the streaming serve layer) under the host recorder across a staging\n"
+      "geometry matrix, reconstructs the op DAG from stream, event, and\n"
+      "lease records, and reports unordered conflicting accesses, staging\n"
+      "lease-protocol violations, and lock-order cycles.\n"
+      "usage: ac_hostcheck [flags]");
+  args.add_flag("seed", "workload generator seed", "42");
+  args.add_flag("iterations", "number of generated workloads", "5");
+  args.add_flag("configs",
+                "comma-separated geometries, e.g. s2-d2-split,s4-d1-shared "
+                "(empty = full matrix)",
+                "");
+  args.add_bool_flag("broken",
+                     "audit the deliberately-broken schedules instead; "
+                     "exit 0 iff every one is flagged with its expected kind");
+  args.add_flag("broken-run",
+                "run ONE broken schedule by name; exit 1 when hazards are "
+                "found (for WILL_FAIL tests)",
+                "");
+  args.add_bool_flag("json", "emit one machine-readable JSON report");
+  args.add_bool_flag("list", "print config and broken-schedule names, exit");
+  args.add_bool_flag("quiet", "suppress per-config hazard details");
+  try {
+    if (!args.parse(argc, argv)) return 0;
+    if (args.get_bool("list")) {
+      for (const hostcheck::HostAuditConfig& c :
+           hostcheck::default_config_matrix())
+        std::printf("%s\n", to_string(c).c_str());
+      for (const hostcheck::BrokenSchedule s : hostcheck::all_broken_schedules())
+        std::printf("broken:%s\n", to_string(s));
+      return 0;
+    }
+    if (!args.get("broken-run").empty()) {
+      const hostcheck::BrokenSchedule schedule =
+          hostcheck::broken_schedule_from_name(args.get("broken-run"));
+      const hostcheck::HostAuditReport report =
+          hostcheck::run_broken_schedule(schedule);
+      if (args.get_bool("json"))
+        report.write_json(std::cout);
+      else
+        report.write_text(std::cout);
+      return report.clean() ? 0 : 1;
+    }
+    if (args.get_bool("broken"))
+      return run_broken_controls(args.get_bool("json"), args.get_bool("quiet"))
+                     == 0
+                 ? 0
+                 : 1;
+
+    const auto seed = static_cast<std::uint64_t>(args.get_int("seed"));
+    const auto iterations =
+        static_cast<std::uint64_t>(args.get_int("iterations"));
+    const std::vector<hostcheck::HostAuditConfig> configs =
+        parse_configs(args.get("configs"));
+    const bool json = args.get_bool("json");
+
+    if (!json)
+      std::printf(
+          "hostcheck: %llu workloads x %zu configs + serve, seed %llu\n",
+          static_cast<unsigned long long>(iterations),
+          configs.empty() ? hostcheck::default_config_matrix().size()
+                          : configs.size(),
+          static_cast<unsigned long long>(seed));
+
+    Stopwatch clock;
+    const std::vector<hostcheck::HostSweepResult> results =
+        hostcheck::audit_conformance(seed, iterations, configs);
+
+    bool failed = false;
+    if (json) {
+      std::ostream& out = std::cout;
+      out << "{\"seed\":" << seed << ",\"iterations\":" << iterations
+          << ",\"sweeps\":[";
+      for (std::size_t i = 0; i < results.size(); ++i) {
+        const auto& r = results[i];
+        if (i > 0) out << ",";
+        out << "{\"name\":\"" << r.name << "\",\"workloads\":" << r.workloads
+            << ",\"mismatches\":" << r.mismatches << ",\"report\":";
+        r.report.write_json(out);
+        out << "}";
+        failed = failed || !r.report.clean() || r.mismatches > 0;
+      }
+      out << "]}\n";
+      return failed ? 1 : 0;
+    }
+
+    Table table;
+    table.set_header({"sweep", "workloads", "ops", "accesses", "leases",
+                      "lock edges", "hazards", "mismatches"});
+    for (const auto& r : results) {
+      table.add_row({r.name, std::to_string(r.workloads),
+                     std::to_string(r.report.ops),
+                     std::to_string(r.report.accesses),
+                     std::to_string(r.report.leases),
+                     std::to_string(r.report.lock_edges),
+                     std::to_string(r.report.total_hazards()),
+                     std::to_string(r.mismatches)});
+      failed = failed || !r.report.clean() || r.mismatches > 0;
+    }
+    table.print(std::cout);
+    std::printf("(%s)\n", format_seconds(clock.seconds()).c_str());
+
+    if (failed && !args.get_bool("quiet")) {
+      for (const auto& r : results) {
+        if (r.report.clean() && r.mismatches == 0) continue;
+        std::printf("\n--- %s ---\n", r.name.c_str());
+        if (r.mismatches > 0)
+          std::printf("%llu workload(s) diverged from the serial reference\n",
+                      static_cast<unsigned long long>(r.mismatches));
+        r.report.write_text(std::cout);
+      }
+    }
+    if (failed) {
+      std::printf("\nhost-schedule hazards found.\n");
+      return 1;
+    }
+    std::printf("all host schedules audit clean.\n");
+    return 0;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "ac_hostcheck: %s\n", e.what());
+    return 2;
+  }
+}

@@ -37,6 +37,19 @@ double StreamSim::transfer_seconds(std::size_t bytes) const {
          static_cast<double>(bytes) / cfg_.pcie_bytes_per_second;
 }
 
+void StreamSim::set_host_observer(HostObserver* observer) {
+  host_observer_ = observer;
+  if (host_observer_ != nullptr) sim_id_ = host_observer_->register_sim();
+}
+
+void StreamSim::annotate(std::uint64_t op_id, DevAddr addr, std::uint64_t bytes,
+                         bool is_write) {
+  if (host_observer_ == nullptr) return;
+  ACGPU_CHECK(op_id < timeline_.size(), "annotate: unknown op id " << op_id);
+  host_observer_->on_access(
+      HostAccessRecord{sim_id_, op_id, addr, bytes, is_write});
+}
+
 double StreamSim::enqueue(StreamId stream, StreamOpKind kind, double duration,
                           std::uint64_t bytes, std::string label) {
   StreamState& s = state(stream);
@@ -56,6 +69,15 @@ double StreamSim::enqueue(StreamId stream, StreamOpKind kind, double duration,
   *engine_free = end;
   timeline_.push_back(StreamOp{static_cast<std::uint64_t>(timeline_.size()), stream,
                                kind, start, end, bytes, std::move(label)});
+  if (host_observer_ != nullptr) {
+    const StreamOp& op = timeline_.back();
+    host_observer_->on_op(HostOpRecord{
+        sim_id_, op.id, op.stream,
+        kind == StreamOpKind::kH2D      ? HostOpKind::kH2D
+        : kind == StreamOpKind::kKernel ? HostOpKind::kKernel
+                                        : HostOpKind::kD2H,
+        op.start, op.end, op.bytes, op.label});
+  }
   return end;
 }
 
@@ -63,14 +85,18 @@ std::uint64_t StreamSim::memcpy_h2d(StreamId stream, DevAddr dst, const void* sr
                                     std::size_t bytes, std::string label) {
   gmem_.copy_in(dst, src, bytes);
   enqueue(stream, StreamOpKind::kH2D, transfer_seconds(bytes), bytes, std::move(label));
-  return timeline_.back().id;
+  const std::uint64_t id = timeline_.back().id;
+  annotate(id, dst, bytes, /*is_write=*/true);
+  return id;
 }
 
 std::uint64_t StreamSim::memcpy_d2h(StreamId stream, void* dst, DevAddr src,
                                     std::size_t bytes, std::string label) {
   gmem_.copy_out(dst, src, bytes);
   enqueue(stream, StreamOpKind::kD2H, transfer_seconds(bytes), bytes, std::move(label));
-  return timeline_.back().id;
+  const std::uint64_t id = timeline_.back().id;
+  annotate(id, src, bytes, /*is_write=*/false);
+  return id;
 }
 
 std::uint64_t StreamSim::charge_d2h(StreamId stream, std::size_t bytes, std::string label) {
@@ -96,16 +122,25 @@ std::uint64_t StreamSim::charge_kernel(StreamId stream, double seconds, std::str
 
 EventId StreamSim::record_event(StreamId stream) {
   events_.push_back(state(stream).ready);
-  return static_cast<EventId>(events_.size() - 1);
+  const auto id = static_cast<EventId>(events_.size() - 1);
+  if (host_observer_ != nullptr)
+    host_observer_->on_event_record(
+        HostEventRecord{sim_id_, id, stream, events_.back()});
+  return id;
 }
 
 void StreamSim::wait_event(StreamId stream, EventId event) {
-  wait_until(stream, event_seconds(event));
+  StreamState& s = state(stream);
+  s.pending_dep = std::max(s.pending_dep, event_seconds(event));
+  if (host_observer_ != nullptr)
+    host_observer_->on_wait_event(HostWaitEventRecord{sim_id_, stream, event});
 }
 
 void StreamSim::wait_until(StreamId stream, double seconds) {
   StreamState& s = state(stream);
   s.pending_dep = std::max(s.pending_dep, seconds);
+  if (host_observer_ != nullptr)
+    host_observer_->on_wait_until(HostWaitUntilRecord{sim_id_, stream, seconds});
 }
 
 double StreamSim::event_seconds(EventId event) const {

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "gpusim/config.h"
+#include "gpusim/host_observer.h"
 #include "gpusim/launcher.h"
 
 namespace acgpu::gpusim {
@@ -116,6 +117,21 @@ class StreamSim {
   /// Simulated seconds one `bytes`-sized PCIe transfer takes.
   double transfer_seconds(std::size_t bytes) const;
 
+  /// Attaches a hostcheck recorder (gpusim/host_observer.h): every enqueue,
+  /// event record, and wait is reported from here on. Null detaches. The
+  /// sim registers itself on attach, so records of successive sims never
+  /// collide. Zero-cost when unattached (one branch per op).
+  void set_host_observer(HostObserver* observer);
+  HostObserver* host_observer() const { return host_observer_; }
+
+  /// Declares that op `op_id` reads or writes device range
+  /// [addr, addr+bytes) — the annotation the happens-before auditor checks
+  /// conflicting accesses over. No-op without an attached observer. Copy
+  /// ops (memcpy_h2d/memcpy_d2h) annotate themselves; callers annotate
+  /// kernel reads/writes, which only they know.
+  void annotate(std::uint64_t op_id, DevAddr addr, std::uint64_t bytes,
+                bool is_write);
+
  private:
   struct StreamState {
     double ready = 0;        ///< completion of the stream's last op
@@ -128,6 +144,8 @@ class StreamSim {
 
   const GpuConfig& cfg_;
   DeviceMemory& gmem_;
+  HostObserver* host_observer_ = nullptr;
+  std::uint32_t sim_id_ = 0;  ///< assigned by the observer on attach
   std::vector<StreamState> streams_;
   std::vector<double> copy_engine_free_;  ///< one slot per DMA engine (H2D; D2H too
                                           ///< when no dedicated readback engine)

@@ -1,0 +1,87 @@
+// The host-audit harness: drives the production pipeline (and the serve
+// layer) under the Recorder across a staging-geometry matrix, analyses each
+// run for happens-before hazards, and checks the matches against the serial
+// reference at the same time — a hazard-free run that returns wrong matches
+// is still a failed audit.
+//
+// The matrix axes are the knobs that change the host schedule's SHAPE:
+//
+//   streams          1 (serial baseline) .. 8 (deep lane cycling);
+//   depth            upload/readback pool depth — 1 forces total recycling
+//                    pressure, 8 removes it;
+//   split_readback   dedicated D2H queue vs the GT200 shared copy engine.
+//
+// Every conformant configuration must audit CLEAN on every workload: the
+// pipeline's lease/wait_until handshake is supposed to order every
+// conflicting access by construction, not by engine-serialization luck.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hostcheck/analyze.h"
+#include "oracle/matcher.h"
+
+namespace acgpu::hostcheck {
+
+/// One point of the staging-geometry matrix.
+struct HostAuditConfig {
+  std::uint32_t streams = 2;
+  std::uint32_t depth = 2;  ///< upload AND readback pool depth
+  bool split_readback = true;
+};
+
+/// "s2-d4-split" / "s2-d4-shared" — used in reports and --config.
+std::string to_string(const HostAuditConfig& config);
+
+/// The default sweep matrix: streams {1,2,4,8} x depth {1,2,8} x
+/// split_readback {on,off}.
+const std::vector<HostAuditConfig>& default_config_matrix();
+
+struct HostAuditSpec {
+  /// Owned bytes per pipeline batch — small, so even oracle-sized texts
+  /// (0.5–8 KB) split into several batches and exercise lease recycling.
+  std::uint64_t batch_bytes = 1024;
+  /// Feeder threads for the serve audit (each opens its own session).
+  std::uint32_t serve_threads = 2;
+  /// Chunks each serve feeder splits the text into.
+  std::uint32_t serve_chunks = 7;
+  AnalyzeOptions analyze{};
+};
+
+struct HostAuditOutcome {
+  HostAuditReport report;
+  bool matches_ok = false;  ///< output equals the serial reference
+  std::uint64_t match_count = 0;
+};
+
+/// Runs one workload through Engine::scan under the Recorder with the
+/// config's staging geometry and analyses the trace.
+HostAuditOutcome audit_pipeline(const oracle::CompiledWorkload& workload,
+                                const HostAuditConfig& config,
+                                const HostAuditSpec& spec = {});
+
+/// Runs one workload through a background StreamService under the Recorder:
+/// `serve_threads` concurrent feeders, each its own session and chunking,
+/// then drain/poll. Exercises the tracked serve/scheduler/session-manager
+/// mutexes (lock-order pass) on top of the engine's stream trace.
+HostAuditOutcome audit_serve(const oracle::CompiledWorkload& workload,
+                             const HostAuditSpec& spec = {});
+
+struct HostSweepResult {
+  std::string name;  ///< "pipeline <config>" or "serve"
+  HostAuditReport report;  ///< merged across all audited workloads
+  std::uint64_t workloads = 0;
+  std::uint64_t mismatches = 0;  ///< workloads whose matches diverged
+};
+
+/// Conformance workloads under audit: generates `iterations` oracle
+/// workloads from `seed` and audits every config over each of them, plus
+/// one serve-layer entry. An empty `configs` list means the default matrix.
+std::vector<HostSweepResult> audit_conformance(
+    std::uint64_t seed, std::uint64_t iterations,
+    const std::vector<HostAuditConfig>& configs = {},
+    const HostAuditSpec& spec = {});
+
+}  // namespace acgpu::hostcheck

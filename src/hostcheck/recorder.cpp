@@ -1,0 +1,74 @@
+#include "hostcheck/recorder.h"
+
+namespace acgpu::hostcheck {
+
+std::uint32_t Recorder::register_sim() {
+  std::scoped_lock lock(mu_);
+  return trace_.sims++;
+}
+
+std::uint32_t Recorder::register_pool(const std::string& name,
+                                      std::uint32_t buffers,
+                                      std::uint64_t buffer_bytes) {
+  std::scoped_lock lock(mu_);
+  trace_.pools.push_back(PoolInfo{name, buffers, buffer_bytes});
+  return static_cast<std::uint32_t>(trace_.pools.size() - 1);
+}
+
+std::uint32_t Recorder::register_mutex(const std::string& name) {
+  std::scoped_lock lock(mu_);
+  trace_.mutexes.push_back(name);
+  return static_cast<std::uint32_t>(trace_.mutexes.size() - 1);
+}
+
+void Recorder::on_op(const gpusim::HostOpRecord& record) {
+  std::scoped_lock lock(mu_);
+  trace_.records.emplace_back(record);
+}
+
+void Recorder::on_access(const gpusim::HostAccessRecord& record) {
+  std::scoped_lock lock(mu_);
+  trace_.records.emplace_back(record);
+}
+
+void Recorder::on_event_record(const gpusim::HostEventRecord& record) {
+  std::scoped_lock lock(mu_);
+  trace_.records.emplace_back(record);
+}
+
+void Recorder::on_wait_event(const gpusim::HostWaitEventRecord& record) {
+  std::scoped_lock lock(mu_);
+  trace_.records.emplace_back(record);
+}
+
+void Recorder::on_wait_until(const gpusim::HostWaitUntilRecord& record) {
+  std::scoped_lock lock(mu_);
+  trace_.records.emplace_back(record);
+}
+
+void Recorder::on_lease(const gpusim::HostLeaseRecord& record) {
+  std::scoped_lock lock(mu_);
+  trace_.records.emplace_back(record);
+}
+
+void Recorder::on_release(const gpusim::HostReleaseRecord& record) {
+  std::scoped_lock lock(mu_);
+  trace_.records.emplace_back(record);
+}
+
+void Recorder::on_lock(const gpusim::HostLockRecord& record) {
+  std::scoped_lock lock(mu_);
+  trace_.records.emplace_back(record);
+}
+
+HostTrace Recorder::trace() const {
+  std::scoped_lock lock(mu_);
+  return trace_;
+}
+
+void Recorder::reset() {
+  std::scoped_lock lock(mu_);
+  trace_ = HostTrace{};
+}
+
+}  // namespace acgpu::hostcheck

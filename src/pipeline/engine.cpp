@@ -21,6 +21,7 @@ pipeline::PipelineOptions to_pipeline_options(const EngineOptions& options) {
   popt.mode = options.mode;
   popt.metrics = options.telemetry.metrics;
   popt.tracer = options.telemetry.tracer;
+  popt.host_observer = options.host_observer;
   return popt;
 }
 

@@ -84,6 +84,11 @@ struct EngineOptions {
 
   /// Metrics/tracing sinks; zero-cost when left defaulted (off).
   TelemetryOptions telemetry;
+
+  /// Host-pipeline audit hook (gpusim/host_observer.h): when set, every
+  /// scan records its stream ops, staging leases, and ordering edges for
+  /// the hostcheck happens-before auditor. Null = off, zero cost.
+  gpusim::HostObserver* host_observer = nullptr;
 };
 
 /// One scan's output: global-offset matches plus the pipeline's simulated

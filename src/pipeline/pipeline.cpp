@@ -243,6 +243,7 @@ Result<PipelineResult> MatchPipeline::run(std::string_view text) {
     if (opt.split_readback && run_cfg.readback_engines == 0)
       run_cfg.readback_engines = 1;
     gpusim::StreamSim sim(run_cfg, mem_);
+    sim.set_host_observer(opt.host_observer);
     for (std::uint32_t s = 0; s < plan.effective_streams; ++s) sim.create_stream();
 
     // Staging pools, allocated below batch_mark so per-batch recycling never
@@ -250,8 +251,14 @@ Result<PipelineResult> MatchPipeline::run(std::string_view text) {
     // loads never run off the slice); readback leases are 0-byte accounting
     // entries — the kernel launches allocate the real output buffers.
     const std::size_t outer_mark = mem_.mark();
-    StagingPool upload(mem_, {plan.pool_depth, g.slice_cap, 8, false});
-    StagingPool readback(mem_, {plan.readback_depth, 0, 0, false});
+    StagingPool::Options upload_opt{plan.pool_depth, g.slice_cap, 8, false};
+    upload_opt.observer = opt.host_observer;
+    upload_opt.name = "upload";
+    StagingPool::Options readback_opt{plan.readback_depth, 0, 0, false};
+    readback_opt.observer = opt.host_observer;
+    readback_opt.name = "readback";
+    StagingPool upload(mem_, upload_opt);
+    StagingPool readback(mem_, readback_opt);
     const std::size_t batch_mark = mem_.mark();
 
     std::vector<double> completion;  // per batch: D2H end on the timeline
@@ -338,10 +345,12 @@ Result<PipelineResult> MatchPipeline::run(std::string_view text) {
       // One kernel launch over the slice. Timed runs may reuse the simulated
       // duration of an earlier same-length batch.
       const bool reuse = opt.mode == gpusim::SimMode::Timed && opt.reuse_timing;
-      auto cached = reuse ? timing_cache.find(slice) : timing_cache.end();
+      const auto cached = reuse ? timing_cache.find(slice) : timing_cache.end();
       if (cached != timing_cache.end()) {
-        sim.charge_kernel(stream, cached->second.kernel_seconds,
-                          "kernel b" + std::to_string(b) + " (reused timing)");
+        const std::uint64_t kid =
+            sim.charge_kernel(stream, cached->second.kernel_seconds,
+                              "kernel b" + std::to_string(b) + " (reused timing)");
+        sim.annotate(kid, dst, slice, /*is_write=*/false);
         trace.kernel_seconds = cached->second.kernel_seconds;
         trace.output_bytes = cached->second.output_bytes;
       } else {
@@ -401,6 +410,9 @@ Result<PipelineResult> MatchPipeline::run(std::string_view text) {
               if (start < owned) result.matches.push_back(ac::Match{base + m.end, m.pattern});
             }
         }
+        // The stream runners enqueue exactly one kernel op — annotate it as
+        // the last reader of the staged slice for the hostcheck auditor.
+        sim.annotate(sim.timeline().back().id, dst, slice, /*is_write=*/false);
         result.total_reported += reported;
         // D2H payload: the per-thread count array plus the (extrapolated in
         // Timed mode) match records.

@@ -113,6 +113,11 @@ struct PipelineOptions {
   /// device buffers are not recycled: the recorder's cross-launch global
   /// shadow would misread a reused match-buffer address as a write race.
   gpusim::AccessObserver* observer = nullptr;
+  /// Host-pipeline audit hook (gpusim/host_observer.h): records every stream
+  /// op, staging lease, and ordering edge of the run for the hostcheck
+  /// happens-before auditor. Orthogonal to `observer` (which audits device
+  /// thread interleavings inside one kernel). Null = off, zero cost.
+  gpusim::HostObserver* host_observer = nullptr;
 
   /// Telemetry sinks (telemetry/metrics_registry.h, telemetry/trace.h).
   /// Null = off, and the hot path pays one branch per batch. When set, the

@@ -12,14 +12,33 @@ StagingPool::StagingPool(gpusim::DeviceMemory& mem, const Options& options)
   slots_.resize(options.buffers);
   for (Slot& slot : slots_)
     slot.addr = mem_.alloc(options_.buffer_bytes + options_.pad_bytes);
+  if (options_.observer != nullptr)
+    pool_id_ = options_.observer->register_pool(
+        options_.name, options_.buffers, options_.buffer_bytes);
 }
 
 StagingPool::Lease StagingPool::lease_locked(std::uint32_t index) {
   Slot& slot = slots_[index];
+  if (slot.poisoned) {
+    // The buffer was poison-filled on release; any byte that changed since
+    // means a stage wrote to memory it no longer leased.
+    const std::uint64_t len = options_.buffer_bytes + options_.pad_bytes;
+    const std::uint8_t* bytes = mem_.raw(slot.addr, len);
+    for (std::uint64_t i = 0; i < len; ++i)
+      ACGPU_CHECK(bytes[i] == kPoisonByte,
+                  "StagingPool: buffer " << index << " byte " << i
+                      << " was overwritten (0x" << std::hex
+                      << static_cast<unsigned>(bytes[i]) << std::dec
+                      << " != poison) while un-leased — use-after-release");
+    slot.poisoned = false;
+  }
   slot.leased = true;
   ++in_use_;
   max_in_use_ = std::max(max_in_use_, in_use_);
   ++acquires_;
+  if (options_.observer != nullptr)
+    options_.observer->on_lease(gpusim::HostLeaseRecord{
+        pool_id_, index, slot.addr, options_.buffer_bytes, slot.ready});
   return Lease{slot.addr, index, slot.ready};
 }
 
@@ -60,12 +79,17 @@ void StagingPool::release(std::uint32_t index, double drained_at) {
     Slot& slot = slots_[index];
     ACGPU_CHECK(slot.leased,
                 "StagingPool::release: buffer " << index << " is not leased");
-    if (options_.poison_on_release)
+    if (options_.poison_on_release) {
       mem_.fill(slot.addr, kPoisonByte,
                 options_.buffer_bytes + options_.pad_bytes);
+      slot.poisoned = options_.verify_poison_on_lease;
+    }
     slot.leased = false;
     slot.ready = std::max(slot.ready, drained_at);
     --in_use_;
+    if (options_.observer != nullptr)
+      options_.observer->on_release(
+          gpusim::HostReleaseRecord{pool_id_, index, drained_at});
   }
   available_cv_.notify_one();
 }

@@ -22,6 +22,15 @@
 // buffer is filled with kPoisonByte before it re-enters the free list, so a
 // stage that reads a buffer it no longer leases sees poison instead of the
 // previous batch's bytes (tests/pipeline_pool_test.cpp proves the fill).
+// The poison is also *verified* on the next lease: a buffer that comes back
+// with any non-poison byte was scribbled on while un-leased — a
+// use-after-release by some stage — and the pool throws instead of handing
+// the corrupted buffer out.
+//
+// With a HostObserver attached (gpusim/host_observer.h), every acquire and
+// release is recorded for the hostcheck happens-before auditor, which
+// checks the full lease protocol (double-lease, release-while-in-flight,
+// leaks at drain) against the stream timeline.
 #pragma once
 
 #include <condition_variable>
@@ -31,6 +40,7 @@
 #include <vector>
 
 #include "gpusim/device_memory.h"
+#include "gpusim/host_observer.h"
 
 namespace acgpu::pipeline {
 
@@ -44,12 +54,22 @@ class StagingPool {
     std::uint64_t buffer_bytes = 0;   ///< payload bytes per buffer
     std::uint64_t pad_bytes = 8;      ///< tail pad (word-granular kernel loads)
     bool poison_on_release = false;   ///< scribble kPoisonByte on release
+    /// With poison_on_release: check the poison is intact on the next
+    /// acquire and throw acgpu::Error when any byte changed while the
+    /// buffer was un-leased (a use-after-release scribble).
+    bool verify_poison_on_lease = true;
+    /// Lease/release recording sink for the hostcheck auditor; null = off.
+    gpusim::HostObserver* observer = nullptr;
+    /// Name the observer reports this pool under ("upload", "readback").
+    const char* name = "staging";
   };
 
   /// One leased buffer. `ready` is the simulated timestamp at which the
   /// previous lease of this buffer drained — the producer must not issue an
   /// op that touches the buffer before then (wait_until on its stream).
-  struct Lease {
+  /// [[nodiscard]]: dropping a Lease leaks the buffer (there is no RAII
+  /// release — the drain time is only known after the consumer resolves).
+  struct [[nodiscard]] Lease {
     gpusim::DevAddr addr = 0;
     std::uint32_t index = 0;
     double ready = 0;
@@ -67,12 +87,12 @@ class StagingPool {
   /// Returns nullopt when every buffer is leased (pool exhausted) — the
   /// simulated pipeline treats that as a bug, host threads should use
   /// acquire_blocking.
-  std::optional<Lease> try_acquire();
+  [[nodiscard]] std::optional<Lease> try_acquire();
 
   /// Blocks the calling host thread until a buffer frees. For real
   /// multi-threaded producers (stress tests, future host-parallel drivers);
   /// the single-threaded simulated pipeline never parks.
-  Lease acquire_blocking();
+  [[nodiscard]] Lease acquire_blocking();
 
   /// Returns buffer `index` to the pool; `drained_at` is the simulated time
   /// its last consumer completes (the next lease's `ready`). Releasing an
@@ -94,12 +114,14 @@ class StagingPool {
     gpusim::DevAddr addr = 0;
     double ready = 0;   ///< simulated drain time of the last lease
     bool leased = false;
+    bool poisoned = false;  ///< released with poison; verified on re-lease
   };
 
   Lease lease_locked(std::uint32_t index);
 
   gpusim::DeviceMemory& mem_;
   Options options_;
+  std::uint32_t pool_id_ = 0;  ///< observer registration (when attached)
 
   mutable std::mutex mu_;
   std::condition_variable available_cv_;

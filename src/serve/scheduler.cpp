@@ -1,6 +1,7 @@
 #include "serve/scheduler.h"
 
 #include <algorithm>
+#include <mutex>
 
 #include "ac/serial_matcher.h"
 
@@ -21,6 +22,11 @@ Scheduler::Scheduler(const SchedulerOptions& options) : options_(options) {
 }
 
 Status Scheduler::admission(std::uint64_t bytes) const {
+  std::scoped_lock lock(mu_);
+  return admission_locked(bytes);
+}
+
+Status Scheduler::admission_locked(std::uint64_t bytes) const {
   if (queue_.size() + 1 > options_.max_queue_chunks)
     return Status::overloaded("queue full: " + std::to_string(queue_.size()) +
                               " chunks pending (cap " +
@@ -39,14 +45,16 @@ Status Scheduler::admission(std::uint64_t bytes) const {
 
 Status Scheduler::admit(PendingChunk chunk) {
   if (chunk.bytes.empty()) return Status::ok();
-  if (Status s = admission(chunk.bytes.size()); !s) return s;
+  std::scoped_lock lock(mu_);
+  if (Status s = admission_locked(chunk.bytes.size()); !s) return s;
   queued_bytes_ += chunk.bytes.size();
   queue_.push_back(std::move(chunk));
   return Status::ok();
 }
 
 CoalescedBatch Scheduler::take_batch() {
-  ACGPU_CHECK(has_work(), "take_batch on an empty queue");
+  std::scoped_lock lock(mu_);
+  ACGPU_CHECK(!queue_.empty(), "take_batch on an empty queue");
   CoalescedBatch batch;
   while (!queue_.empty()) {
     const PendingChunk& head = queue_.front();
@@ -67,6 +75,7 @@ CoalescedBatch Scheduler::take_batch() {
 }
 
 std::size_t Scheduler::forget(SessionId session) {
+  std::scoped_lock lock(mu_);
   std::size_t dropped = 0;
   for (auto it = queue_.begin(); it != queue_.end();) {
     if (it->session == session) {
@@ -90,7 +99,7 @@ void partition_matches(const std::vector<ac::Match>& found, const ac::Dfa& dfa,
   const auto& spans = batch.spans;
   for (const ac::Match& m : found) {
     // First span with begin > m.end, then step back: the span holding end.
-    auto it = std::upper_bound(
+    const auto it = std::upper_bound(
         spans.begin(), spans.end(), m.end,
         [](std::uint64_t end, const ChunkSpan& s) { return end < s.begin; });
     ACGPU_CHECK(it != spans.begin(), "match end " << m.end << " before first span");

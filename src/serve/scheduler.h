@@ -30,6 +30,7 @@
 
 #include "ac/dfa.h"
 #include "ac/match.h"
+#include "gpusim/host_observer.h"
 #include "pipeline/engine.h"
 #include "serve/session.h"
 #include "util/error.h"
@@ -92,8 +93,22 @@ class Scheduler {
 
   const SchedulerOptions& options() const { return options_; }
 
+  /// Hands the internal queue mutex to the hostcheck auditor
+  /// (gpusim/host_observer.h). The mutex is a LEAF by design — the
+  /// scheduler never calls out while holding it — so every recorded edge
+  /// points INTO it (serve.mu -> serve.scheduler.mu) and the lock-order
+  /// graph stays acyclic. Call before the scheduler is shared.
+  void attach_observer(gpusim::HostObserver* observer) { mu_.attach(observer); }
+
  private:
+  Status admission_locked(std::uint64_t bytes) const;
+
   SchedulerOptions options_;
+  /// Leaf mutex over the queue mutators. The service mutex already
+  /// serializes every caller; this one exists so hostcheck observes the
+  /// real serve.mu -> scheduler.mu nesting (and guards the mutators if a
+  /// future driver ever reaches the scheduler directly).
+  mutable gpusim::TrackedMutex mu_{"serve.scheduler.mu"};
   std::deque<PendingChunk> queue_;
   std::uint64_t queued_bytes_ = 0;
 };

@@ -97,9 +97,12 @@ struct StreamService::Impl {
   std::unique_ptr<ac::PfacAutomaton> pfac;
   BoundaryMode boundary = BoundaryMode::kDfaState;
 
-  mutable std::mutex mu;
-  std::condition_variable cv_work;  ///< worker: queue gained work / stopping
-  std::condition_variable cv_idle;  ///< drain(): queue empty and not in flight
+  /// TrackedMutex so hostcheck can audit lock order; with no observer
+  /// attached it is one branch over a plain mutex. The condition variables
+  /// are _any so they drive the wrapper unchanged.
+  mutable gpusim::TrackedMutex mu{"serve.mu"};
+  std::condition_variable_any cv_work;  ///< worker: queue gained work / stopping
+  std::condition_variable_any cv_idle;  ///< drain(): queue empty and not in flight
   SessionManager manager;
   Scheduler scheduler;
   ServiceStats stats;
@@ -129,6 +132,13 @@ struct StreamService::Impl {
     if (options.admission == AdmissionPolicy::kDefault)
       options.admission = options.background ? AdmissionPolicy::kReject
                                              : AdmissionPolicy::kAutoFlush;
+    if (options.host_observer != nullptr) {
+      // Attach before the worker exists: TrackedMutex::attach is not safe
+      // against a concurrent lock().
+      mu.attach(options.host_observer);
+      manager.attach_observer(options.host_observer);
+      scheduler.attach_observer(options.host_observer);
+    }
     if (options.metrics != nullptr) {
       m.resolve(*options.metrics);
       has_metrics = true;
@@ -152,7 +162,7 @@ struct StreamService::Impl {
   /// Scans `batch` and delivers its matches. Caller holds `lk` (locked);
   /// in background mode the lock is dropped around the engine scan so
   /// feeds/polls proceed while the device is busy.
-  void scan_and_dispatch(std::unique_lock<std::mutex>& lk, CoalescedBatch batch) {
+  void scan_and_dispatch(std::unique_lock<gpusim::TrackedMutex>& lk, CoalescedBatch batch) {
     in_flight = true;
     publish_queue_locked();
     const std::uint64_t batch_len = batch.text.size();
@@ -201,13 +211,13 @@ struct StreamService::Impl {
   }
 
   /// Synchronous flush of one superbatch. Caller holds `lk`.
-  void flush_one_locked(std::unique_lock<std::mutex>& lk) {
+  void flush_one_locked(std::unique_lock<gpusim::TrackedMutex>& lk) {
     if (!scheduler.has_work()) return;
     scan_and_dispatch(lk, scheduler.take_batch());
   }
 
   void worker_loop() {
-    std::unique_lock<std::mutex> lk(mu);
+    std::unique_lock<gpusim::TrackedMutex> lk(mu);
     for (;;) {
       cv_work.wait(lk, [&] { return stopping || scheduler.has_work(); });
       if (!scheduler.has_work()) {
@@ -220,7 +230,7 @@ struct StreamService::Impl {
 
   void shutdown() {
     {
-      std::unique_lock<std::mutex> lk(mu);
+      std::unique_lock<gpusim::TrackedMutex> lk(mu);
       if (!accepting && !worker.joinable()) return;  // already shut down
       accepting = false;
       if (!options.background)
@@ -247,35 +257,50 @@ StreamService::~StreamService() {
   if (impl_) impl_->shutdown();
 }
 
+namespace {
+
+/// The service-level hostcheck hook covers the engine too, unless the
+/// caller wired the engine to a different observer explicitly.
+ServeOptions with_forwarded_observer(const ServeOptions& options) {
+  ServeOptions opts = options;
+  if (opts.host_observer != nullptr && opts.engine.host_observer == nullptr)
+    opts.engine.host_observer = opts.host_observer;
+  return opts;
+}
+
+}  // namespace
+
 Result<StreamService> StreamService::create(const ac::PatternSet& patterns,
                                             const ServeOptions& options) {
   if (Status s = options.validate(); !s) return s;
-  Result<Engine> engine = Engine::create(patterns, options.engine);
+  const ServeOptions opts = with_forwarded_observer(options);
+  Result<Engine> engine = Engine::create(patterns, opts.engine);
   if (!engine.is_ok()) return engine.status();
   std::unique_ptr<ac::PfacAutomaton> pfac;
-  if (options.engine.variant == pipeline::KernelVariant::kPfac) {
+  if (opts.engine.variant == pipeline::KernelVariant::kPfac) {
     try {
       pfac = std::make_unique<ac::PfacAutomaton>(patterns);
     } catch (const std::exception& e) {
       return Status::from_exception(e);
     }
   }
-  return StreamService(std::make_unique<Impl>(options, std::move(engine).value(),
+  return StreamService(std::make_unique<Impl>(opts, std::move(engine).value(),
                                               std::move(pfac)));
 }
 
 Result<StreamService> StreamService::create(ac::Dfa dfa,
                                             const ServeOptions& options) {
   if (Status s = options.validate(); !s) return s;
-  Result<Engine> engine = Engine::create(std::move(dfa), options.engine);
+  const ServeOptions opts = with_forwarded_observer(options);
+  Result<Engine> engine = Engine::create(std::move(dfa), opts.engine);
   if (!engine.is_ok()) return engine.status();
   return StreamService(
-      std::make_unique<Impl>(options, std::move(engine).value(), nullptr));
+      std::make_unique<Impl>(opts, std::move(engine).value(), nullptr));
 }
 
 Result<SessionId> StreamService::open() {
   Impl& im = *impl_;
-  std::unique_lock<std::mutex> lk(im.mu);
+  std::unique_lock<gpusim::TrackedMutex> lk(im.mu);
   if (!im.accepting)
     return Status::invalid_argument("StreamService is shut down");
   std::optional<SessionId> evicted;
@@ -299,7 +324,7 @@ Result<SessionId> StreamService::open() {
 Status StreamService::feed(SessionId id, std::string_view chunk) {
   Impl& im = *impl_;
   Stopwatch clock;
-  std::unique_lock<std::mutex> lk(im.mu);
+  std::unique_lock<gpusim::TrackedMutex> lk(im.mu);
   if (!im.accepting)
     return Status::invalid_argument("StreamService is shut down");
   Session* s = im.manager.touch(id);
@@ -363,7 +388,7 @@ Status StreamService::feed(SessionId id, std::string_view chunk) {
 
 Result<std::vector<ac::Match>> StreamService::poll(SessionId id) {
   Impl& im = *impl_;
-  std::unique_lock<std::mutex> lk(im.mu);
+  std::unique_lock<gpusim::TrackedMutex> lk(im.mu);
   Session* s = im.manager.touch(id);
   if (s == nullptr)
     return Status::invalid_argument("unknown session id " + std::to_string(id) +
@@ -373,7 +398,7 @@ Result<std::vector<ac::Match>> StreamService::poll(SessionId id) {
 
 Result<SessionStats> StreamService::session_stats(SessionId id) const {
   Impl& im = *impl_;
-  std::unique_lock<std::mutex> lk(im.mu);
+  std::unique_lock<gpusim::TrackedMutex> lk(im.mu);
   Session* s = im.manager.find(id);
   if (s == nullptr)
     return Status::invalid_argument("unknown session id " + std::to_string(id) +
@@ -383,7 +408,7 @@ Result<SessionStats> StreamService::session_stats(SessionId id) const {
 
 Status StreamService::close(SessionId id) {
   Impl& im = *impl_;
-  std::unique_lock<std::mutex> lk(im.mu);
+  std::unique_lock<gpusim::TrackedMutex> lk(im.mu);
   if (!im.manager.close(id))
     return Status::invalid_argument("unknown session id " + std::to_string(id) +
                                     " (never opened, closed, or evicted)");
@@ -399,7 +424,7 @@ Status StreamService::close(SessionId id) {
 
 Status StreamService::pump() {
   Impl& im = *impl_;
-  std::unique_lock<std::mutex> lk(im.mu);
+  std::unique_lock<gpusim::TrackedMutex> lk(im.mu);
   if (im.options.background)
     return Status::invalid_argument(
         "pump() is synchronous-only; the background worker owns the engine");
@@ -409,7 +434,7 @@ Status StreamService::pump() {
 
 Status StreamService::drain() {
   Impl& im = *impl_;
-  std::unique_lock<std::mutex> lk(im.mu);
+  std::unique_lock<gpusim::TrackedMutex> lk(im.mu);
   if (im.options.background) {
     im.cv_work.notify_one();
     im.cv_idle.wait(lk, [&] { return !im.scheduler.has_work() && !im.in_flight; });
@@ -425,7 +450,7 @@ void StreamService::shutdown() { impl_->shutdown(); }
 
 ServiceStats StreamService::stats() const {
   Impl& im = *impl_;
-  std::unique_lock<std::mutex> lk(im.mu);
+  std::unique_lock<gpusim::TrackedMutex> lk(im.mu);
   ServiceStats out = im.stats;
   out.sessions_live = im.manager.live();
   out.queued_chunks = im.scheduler.queued_chunks();

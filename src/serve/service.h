@@ -91,6 +91,12 @@ struct ServeOptions {
   /// separately through engine.telemetry.)
   telemetry::MetricsRegistry* metrics = nullptr;
 
+  /// Hostcheck audit hook (gpusim/host_observer.h): when set, the service
+  /// mutex, the scheduler/session-manager leaf mutexes, and — unless
+  /// engine.host_observer is set separately — every Engine scan report
+  /// their lock and stream activity to the auditor. Null = off, zero cost.
+  gpusim::HostObserver* host_observer = nullptr;
+
   Status validate() const;
 };
 

@@ -1,5 +1,7 @@
 #include "serve/session_manager.h"
 
+#include <mutex>
+
 namespace acgpu::serve {
 
 SessionManager::SessionManager(std::uint32_t capacity) : capacity_(capacity) {
@@ -9,6 +11,7 @@ SessionManager::SessionManager(std::uint32_t capacity) : capacity_(capacity) {
 Session& SessionManager::open(const ac::Dfa& dfa, const ac::PfacAutomaton* pfac,
                               BoundaryMode mode, const SessionLimits& limits,
                               std::optional<SessionId>* evicted) {
+  std::scoped_lock lock(mu_);
   if (evicted != nullptr) evicted->reset();
   if (sessions_.size() >= capacity_) {
     const SessionId victim = lru_.back();
@@ -27,7 +30,8 @@ Session& SessionManager::open(const ac::Dfa& dfa, const ac::PfacAutomaton* pfac,
 }
 
 Session* SessionManager::touch(SessionId id) {
-  auto it = sessions_.find(id);
+  std::scoped_lock lock(mu_);
+  const auto it = sessions_.find(id);
   if (it == sessions_.end()) return nullptr;
   lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
   it->second.lru_pos = lru_.begin();
@@ -35,12 +39,14 @@ Session* SessionManager::touch(SessionId id) {
 }
 
 Session* SessionManager::find(SessionId id) {
-  auto it = sessions_.find(id);
+  std::scoped_lock lock(mu_);
+  const auto it = sessions_.find(id);
   return it == sessions_.end() ? nullptr : &it->second.session;
 }
 
 bool SessionManager::close(SessionId id) {
-  auto it = sessions_.find(id);
+  std::scoped_lock lock(mu_);
+  const auto it = sessions_.find(id);
   if (it == sessions_.end()) return false;
   lru_.erase(it->second.lru_pos);
   sessions_.erase(it);

@@ -18,6 +18,7 @@
 #include <optional>
 #include <unordered_map>
 
+#include "gpusim/host_observer.h"
 #include "serve/session.h"
 
 namespace acgpu::serve {
@@ -51,12 +52,21 @@ class SessionManager {
   /// Live ids, most recently used first (tests, introspection).
   std::vector<SessionId> ids_by_recency() const;
 
+  /// Hands the internal table mutex to the hostcheck auditor
+  /// (gpusim/host_observer.h). Like the scheduler's, this is a LEAF mutex —
+  /// the manager never calls out while holding it — so the recorded
+  /// serve.mu -> serve.manager.mu edges keep the lock-order graph acyclic.
+  /// Call before the manager is shared.
+  void attach_observer(gpusim::HostObserver* observer) { mu_.attach(observer); }
+
  private:
   struct Entry {
     Session session;
     std::list<SessionId>::iterator lru_pos;
   };
 
+  /// Leaf mutex over the session table mutators; see attach_observer.
+  mutable gpusim::TrackedMutex mu_{"serve.manager.mu"};
   std::uint32_t capacity_;
   std::uint64_t next_id_ = 1;
   std::uint64_t opened_ = 0;

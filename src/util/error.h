@@ -46,7 +46,9 @@ inline const char* to_string(StatusCode code) {
 }
 
 /// Value-semantic success/failure: cheap to copy, truthy when ok.
-class Status {
+/// [[nodiscard]]: a dropped Status is a swallowed failure — callers must
+/// branch on it, propagate it, or cast it away explicitly.
+class [[nodiscard]] Status {
  public:
   Status() = default;  // ok
   Status(StatusCode code, std::string message)
@@ -95,7 +97,7 @@ class Status {
 /// A Status that carries a T on success. No exceptions cross a Result
 /// boundary: either `ok()` and `value()` is live, or `status()` explains.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
   Result(Status status) : status_(std::move(status)) {  // NOLINT(google-explicit-constructor)

@@ -104,6 +104,42 @@ TEST(StagingPool, PoisonsBuffersOnRelease) {
     ASSERT_EQ(raw[i], StagingPool::kPoisonByte) << "offset " << i;
 }
 
+TEST(StagingPool, VerifiesPoisonIntactOnReLease) {
+  gpusim::DeviceMemory mem(1 << 20);
+  constexpr std::uint64_t kPayload = 32;
+  constexpr std::uint64_t kPad = 8;
+  StagingPool pool(mem, {1, kPayload, kPad, /*poison_on_release=*/true});
+
+  // Clean release -> re-lease round trip: the poison is intact, no throw.
+  const auto first = pool.try_acquire();
+  ASSERT_TRUE(first.has_value());
+  pool.release(first->index);
+  const auto second = pool.try_acquire();
+  ASSERT_TRUE(second.has_value());
+  pool.release(second->index);
+
+  // A stage scribbling on the buffer while it is un-leased (here: one byte
+  // in the tail pad) must be caught at the NEXT lease, not silently handed
+  // to the next batch.
+  const std::uint8_t scribble = 0x00;
+  mem.copy_in(second->addr + kPayload + kPad - 1, &scribble, 1);
+  EXPECT_THROW((void)pool.try_acquire(), Error);
+}
+
+TEST(StagingPool, PoisonVerificationCanBeDisabled) {
+  gpusim::DeviceMemory mem(1 << 20);
+  StagingPool::Options options{1, 32, 0, /*poison_on_release=*/true};
+  options.verify_poison_on_lease = false;
+  StagingPool pool(mem, options);
+
+  const auto lease = pool.try_acquire();
+  ASSERT_TRUE(lease.has_value());
+  pool.release(lease->index);
+  const std::uint8_t scribble = 0x00;
+  mem.copy_in(lease->addr, &scribble, 1);
+  EXPECT_TRUE(pool.try_acquire().has_value());  // scribble tolerated
+}
+
 TEST(StagingPool, ReleaseOfUnleasedBufferThrows) {
   gpusim::DeviceMemory mem(1 << 20);
   StagingPool pool(mem, {2, 16, 0, false});
