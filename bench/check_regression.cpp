@@ -36,6 +36,13 @@
 // the gate. A degraded --pool-depth 1 run (no staging depth, the pipeline
 // cannot absorb arrival bursts, the backlog grows without bound) is checked
 // to FAIL (WILL_FAIL) so this gate is also known to bite.
+//
+// --mode cluster gates the multi-device router tier against
+// bench/baselines/cluster_baseline.json: a deterministic session replay
+// across 4 shards with a mid-replay device failure pins the rebalance
+// counters and per-shard batch counts, and a Timed scatter/gather probe
+// pins the 4-device scaling ratio. The degraded --cluster-devices 1 run is
+// checked to FAIL (WILL_FAIL).
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
@@ -82,6 +89,26 @@ const std::vector<std::string> kServeGatedSeries = {
 const std::vector<std::string> kLatencyGatedSeries = {
     "pipeline.load.latency_ns.p50",
     "pipeline.load.latency_ns.p99",
+};
+
+/// --mode cluster gates the multi-device router tier. Two probes share one
+/// registry: a deterministic Functional session replay across the shards
+/// with a mid-replay device failure (pins the router.* rebalance counters
+/// and the per-shard device.<k>.serve.batches exactly), and a Timed
+/// scatter/gather scaling probe publishing router.scan.scaling_ratio =
+/// makespan(1 device) / makespan(N devices). The degraded
+/// --cluster-devices 1 run must FAIL: the ratio collapses to 1.0, no
+/// rebalance fires, and the device.1..3 series never exist.
+const std::vector<std::string> kClusterGatedSeries = {
+    "router.sessions.opened",
+    "router.feeds",
+    "router.rebalances",
+    "router.sessions.rebalanced",
+    "router.scan.scaling_ratio",
+    "device.0.serve.batches",
+    "device.1.serve.batches",
+    "device.2.serve.batches",
+    "device.3.serve.batches",
 };
 
 telemetry::MetricsSnapshot run_workload(const ArgParser& args) {
@@ -259,6 +286,117 @@ telemetry::MetricsSnapshot run_latency_workload(const ArgParser& args) {
   return registry.snapshot();
 }
 
+/// The cluster workload behind kClusterGatedSeries (see its comment). Both
+/// probes are fully seeded and single-threaded on the caller side, so every
+/// gated counter is bit-deterministic; each migrated session is also
+/// verified against its serial reference, so the gate doubles as a
+/// zero-loss rebalance check.
+telemetry::MetricsSnapshot run_cluster_workload(const ArgParser& args) {
+  const auto devices =
+      static_cast<std::uint32_t>(args.get_int("cluster-devices"));
+  const std::uint64_t seed = static_cast<std::uint64_t>(args.get_int("seed"));
+  constexpr std::size_t kSessions = 32;
+  constexpr std::size_t kStreamBytes = 4096;
+  constexpr std::size_t kChunk = 256;
+
+  telemetry::MetricsRegistry registry;
+
+  // Probe 1: Functional session replay with a mid-replay fail-stop. All 32
+  // sessions open up front (round-robin across the healthy shards), every
+  // stream feeds its first half, then device 1 is failed — its sessions
+  // drain through the exact host fallback and migrate — and the second
+  // halves complete on the survivors.
+  {
+    cluster::ClusterOptions opt;
+    opt.devices = devices;
+    opt.engine.mode = gpusim::SimMode::Functional;
+    opt.engine.gpu.num_sms = 4;
+    opt.engine.device_memory_bytes = 64u << 20;
+    opt.engine.threads_per_block = 64;
+    opt.max_sessions_per_shard = kSessions;
+    opt.coalesce_bytes = 8 * kChunk;
+    opt.admission = serve::AdmissionPolicy::kAutoFlush;
+    opt.metrics = &registry;
+    Result<cluster::Router> router = cluster::Router::create(
+        ac::PatternSet({"he", "she", "his", "hers", "ab"}), opt);
+    ACGPU_CHECK(router.is_ok(), router.status().to_string());
+    cluster::Router& cl = router.value();
+
+    std::vector<std::string> streams;
+    std::vector<serve::SessionId> ids;
+    for (std::size_t i = 0; i < kSessions; ++i) {
+      Rng rng(derive_seed(seed, i));
+      std::string stream(kStreamBytes, '\0');
+      for (char& c : stream) c = "hershise ab"[rng.next_below(11)];
+      streams.push_back(std::move(stream));
+      ids.push_back(cl.open().value());
+    }
+    const auto replay = [&](std::size_t begin, std::size_t end) {
+      for (std::size_t i = 0; i < kSessions; ++i)
+        for (std::size_t pos = begin; pos < end; pos += kChunk) {
+          const Status s =
+              cl.feed(ids[i], std::string_view(streams[i]).substr(pos, kChunk));
+          ACGPU_CHECK(s.is_ok(), s.to_string());
+        }
+    };
+    replay(0, kStreamBytes / 2);
+    if (devices > 1)
+      ACGPU_CHECK(cl.mark_failed(1).is_ok(), "mark_failed(1) failed");
+    replay(kStreamBytes / 2, kStreamBytes);
+    ACGPU_CHECK(cl.drain().is_ok(), "drain failed");
+    for (std::size_t i = 0; i < kSessions; ++i) {
+      std::vector<ac::Match> got = cl.poll(ids[i]).value();
+      ac::normalize_matches(got);
+      std::vector<ac::Match> expected = ac::find_all(cl.dfa(), streams[i]);
+      ac::normalize_matches(expected);
+      ACGPU_CHECK(got == expected,
+                  "cluster session " << ids[i]
+                                     << " diverged from serial reference");
+    }
+    cl.shutdown();
+  }
+
+  // Probe 2: Timed scatter/gather scaling — the same input slab-partitioned
+  // across 1 device and across N, ratio of simulated makespans. These
+  // routers publish no metrics of their own (they would collide with probe
+  // 1's per-shard series); only the ratio lands in the registry.
+  {
+    const auto size = static_cast<std::uint64_t>(args.get_bytes("size"));
+    const std::uint64_t pool_bytes = 4u << 20;
+    const std::string corpus = workload::make_corpus(size + pool_bytes, seed);
+    workload::ExtractConfig ec;
+    ec.count = static_cast<std::uint32_t>(args.get_int("patterns"));
+    ec.min_length = 6;
+    ec.max_length = 16;
+    ec.word_aligned = true;
+    const ac::PatternSet patterns = workload::extract_patterns(
+        {corpus.data() + size, pool_bytes}, ec);
+
+    const auto makespan = [&](std::uint32_t w) {
+      cluster::ClusterOptions opt;
+      opt.devices = w;
+      opt.engine.mode = gpusim::SimMode::Timed;
+      opt.engine.variant = pipeline::KernelVariant::kShared;
+      opt.engine.chunk_bytes = 64;
+      opt.engine.threads_per_block = 192;
+      opt.engine.streams = static_cast<std::uint32_t>(args.get_int("streams"));
+      opt.engine.batch_bytes = static_cast<std::uint64_t>(args.get_bytes("batch"));
+      opt.engine.device_memory_bytes = 1u << 30;
+      Result<cluster::Router> router = cluster::Router::create(patterns, opt);
+      ACGPU_CHECK(router.is_ok(), router.status().to_string());
+      Result<cluster::ClusterScanResult> scan =
+          router.value().scan({corpus.data(), size});
+      ACGPU_CHECK(scan.is_ok(), scan.status().to_string());
+      return scan.value().makespan_seconds;
+    };
+    const double serial = makespan(1);
+    const double sharded = devices > 1 ? makespan(devices) : serial;
+    registry.gauge("router.scan.scaling_ratio")
+        .set(sharded > 0 ? serial / sharded : 0.0);
+  }
+  return registry.snapshot();
+}
+
 std::string read_file(const std::string& path) {
   std::ifstream in(path);
   ACGPU_CHECK(in.good(), "cannot read baseline file " << path);
@@ -276,11 +414,13 @@ int main(int argc, char** argv) {
       "of named bounds. Exits 1 on any violation.");
   args.add_flag("mode",
                 "what to gate: pipeline (canonical Engine workload), serve "
-                "(streaming session service), or latency (under-load tail "
-                "latency through the scheduler)", "pipeline");
+                "(streaming session service), latency (under-load tail "
+                "latency through the scheduler), or cluster (multi-device "
+                "router tier)", "pipeline");
   args.add_flag("baseline", "baseline JSON to gate against",
                 "bench/baselines/telemetry_baseline.json");
   args.add_flag("serve-sessions", "mode=serve: streams to replay", "48");
+  args.add_flag("cluster-devices", "mode=cluster: shard count", "4");
   args.add_flag("latency-batches", "mode=latency: superbatches to replay", "48");
   args.add_flag("latency-interval-us",
                 "mode=latency: superbatch arrival interval (microseconds)",
@@ -301,15 +441,18 @@ int main(int argc, char** argv) {
   try {
     if (!args.parse(argc, argv)) return 0;
     const std::string mode = args.get("mode");
-    ACGPU_CHECK(mode == "pipeline" || mode == "serve" || mode == "latency",
-                "--mode must be pipeline, serve, or latency, got '" << mode
-                                                                    << "'");
+    ACGPU_CHECK(mode == "pipeline" || mode == "serve" || mode == "latency" ||
+                    mode == "cluster",
+                "--mode must be pipeline, serve, latency, or cluster, got '"
+                    << mode << "'");
     const bool serve_mode = mode == "serve";
     const bool latency_mode = mode == "latency";
+    const bool cluster_mode = mode == "cluster";
 
     const telemetry::MetricsSnapshot snapshot =
         serve_mode     ? run_serve_workload(args)
         : latency_mode ? run_latency_workload(args)
+        : cluster_mode ? run_cluster_workload(args)
                        : run_workload(args);
 
     const std::string snapshot_path = args.get("snapshot");
@@ -326,6 +469,7 @@ int main(int argc, char** argv) {
       const std::vector<std::string>& gated =
           serve_mode     ? kServeGatedSeries
           : latency_mode ? kLatencyGatedSeries
+          : cluster_mode ? kClusterGatedSeries
                          : kGatedSeries;
       telemetry::write_baseline(snapshot, gated, args.get_double("slack"), out);
       std::printf("check_regression: wrote %s (re-banded %zu series)\n",
@@ -355,6 +499,11 @@ int main(int argc, char** argv) {
             static_cast<long long>(args.get_int("latency-batches")),
             static_cast<long long>(args.get_int("latency-interval-us")),
             static_cast<long long>(args.get_int("streams")));
+      else if (cluster_mode)
+        std::printf(
+            "check_regression: PASS (%zu checks, cluster @ %lld device(s))\n",
+            verdict.checks,
+            static_cast<long long>(args.get_int("cluster-devices")));
       else
         std::printf("check_regression: PASS (%zu checks, %s @ %lld stream(s))\n",
                     verdict.checks, format_bytes(args.get_bytes("size")).c_str(),

@@ -4,6 +4,10 @@
 //   ac_hostcheck                            # full staging-geometry sweep
 //   ac_hostcheck --configs=s2-d2-split      # one geometry
 //   ac_hostcheck --iterations 10 --seed 7   # a deeper sweep
+//   ac_hostcheck --cluster                  # audit the multi-device Router
+//                                           # tier instead: devices {1,2,4}
+//                                           # x streams {2,4}, with a
+//                                           # mid-stream fail-stop rebalance
 //   ac_hostcheck --json                     # machine-readable report
 //   ac_hostcheck --broken                   # negative controls: every
 //                                           # seeded-broken schedule must be
@@ -30,6 +34,7 @@
 
 #include "hostcheck/audit.h"
 #include "hostcheck/broken.h"
+#include "oracle/workload_gen.h"
 #include "util/arg_parser.h"
 #include "util/byte_units.h"
 #include "util/error.h"
@@ -65,6 +70,33 @@ std::vector<hostcheck::HostAuditConfig> parse_configs(const std::string& csv) {
   while (std::getline(in, token, ','))
     if (!token.empty()) configs.push_back(parse_config(token));
   return configs;
+}
+
+/// --cluster: the Router-tier matrix — devices {1,2,4} x streams {2,4},
+/// every cell fed by concurrent sessions with a fail-stop rebalance
+/// injected mid-stream whenever more than one shard is up. Returns the
+/// sweep rows (merged across workloads) for the shared reporting path.
+std::vector<hostcheck::HostSweepResult> run_cluster_sweep(
+    std::uint64_t seed, std::uint64_t iterations) {
+  std::vector<hostcheck::HostSweepResult> results;
+  const hostcheck::HostAuditSpec spec;
+  for (const std::uint32_t devices : {1u, 2u, 4u}) {
+    for (const std::uint32_t streams : {2u, 4u}) {
+      hostcheck::HostSweepResult result;
+      result.name = "cluster d" + std::to_string(devices) + "-s" +
+                    std::to_string(streams);
+      for (std::uint64_t i = 0; i < iterations; ++i) {
+        const oracle::CompiledWorkload w(oracle::generate_workload(seed, i));
+        const hostcheck::HostAuditOutcome outcome =
+            hostcheck::audit_cluster(w, devices, streams, spec);
+        result.report.merge(outcome.report, spec.analyze.max_hazards);
+        ++result.workloads;
+        if (!outcome.matches_ok) ++result.mismatches;
+      }
+      results.push_back(std::move(result));
+    }
+  }
+  return results;
 }
 
 /// --broken: every seeded-broken schedule must be flagged with its expected
@@ -139,6 +171,9 @@ int main(int argc, char** argv) {
                 "comma-separated geometries, e.g. s2-d2-split,s4-d1-shared "
                 "(empty = full matrix)",
                 "");
+  args.add_bool_flag("cluster",
+                     "audit the multi-device Router tier instead: devices "
+                     "{1,2,4} x streams {2,4} with a mid-stream rebalance");
   args.add_bool_flag("broken",
                      "audit the deliberately-broken schedules instead; "
                      "exit 0 iff every one is flagged with its expected kind");
@@ -183,17 +218,27 @@ int main(int argc, char** argv) {
         parse_configs(args.get("configs"));
     const bool json = args.get_bool("json");
 
-    if (!json)
-      std::printf(
-          "hostcheck: %llu workloads x %zu configs + serve, seed %llu\n",
-          static_cast<unsigned long long>(iterations),
-          configs.empty() ? hostcheck::default_config_matrix().size()
-                          : configs.size(),
-          static_cast<unsigned long long>(seed));
+    if (!json) {
+      if (args.get_bool("cluster"))
+        std::printf(
+            "hostcheck: %llu workloads x {1,2,4} devices x {2,4} streams, "
+            "seed %llu\n",
+            static_cast<unsigned long long>(iterations),
+            static_cast<unsigned long long>(seed));
+      else
+        std::printf(
+            "hostcheck: %llu workloads x %zu configs + serve, seed %llu\n",
+            static_cast<unsigned long long>(iterations),
+            configs.empty() ? hostcheck::default_config_matrix().size()
+                            : configs.size(),
+            static_cast<unsigned long long>(seed));
+    }
 
     Stopwatch clock;
     const std::vector<hostcheck::HostSweepResult> results =
-        hostcheck::audit_conformance(seed, iterations, configs);
+        args.get_bool("cluster")
+            ? run_cluster_sweep(seed, iterations)
+            : hostcheck::audit_conformance(seed, iterations, configs);
 
     bool failed = false;
     if (json) {

@@ -95,9 +95,11 @@ int cmd_scan(const ArgParser& args, const std::vector<std::string>& files) {
               "--chunk-bytes streams through the session service; "
               "--trace only applies to one-shot scans");
 
-  // The gpu path goes through acgpu::Engine — built once, scanning every
-  // file through the batched multi-stream pipeline. With --chunk-bytes the
-  // Engine is owned by a StreamService that carries DFA state across feeds.
+  // The gpu path goes through acgpu::Engine on an explicit Device — built
+  // once, scanning every file through the batched multi-stream pipeline.
+  // With --chunk-bytes the Engine is owned by a StreamService that carries
+  // DFA state across feeds.
+  std::optional<Device> device;
   std::optional<Engine> engine;
   std::optional<serve::StreamService> service;
   if (matcher == "gpu") {
@@ -119,7 +121,10 @@ int cmd_scan(const ArgParser& args, const std::vector<std::string>& files) {
       ACGPU_CHECK(created.is_ok(), created.status().to_string());
       service.emplace(std::move(created).value());
     } else {
-      Result<Engine> created = Engine::create(dfa, opt);
+      Result<Device> dev = Device::create();
+      ACGPU_CHECK(dev.is_ok(), dev.status().to_string());
+      device.emplace(std::move(dev).value());
+      Result<Engine> created = Engine::create(*device, ac::Dfa(dfa), opt);
       ACGPU_CHECK(created.is_ok(), created.status().to_string());
       engine.emplace(std::move(created).value());
     }

@@ -84,12 +84,16 @@ int main(int argc, char** argv) {
     opt.batch_bytes = static_cast<std::uint64_t>(args.get_bytes("batch"));
     opt.mode = mode_name == "functional" ? gpusim::SimMode::Functional
                                          : gpusim::SimMode::Timed;
-    opt.device_memory_bytes = 1u << 30;
     opt.telemetry.metrics = &registry;
     opt.telemetry.tracer = &tracer;
 
+    DeviceOptions dopt;
+    dopt.memory_bytes = 1u << 30;
+    Result<Device> device = Device::create(dopt);
+    ACGPU_CHECK(device.is_ok(), device.status().to_string());
+
     Stopwatch clock;
-    Result<Engine> engine = Engine::create(patterns, opt);
+    Result<Engine> engine = Engine::create(device.value(), patterns, opt);
     ACGPU_CHECK(engine.is_ok(), engine.status().to_string());
     Result<ScanResult> scan = engine.value().scan(input);
     ACGPU_CHECK(scan.is_ok(), scan.status().to_string());

@@ -27,15 +27,19 @@ int main() {
   }
 
   // ---- Phase 2b: the same matching on the simulated GTX 285 -------------
-  // Engine is the supported device entry point: it compiles the dictionary,
-  // uploads the automaton, and scans through the batched multi-stream
-  // pipeline (H2D copy of batch k+1 overlaps the kernel on batch k).
+  // Device owns the simulated GPU (identity, memory arena); Engine compiles
+  // the dictionary, uploads the automaton to it, and scans through the
+  // batched multi-stream pipeline (H2D copy of batch k+1 overlaps the
+  // kernel on batch k). Many engines can share one device, and the cluster
+  // tier (examples/acgpu_cluster.cpp) shards work across many devices.
   const std::string text = workload::make_corpus(256 * kKiB, /*seed=*/7);
+  Result<Device> device = Device::create();
+  ACGPU_CHECK(device.is_ok(), device.status().to_string());
   EngineOptions opt;
   opt.variant = pipeline::KernelVariant::kShared;  // the paper's best variant
   opt.streams = 2;                 // >= 2 overlaps copy with compute
   opt.batch_bytes = 64 * kKiB;     // small batches so the demo pipelines
-  Result<Engine> engine = Engine::create(patterns, opt);
+  Result<Engine> engine = Engine::create(device.value(), patterns, opt);
   ACGPU_CHECK(engine.is_ok(), engine.status().to_string());
 
   Result<ScanResult> scan = engine.value().scan(text);

@@ -6,7 +6,9 @@
 // in for the paper's GTX 285 (gpusim/), the paper's two matching kernels and
 // the PFAC variant (kernels/), the batched multi-stream matching pipeline and
 // the acgpu::Engine facade (pipeline/), the streaming session service for
-// stateful cross-chunk scanning (serve/), a Core2-class serial timing model
+// stateful cross-chunk scanning (serve/), the multi-device scatter/gather
+// router tier sharding sessions and bulk scans across N simulated devices
+// (cluster/), a Core2-class serial timing model
 // (cpumodel/), workload generators (workload/), the evaluation harness that
 // regenerates the paper's figures (harness/), and the cross-matcher
 // differential conformance oracle (oracle/).
@@ -32,6 +34,9 @@
 #include "ac/stream_matcher.h"
 #include "ac/stt_layout.h"
 #include "ac/trie.h"
+#include "cluster/merge.h"
+#include "cluster/router.h"
+#include "pipeline/device.h"
 #include "pipeline/engine.h"
 #include "pipeline/pipeline.h"
 #include "pipeline/telemetry_export.h"

@@ -1,0 +1,54 @@
+#include "cluster/merge.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <queue>
+
+#include "util/error.h"
+
+namespace acgpu::cluster {
+namespace {
+
+struct Head {
+  ac::Match match;
+  std::size_t part = 0;
+  std::size_t index = 0;  ///< next element within the part
+};
+
+/// Min-heap order on (match, part): std::priority_queue is a max-heap, so
+/// the comparator is inverted. The part index breaks ties deterministically.
+struct HeadGreater {
+  bool operator()(const Head& a, const Head& b) const {
+    if (a.match != b.match) return b.match < a.match;
+    return b.part < a.part;
+  }
+};
+
+}  // namespace
+
+std::vector<ac::Match> merge_sorted(std::vector<std::vector<ac::Match>> parts) {
+  std::size_t total = 0;
+  for (const auto& part : parts) {
+    total += part.size();
+    ACGPU_CHECK(std::is_sorted(part.begin(), part.end()),
+                "merge_sorted: input part is not in (end, pattern) order");
+  }
+  if (parts.size() == 1) return std::move(parts.front());
+
+  std::vector<ac::Match> out;
+  out.reserve(total);
+  std::priority_queue<Head, std::vector<Head>, HeadGreater> heap;
+  for (std::size_t p = 0; p < parts.size(); ++p)
+    if (!parts[p].empty()) heap.push(Head{parts[p][0], p, 1});
+  while (!heap.empty()) {
+    Head head = heap.top();
+    heap.pop();
+    out.push_back(head.match);
+    const std::vector<ac::Match>& part = parts[head.part];
+    if (head.index < part.size())
+      heap.push(Head{part[head.index], head.part, head.index + 1});
+  }
+  return out;
+}
+
+}  // namespace acgpu::cluster

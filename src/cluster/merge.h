@@ -1,0 +1,25 @@
+// K-way merge of per-device match streams back into global-offset order.
+//
+// The Router's bulk scatter path (cluster/router.h) hands each healthy
+// device one slab of the input; every device reports its matches sorted by
+// (end, pattern) with ends already rebased to global offsets. Because the
+// slabs partition the text, the per-device streams are ALMOST disjoint in
+// end-offset — but a match that starts in shard k's owned range may end
+// inside shard k+1's slab (the overlap carry), so streams can interleave
+// near the seams and a plain concatenation is not sorted. The merge is the
+// classic heap k-way: O(total log k), stable across equal keys by shard
+// index so the result is deterministic.
+#pragma once
+
+#include <vector>
+
+#include "ac/match.h"
+
+namespace acgpu::cluster {
+
+/// Merges `parts` — each sorted ascending by (end, pattern), the
+/// ac::normalize_matches order — into one sorted vector. Empty parts are
+/// fine; the inputs are consumed.
+std::vector<ac::Match> merge_sorted(std::vector<std::vector<ac::Match>> parts);
+
+}  // namespace acgpu::cluster

@@ -1,0 +1,62 @@
+#include "gpusim/device_registry.h"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+
+#include "util/error.h"
+
+namespace acgpu::gpusim {
+namespace {
+
+std::atomic<std::uint32_t> g_next_id{0};
+
+struct Registry {
+  std::mutex mu;
+  std::vector<DeviceInfo> live;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();  // leaked: outlives static teardown
+  return *r;
+}
+
+}  // namespace
+
+std::uint32_t allocate_device_id() {
+  return g_next_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+void register_device(const DeviceInfo& info) {
+  Registry& r = registry();
+  std::scoped_lock lock(r.mu);
+  for (const DeviceInfo& d : r.live)
+    ACGPU_CHECK(d.id != info.id, "device id " << info.id
+                                              << " registered twice ('" << d.name
+                                              << "' and '" << info.name << "')");
+  r.live.push_back(info);
+  std::sort(r.live.begin(), r.live.end(),
+            [](const DeviceInfo& a, const DeviceInfo& b) { return a.id < b.id; });
+}
+
+void unregister_device(std::uint32_t id) {
+  Registry& r = registry();
+  std::scoped_lock lock(r.mu);
+  std::erase_if(r.live, [&](const DeviceInfo& d) { return d.id == id; });
+}
+
+std::vector<DeviceInfo> registered_devices() {
+  Registry& r = registry();
+  std::scoped_lock lock(r.mu);
+  return r.live;
+}
+
+std::string device_name(std::uint32_t id) {
+  Registry& r = registry();
+  std::scoped_lock lock(r.mu);
+  for (const DeviceInfo& d : r.live)
+    if (d.id == id) return d.name;
+  return {};
+}
+
+}  // namespace acgpu::gpusim

@@ -1,0 +1,50 @@
+// Process-global device identity for multi-device simulation.
+//
+// One process used to mean one simulated device, so nothing in gpusim needed
+// a name: streams counted from 0, sims were anonymous, and every metric
+// series implicitly belonged to "the" device. The cluster tier
+// (src/cluster/) instantiates N independent devices in one process, so
+// anything that leaves a device — metric prefixes, Chrome-trace tracks,
+// hostcheck records, merged match streams — needs an identity that is
+// unambiguous across all of them.
+//
+// The registry hands out process-unique device ids (never reused, so a
+// device torn down and rebuilt is distinguishable in a trace) and tracks the
+// live set for introspection. It is NOT a resource manager: registering is
+// cheap bookkeeping, and the simulated memory/engines live wherever the
+// caller put them (acgpu::Device in pipeline/device.h).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace acgpu::gpusim {
+
+/// Descriptor of one live registered device.
+struct DeviceInfo {
+  std::uint32_t id = 0;       ///< process-unique, never reused
+  std::string name;           ///< "device.<id>" unless the caller named it
+  std::size_t memory_bytes = 0;
+};
+
+/// Reserves the next process-unique device id (thread-safe, monotonically
+/// increasing from 0, never reused). Does not register anything.
+std::uint32_t allocate_device_id();
+
+/// Adds `info` to the live set. `info.id` must come from
+/// allocate_device_id(); registering the same id twice is an error.
+void register_device(const DeviceInfo& info);
+
+/// Removes a device from the live set (idempotent — unknown ids are
+/// ignored so a moved-from owner's destructor is harmless).
+void unregister_device(std::uint32_t id);
+
+/// Snapshot of the live set, ascending by id.
+std::vector<DeviceInfo> registered_devices();
+
+/// Live-set lookup; empty name when the id is not live.
+std::string device_name(std::uint32_t id);
+
+}  // namespace acgpu::gpusim

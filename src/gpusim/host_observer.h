@@ -127,9 +127,14 @@ class HostObserver {
   /// auditor never compares accesses across sims.
   virtual std::uint32_t register_sim() = 0;
   /// A StagingPool came up under `name` ("upload", "readback", ...).
+  /// `sim` is the StreamSim whose timeline the pool's buffers serve:
+  /// device addresses are arena offsets, so pools of different devices
+  /// (cluster shards) occupy overlapping ranges, and the auditor must only
+  /// attribute a sim's accesses to that sim's own pools.
   virtual std::uint32_t register_pool(const std::string& name,
                                       std::uint32_t buffers,
-                                      std::uint64_t buffer_bytes) = 0;
+                                      std::uint64_t buffer_bytes,
+                                      std::uint32_t sim) = 0;
   /// A TrackedMutex came up under `name` ("serve.mu", "serve.scheduler.mu").
   virtual std::uint32_t register_mutex(const std::string& name) = 0;
 

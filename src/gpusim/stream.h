@@ -123,6 +123,11 @@ class StreamSim {
   /// collide. Zero-cost when unattached (one branch per op).
   void set_host_observer(HostObserver* observer);
   HostObserver* host_observer() const { return host_observer_; }
+  /// This sim's observer registration id (0 when unattached). Staging pools
+  /// serving this sim's timeline register under it, so the auditor can
+  /// scope lease attribution per device (cluster arenas overlap in offset
+  /// space).
+  std::uint32_t sim_id() const { return sim_id_; }
 
   /// Declares that op `op_id` reads or writes device range
   /// [addr, addr+bytes) — the annotation the happens-before auditor checks

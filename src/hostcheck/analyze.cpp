@@ -131,6 +131,10 @@ class Analyzer {
                                       : "pool " + std::to_string(pool);
   }
 
+  std::uint32_t pool_sim(std::uint32_t pool) const {
+    return pool < trace_.pools.size() ? trace_.pools[pool].sim : 0;
+  }
+
   void handle(const HostOpRecord& r) {
     ++report_.ops;
     SimState& s = sim(r.sim);
@@ -158,6 +162,10 @@ class Analyzer {
     const double end =
         r.op < s.ops.size() ? s.ops[r.op].rec.end : 0.0;
     for (auto& [key, buf] : buffers_) {
+      // Device addresses are per-arena offsets: pools of concurrently-live
+      // sims (cluster shards) occupy overlapping ranges, so only this sim's
+      // own pools can claim the access.
+      if (pool_sim(key.first) != r.sim) continue;
       if (!buf.range_known ||
           !ranges_overlap(r.addr, r.bytes, buf.addr, buf.bytes))
         continue;
@@ -226,9 +234,12 @@ class Analyzer {
       // There is no pool-destroy record, so the new lease IS the signal —
       // any other buffer whose known range overlaps it is dead; forget it
       // so its stale range cannot misattribute the new pool's accesses.
+      // Scoped to this pool's arena: an overlapping range on another sim's
+      // pool (a concurrent cluster shard) is live, not stale.
       for (auto& [other_key, other] : buffers_) {
         if (other_key == std::pair{r.pool, r.buffer} || !other.range_known)
           continue;
+        if (pool_sim(other_key.first) != pool_sim(r.pool)) continue;
         if (ranges_overlap(r.addr, r.bytes, other.addr, other.bytes))
           other.range_known = false;
       }

@@ -1,6 +1,7 @@
 #include "hostcheck/audit.h"
 
 #include <algorithm>
+#include <atomic>
 #include <sstream>
 #include <string_view>
 #include <thread>
@@ -9,6 +10,7 @@
 #include "ac/match.h"
 #include "oracle/workload_gen.h"
 #include "pipeline/engine.h"
+#include "cluster/router.h"
 #include "serve/service.h"
 #include "util/error.h"
 
@@ -149,6 +151,90 @@ HostAuditOutcome audit_serve(const CompiledWorkload& workload,
         outcome.matches_ok && same_matches(polled.value(), expected);
   }
   svc.shutdown();  // quiesce the worker before snapshotting the trace
+  outcome.report = analyze(recorder.trace(), spec.analyze);
+  return outcome;
+}
+
+HostAuditOutcome audit_cluster(const CompiledWorkload& workload,
+                               std::uint32_t devices, std::uint32_t streams,
+                               const HostAuditSpec& spec) {
+  const std::vector<ac::Match> expected = oracle::reference_matches(workload);
+  const std::uint32_t feeders = std::max(1u, spec.serve_threads);
+  const std::uint32_t chunks = std::max(1u, spec.serve_chunks);
+
+  Recorder recorder;
+  cluster::ClusterOptions co;
+  co.devices = std::max(1u, devices);
+  co.engine.batch_bytes = spec.batch_bytes;
+  co.engine.streams = std::max(1u, streams);
+  co.background = true;  // one pump thread per shard: N devices in flight
+  co.host_observer = &recorder;
+  Result<cluster::Router> router =
+      cluster::Router::create(workload.patterns(), co);
+  ACGPU_CHECK(router.is_ok(), "hostcheck audit: Router::create failed on "
+                                  << workload.name() << ": "
+                                  << router.status().message());
+  cluster::Router& cl = router.value();
+
+  std::vector<serve::SessionId> sessions(feeders);
+  for (std::uint32_t f = 0; f < feeders; ++f) {
+    Result<serve::SessionId> id = cl.open();
+    ACGPU_CHECK(id.is_ok(),
+                "hostcheck audit: open failed: " << id.status().message());
+    sessions[f] = id.value();
+  }
+  // The failure is injected from a dedicated thread once any feeder crosses
+  // the halfway mark, so the rebalance races real concurrent feeds — the
+  // schedule shape the auditor is here to vet.
+  std::atomic<std::uint64_t> fed_chunks{0};
+  const std::uint64_t trigger = (static_cast<std::uint64_t>(feeders) * chunks) / 2;
+  std::thread injector;
+  if (co.devices > 1) {
+    injector = std::thread([&] {
+      while (fed_chunks.load(std::memory_order_relaxed) < trigger)
+        std::this_thread::yield();
+      const Status failed = cl.mark_failed(0);
+      ACGPU_CHECK(failed.is_ok(), "hostcheck audit: mark_failed failed: "
+                                      << failed.message());
+    });
+  }
+  std::vector<std::thread> threads;
+  threads.reserve(feeders);
+  for (std::uint32_t f = 0; f < feeders; ++f) {
+    threads.emplace_back([&, f] {
+      const std::string_view text = workload.text();
+      const std::size_t step = text.size() / chunks + 1;
+      for (std::size_t at = 0; at < text.size() || at == 0; at += step) {
+        const std::string_view chunk = text.substr(at, step);
+        for (;;) {
+          const Status status = cl.feed(sessions[f], chunk);
+          if (status.is_ok()) break;
+          ACGPU_CHECK(status.code() == StatusCode::kOverloaded,
+                      "hostcheck audit: feed failed: " << status.message());
+          std::this_thread::yield();  // bounded queue full — retry
+        }
+        fed_chunks.fetch_add(1, std::memory_order_relaxed);
+        if (text.empty()) break;
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  if (injector.joinable()) injector.join();
+  const Status drained = cl.drain();
+  ACGPU_CHECK(drained.is_ok(),
+              "hostcheck audit: drain failed: " << drained.message());
+
+  HostAuditOutcome outcome;
+  outcome.matches_ok = true;
+  for (std::uint32_t f = 0; f < feeders; ++f) {
+    Result<std::vector<ac::Match>> polled = cl.poll(sessions[f]);
+    ACGPU_CHECK(polled.is_ok(), "hostcheck audit: poll failed: "
+                                    << polled.status().message());
+    outcome.match_count += polled.value().size();
+    outcome.matches_ok =
+        outcome.matches_ok && same_matches(polled.value(), expected);
+  }
+  cl.shutdown();  // quiesce every shard worker before snapshotting the trace
   outcome.report = analyze(recorder.trace(), spec.analyze);
   return outcome;
 }

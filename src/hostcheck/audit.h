@@ -69,6 +69,18 @@ HostAuditOutcome audit_pipeline(const oracle::CompiledWorkload& workload,
 HostAuditOutcome audit_serve(const oracle::CompiledWorkload& workload,
                              const HostAuditSpec& spec = {});
 
+/// Runs one workload through a background cluster::Router under the
+/// Recorder: `devices` shards each pumping on its own thread with `streams`
+/// pipeline lanes, `serve_threads` concurrent feeders each owning a
+/// session, and — when more than one shard is up — a fail-stop device
+/// failure injected halfway through the feed, so the audit trace covers the
+/// router mutex, every shard's serve/scheduler/manager locks, N devices'
+/// stream activity, AND the drain + export/import rebalance path. Matches
+/// are still checked per session against the serial reference.
+HostAuditOutcome audit_cluster(const oracle::CompiledWorkload& workload,
+                               std::uint32_t devices, std::uint32_t streams,
+                               const HostAuditSpec& spec = {});
+
 struct HostSweepResult {
   std::string name;  ///< "pipeline <config>" or "serve"
   HostAuditReport report;  ///< merged across all audited workloads

@@ -84,6 +84,7 @@ struct Rig {
     pipeline::StagingPool::Options options{2, buffer_bytes, 8, false};
     options.observer = &recorder;
     options.name = name;
+    options.sim = sim.sim_id();
     return pipeline::StagingPool(mem, options);
   }
 };
@@ -150,7 +151,7 @@ void drive_use_after_release(Recorder& recorder) {
 void drive_double_lease(Recorder& recorder) {
   // The real pool throws before handing a leased buffer out again, so this
   // driver emits the records such a bypassed pool would have produced.
-  const std::uint32_t pool = recorder.register_pool("upload", 2, kBytes);
+  const std::uint32_t pool = recorder.register_pool("upload", 2, kBytes, 0);
   recorder.on_lease(gpusim::HostLeaseRecord{pool, 0, 0x1000, kBytes, 0.0});
   recorder.on_lease(gpusim::HostLeaseRecord{pool, 0, 0x1000, kBytes, 0.0});
   recorder.on_release(gpusim::HostReleaseRecord{pool, 0, 1.0});

@@ -9,9 +9,10 @@ std::uint32_t Recorder::register_sim() {
 
 std::uint32_t Recorder::register_pool(const std::string& name,
                                       std::uint32_t buffers,
-                                      std::uint64_t buffer_bytes) {
+                                      std::uint64_t buffer_bytes,
+                                      std::uint32_t sim) {
   std::scoped_lock lock(mu_);
-  trace_.pools.push_back(PoolInfo{name, buffers, buffer_bytes});
+  trace_.pools.push_back(PoolInfo{name, buffers, buffer_bytes, sim});
   return static_cast<std::uint32_t>(trace_.pools.size() - 1);
 }
 

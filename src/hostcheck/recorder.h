@@ -30,6 +30,10 @@ struct PoolInfo {
   std::string name;
   std::uint32_t buffers = 0;
   std::uint64_t buffer_bytes = 0;
+  /// The sim whose timeline the pool serves — lease attribution is scoped
+  /// to it (device addresses are per-arena offsets; concurrent cluster
+  /// shards overlap in offset space).
+  std::uint32_t sim = 0;
 };
 
 /// The globally ordered record stream plus the registries that name its
@@ -56,7 +60,8 @@ class Recorder final : public gpusim::HostObserver {
 
   std::uint32_t register_sim() override;
   std::uint32_t register_pool(const std::string& name, std::uint32_t buffers,
-                              std::uint64_t buffer_bytes) override;
+                              std::uint64_t buffer_bytes,
+                              std::uint32_t sim) override;
   std::uint32_t register_mutex(const std::string& name) override;
 
   void on_op(const gpusim::HostOpRecord& record) override;

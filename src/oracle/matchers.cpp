@@ -18,6 +18,7 @@
 #include "kernels/pfac_kernel.h"
 #include "oracle/matcher.h"
 #include "pipeline/pipeline.h"
+#include "cluster/router.h"
 #include "serve/service.h"
 #include "util/error.h"
 #include "util/rng.h"
@@ -465,6 +466,118 @@ class ServeMatcher final : public Matcher {
   }
 };
 
+/// End-to-end cluster adapter: drives the multi-device Router tier
+/// (cluster/router.h). The salt draws the shard count from {1, 2, 4}, the
+/// kernel variant/stream count/batch and queue knobs like the serve
+/// adapter, and — on a coin flip when more than one shard is up — injects a
+/// fail-stop device failure at a salt-chosen midpoint of the stream, so
+/// roughly half of all conformance trials exercise the export -> import
+/// session migration and its boundary-state carry. A second coin flip runs
+/// the bulk scatter/gather scan() path instead of the session path, probing
+/// the slab seam filter and the k-way merge. Overrides try_run to forward
+/// the Router's own Status codes.
+class RouterMatcher final : public Matcher {
+ public:
+  const std::string& name() const override {
+    static const std::string n = "router";
+    return n;
+  }
+
+  std::vector<ac::Match> run(const CompiledWorkload& w, std::uint64_t salt) const override {
+    return try_run(w, salt).value();  // throws acgpu::Error on a failed Status
+  }
+
+  Result<std::vector<ac::Match>> try_run(const CompiledWorkload& w,
+                                         std::uint64_t salt) const override {
+    Rng rng(derive_seed(salt, /*stream=*/13));
+    cluster::ClusterOptions opt;
+    static constexpr std::uint32_t kDevices[] = {1, 2, 4};
+    opt.devices = kDevices[rng.next_below(std::size(kDevices))];
+    static constexpr pipeline::KernelVariant kVariants[] = {
+        pipeline::KernelVariant::kShared,
+        pipeline::KernelVariant::kGlobalOnly,
+        pipeline::KernelVariant::kPfac,
+    };
+    opt.engine.variant = kVariants[rng.next_below(std::size(kVariants))];
+    opt.engine.streams = 1 + static_cast<std::uint32_t>(rng.next_below(3));
+    const std::uint64_t cap = rng.next_bool(0.25)
+                                  ? w.text().size() + 16
+                                  : std::min<std::uint64_t>(w.text().size(), 64);
+    opt.engine.batch_bytes = rng.next_in(1, std::max<std::uint64_t>(1, cap));
+    opt.engine.chunk_bytes = pick_chunk_bytes(w, 32);
+    opt.engine.threads_per_block = 64;
+    opt.engine.mode = gpusim::SimMode::Functional;
+    opt.engine.gpu = sim_config();
+    opt.engine.device_memory_bytes = 64u << 20;
+    opt.max_queue_chunks = 2 + static_cast<std::uint32_t>(rng.next_below(15));
+    opt.coalesce_bytes = 1 + rng.next_below(4096);
+    opt.admission = serve::AdmissionPolicy::kAutoFlush;
+
+    auto router = cluster::Router::create(w.patterns(), opt);
+    if (!router.is_ok()) return router.status();
+    cluster::Router& cl = router.value();
+    const std::string_view text = w.text();
+    const bool inject_failure = opt.devices > 1 && rng.next_bool(0.5);
+
+    if (rng.next_bool(0.33)) {
+      // Bulk scatter/gather path. A pre-scan failure shrinks the healthy
+      // set, so the slab partition and seam filter re-derive for W-1.
+      if (inject_failure) {
+        const std::uint32_t victim =
+            static_cast<std::uint32_t>(rng.next_below(opt.devices));
+        if (Status s = cl.mark_failed(victim); !s) return s;
+      }
+      Result<cluster::ClusterScanResult> scan = cl.scan(text);
+      if (!scan.is_ok()) return scan.status();
+      return std::move(scan).value().matches;
+    }
+
+    Result<serve::SessionId> id = cl.open();
+    if (!id.is_ok()) return id.status();
+    // Decoy stream on another shard (or the same one when devices == 1):
+    // cross-shard traffic must never bleed into the primary session.
+    std::optional<serve::SessionId> decoy;
+    if (rng.next_bool(0.5)) {
+      Result<serve::SessionId> d = cl.open();
+      if (!d.is_ok()) return d.status();
+      decoy = d.value();
+    }
+    const std::size_t failure_at =
+        inject_failure ? rng.next_below(text.size() + 1) : text.size() + 1;
+
+    std::size_t pos = 0;
+    bool failed_yet = false;
+    for (;;) {
+      if (inject_failure && !failed_yet && pos >= failure_at) {
+        // Fail the primary session's CURRENT home mid-stream; the session
+        // migrates with its carried boundary state and unpolled matches.
+        Result<std::uint32_t> home = cl.shard_of(id.value());
+        if (!home.is_ok()) return home.status();
+        if (Status s = cl.mark_failed(home.value()); !s) return s;
+        failed_yet = true;
+      }
+      if (pos >= text.size()) break;
+      std::size_t len = 0;
+      switch (rng.next_below(4)) {
+        case 0: len = 0; break;                          // empty feed
+        case 1: len = 1; break;                          // byte-at-a-time
+        case 2: len = 1 + rng.next_below(16); break;     // small slices
+        default: len = 1 + rng.next_below(256); break;   // packet-sized
+      }
+      len = std::min(len, text.size() - pos);
+      if (Status s = cl.feed(id.value(), text.substr(pos, len)); !s) return s;
+      pos += len;
+      if (decoy.has_value() && rng.next_bool(0.5)) {
+        const std::size_t dlen =
+            std::min<std::size_t>(1 + rng.next_below(64), text.size());
+        if (Status s = cl.feed(*decoy, text.substr(0, dlen)); !s) return s;
+      }
+    }
+    if (Status s = cl.drain(); !s) return s;
+    return cl.poll(id.value());
+  }
+};
+
 // ---------------------------------------------------------------------------
 // Registry
 // ---------------------------------------------------------------------------
@@ -492,6 +605,7 @@ std::unique_ptr<Matcher> instantiate(std::string_view name) {
   if (name == "gpu-pfac") return std::make_unique<GpuPfacMatcher>();
   if (name == "pipeline") return std::make_unique<PipelineMatcher>();
   if (name == "serve") return std::make_unique<ServeMatcher>();
+  if (name == "router") return std::make_unique<RouterMatcher>();
   return nullptr;
 }
 
@@ -502,7 +616,7 @@ const std::vector<std::string>& registered_matcher_names() {
       "naive",      "nfa",        "serial",         "chunked",
       "parallel",   "stream",     "compressed",     "pfac",
       "gpu-global", "gpu-shared", "gpu-shared-naive", "gpu-compressed",
-      "gpu-pfac",   "pipeline",   "serve",
+      "gpu-pfac",   "pipeline",   "serve",          "router",
   };
   return names;
 }

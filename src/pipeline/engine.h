@@ -8,9 +8,22 @@
 // (kernels::run_ac_kernel and friends) remain available for harness/ablation
 // code but are internal API — see the migration notes in README.md.
 //
-//   auto engine = acgpu::Engine::create(ac::PatternSet({"he", "she"}));
+// Ownership (since the cluster tier): an Engine is a lightweight automaton +
+// pipeline bound to an acgpu::Device (pipeline/device.h), which owns the
+// simulated GPU — its memory arena, identity, observer seam, and the scan
+// mutex serializing the engines that share it:
+//
+//   auto device = acgpu::Device::create();
+//   auto engine = acgpu::Engine::create(device.value(),
+//                                       ac::PatternSet({"he", "she"}));
 //   auto scan = engine.value().scan(text);
 //   for (ac::Match m : scan.value().matches) { ... }
+//
+// DEPRECATED: the single-argument Engine::create(patterns, options) remains
+// as a shim that creates a private Device per engine (EngineOptions::gpu /
+// device_memory_bytes / host_observer configure it). It keeps old call sites
+// compiling but cannot share a device across engines — new code should
+// create the Device explicitly. Migration notes: docs/PIPELINE.md.
 #pragma once
 
 #include <cstdint>
@@ -25,6 +38,7 @@
 #include "gpusim/device_memory.h"
 #include "kernels/device_dfa.h"
 #include "kernels/pfac_kernel.h"
+#include "pipeline/device.h"
 #include "pipeline/pipeline.h"
 #include "util/error.h"
 
@@ -40,6 +54,11 @@ namespace acgpu {
 struct TelemetryOptions {
   telemetry::MetricsRegistry* metrics = nullptr;
   telemetry::Tracer* tracer = nullptr;
+  /// Prepended to every published series name ("device.3." turns
+  /// pipeline.runs into device.3.pipeline.runs). The cluster tier sets it
+  /// per shard so N devices' series never collide; "" keeps the classic
+  /// single-device names.
+  std::string metrics_prefix;
 
   bool enabled() const { return metrics != nullptr || tracer != nullptr; }
 };
@@ -73,7 +92,9 @@ struct EngineOptions {
   /// Timed samples waves for throughput studies and skips match collection.
   gpusim::SimMode mode = gpusim::SimMode::Functional;
 
-  /// Simulated device and its memory budget.
+  /// DEPRECATED (private-Device shim only): simulated device and its memory
+  /// budget for the legacy create(patterns, options) path. Ignored by the
+  /// Device& overloads — the explicit Device carries its own config.
   gpusim::GpuConfig gpu = gpusim::GpuConfig::gtx285();
   std::size_t device_memory_bytes = 256u << 20;
 
@@ -87,7 +108,9 @@ struct EngineOptions {
 
   /// Host-pipeline audit hook (gpusim/host_observer.h): when set, every
   /// scan records its stream ops, staging leases, and ordering edges for
-  /// the hostcheck happens-before auditor. Null = off, zero cost.
+  /// the hostcheck happens-before auditor. Null = inherit the Device's
+  /// observer (the usual wiring); set explicitly to divert one engine's
+  /// records elsewhere.
   gpusim::HostObserver* host_observer = nullptr;
 };
 
@@ -97,28 +120,48 @@ using ScanResult = pipeline::PipelineResult;
 
 class Engine {
  public:
-  /// Compiles `patterns` and uploads the automaton to the simulated device.
-  /// Fails (no throw) on an empty pattern set, inconsistent options, or a
-  /// device-memory budget too small for the automaton.
-  static Result<Engine> create(const ac::PatternSet& patterns,
+  /// Compiles `patterns` and uploads the automaton to `device`. The device
+  /// must outlive the engine; engines sharing it serialize their scans on
+  /// its scan mutex. Fails (no throw) on an empty pattern set, inconsistent
+  /// options, or a device-memory budget too small for the automaton.
+  static Result<Engine> create(Device& device, const ac::PatternSet& patterns,
                                const EngineOptions& options = {});
 
   /// Builds the engine from a precompiled automaton (e.g. loaded from the
   /// binary .acdfa format) when the original pattern set is gone. PFAC
   /// rebuilds its automaton from the patterns, so variant kPfac fails.
+  static Result<Engine> create(Device& device, ac::Dfa dfa,
+                               const EngineOptions& options = {});
+
+  /// DEPRECATED single-device shims: create a private Device per engine
+  /// from EngineOptions::gpu / device_memory_bytes / host_observer. Kept so
+  /// pre-cluster call sites compile unchanged; see docs/PIPELINE.md.
+  static Result<Engine> create(const ac::PatternSet& patterns,
+                               const EngineOptions& options = {});
   static Result<Engine> create(ac::Dfa dfa, const EngineOptions& options = {});
 
   /// Matches `text` through the batched multi-stream pipeline. Safe to call
-  /// repeatedly; per-scan device buffers are recycled between calls.
+  /// repeatedly and from any thread — scans serialize on the device's scan
+  /// mutex. Fails kUnavailable when the device is marked failed.
   Result<ScanResult> scan(std::string_view text);
 
   const EngineOptions& options() const { return options_; }
   const ac::Dfa& dfa() const { return *dfa_; }
   std::size_t pattern_count() const { return dfa_->pattern_count(); }
 
-  /// The simulated device the engine owns — exposed for harness code that
-  /// wants to co-locate extra buffers or inspect allocation.
-  gpusim::DeviceMemory& device_memory() { return *mem_; }
+  /// Process-unique engine id (never reused, monotonically increasing
+  /// across all devices) — disambiguates per-engine records in traces and
+  /// hostcheck reports in a multi-engine process.
+  std::uint32_t id() const { return id_; }
+
+  /// The device the engine is bound to (the private one on the deprecated
+  /// path). Stable for the engine's lifetime.
+  Device& device() { return *device_; }
+  const Device& device() const { return *device_; }
+
+  /// The bound device's memory — kept for harness code that co-locates
+  /// extra buffers or inspects allocation.
+  gpusim::DeviceMemory& device_memory() { return device_->memory(); }
 
   Engine(Engine&&) = default;
   Engine& operator=(Engine&&) = default;
@@ -126,11 +169,17 @@ class Engine {
  private:
   Engine() = default;
 
+  static Result<Engine> build(Device& device, std::unique_ptr<Device> owned,
+                              const ac::PatternSet* patterns, ac::Dfa* dfa,
+                              const EngineOptions& options);
+
   EngineOptions options_;
+  std::uint32_t id_ = 0;
+  Device* device_ = nullptr;             ///< bound device (never null once built)
+  std::unique_ptr<Device> owned_device_; ///< deprecated shim path only
   ac::PatternSet patterns_;
   // unique_ptrs keep the Engine movable: DeviceDfa/DevicePfac hold references
-  // into mem_ and dfa_/pfac_, which must stay at stable addresses.
-  std::unique_ptr<gpusim::DeviceMemory> mem_;
+  // into the device arena and dfa_/pfac_, which must stay at stable addresses.
   std::unique_ptr<ac::Dfa> dfa_;
   std::unique_ptr<ac::PfacAutomaton> pfac_;
   std::unique_ptr<kernels::DeviceDfa> ddfa_;

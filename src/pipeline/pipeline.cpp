@@ -141,38 +141,42 @@ constexpr double kSimNs = 1e9;  ///< simulated seconds -> nanoseconds
 /// Publishes the run into the registry: the summed kernel counters under
 /// gpusim.*, run aggregates under pipeline.*, per-batch and per-op
 /// distributions under pipeline.batch.* / pipeline.op.*.
-void publish_run(const PipelineResult& result, telemetry::MetricsRegistry& reg) {
-  gpusim::publish(result.metrics, reg);
+void publish_run(const PipelineResult& result, telemetry::MetricsRegistry& reg,
+                 const std::string& prefix) {
+  gpusim::publish(result.metrics, reg, prefix + "gpusim");
 
+  // Series names carry the caller's prefix so N devices publishing into one
+  // registry stay apart ("device.3.pipeline.runs" vs "pipeline.runs").
+  const auto name = [&](const char* series) { return prefix + series; };
   const PipelineStats& s = result.stats;
-  reg.counter("pipeline.runs").add(1);
-  reg.counter("pipeline.batches").add(s.batches);
-  reg.counter("pipeline.input_bytes").add(s.input_bytes);
-  reg.counter("pipeline.staged_bytes").add(s.staged_bytes);
-  reg.counter("pipeline.output_bytes").add(s.output_bytes);
-  reg.counter("pipeline.matches_reported").add(result.total_reported);
-  reg.gauge("pipeline.overlap_ratio").set(s.overlap_ratio);
-  reg.gauge("pipeline.throughput_gbps").set(s.throughput_gbps());
-  reg.gauge("pipeline.makespan_seconds").set(s.makespan_seconds);
-  reg.gauge("pipeline.copy_busy_seconds").set(s.copy_busy_seconds);
-  reg.gauge("pipeline.h2d_busy_seconds").set(s.h2d_busy_seconds);
-  reg.gauge("pipeline.d2h_busy_seconds").set(s.d2h_busy_seconds);
-  reg.gauge("pipeline.compute_busy_seconds").set(s.compute_busy_seconds);
-  reg.gauge("pipeline.overlap_seconds").set(s.overlap_seconds);
-  reg.gauge("pipeline.blocked_seconds").set(s.blocked_seconds);
-  reg.gauge("pipeline.readback_wait_seconds").set(s.readback_wait_seconds);
-  reg.gauge("pipeline.max_queue_depth").set_max(s.max_queue_depth);
-  reg.gauge("pipeline.pool_depth").set(s.pool_depth);
-  reg.gauge("pipeline.readback_depth").set(s.readback_depth);
-  reg.gauge("pipeline.effective_streams").set(s.effective_streams);
-  reg.gauge("pipeline.effective_batch_bytes").set(
+  reg.counter(name("pipeline.runs")).add(1);
+  reg.counter(name("pipeline.batches")).add(s.batches);
+  reg.counter(name("pipeline.input_bytes")).add(s.input_bytes);
+  reg.counter(name("pipeline.staged_bytes")).add(s.staged_bytes);
+  reg.counter(name("pipeline.output_bytes")).add(s.output_bytes);
+  reg.counter(name("pipeline.matches_reported")).add(result.total_reported);
+  reg.gauge(name("pipeline.overlap_ratio")).set(s.overlap_ratio);
+  reg.gauge(name("pipeline.throughput_gbps")).set(s.throughput_gbps());
+  reg.gauge(name("pipeline.makespan_seconds")).set(s.makespan_seconds);
+  reg.gauge(name("pipeline.copy_busy_seconds")).set(s.copy_busy_seconds);
+  reg.gauge(name("pipeline.h2d_busy_seconds")).set(s.h2d_busy_seconds);
+  reg.gauge(name("pipeline.d2h_busy_seconds")).set(s.d2h_busy_seconds);
+  reg.gauge(name("pipeline.compute_busy_seconds")).set(s.compute_busy_seconds);
+  reg.gauge(name("pipeline.overlap_seconds")).set(s.overlap_seconds);
+  reg.gauge(name("pipeline.blocked_seconds")).set(s.blocked_seconds);
+  reg.gauge(name("pipeline.readback_wait_seconds")).set(s.readback_wait_seconds);
+  reg.gauge(name("pipeline.max_queue_depth")).set_max(s.max_queue_depth);
+  reg.gauge(name("pipeline.pool_depth")).set(s.pool_depth);
+  reg.gauge(name("pipeline.readback_depth")).set(s.readback_depth);
+  reg.gauge(name("pipeline.effective_streams")).set(s.effective_streams);
+  reg.gauge(name("pipeline.effective_batch_bytes")).set(
       static_cast<double>(s.effective_batch_bytes));
-  if (s.streams_clamped) reg.counter("pipeline.streams_clamped").add(1);
+  if (s.streams_clamped) reg.counter(name("pipeline.streams_clamped")).add(1);
 
-  telemetry::Histogram& latency = reg.histogram("pipeline.batch.latency_ns");
-  telemetry::Histogram& blocked = reg.histogram("pipeline.batch.blocked_ns");
-  telemetry::Histogram& rb_wait = reg.histogram("pipeline.batch.readback_wait_ns");
-  telemetry::Histogram& depth = reg.histogram("pipeline.batch.queue_depth");
+  telemetry::Histogram& latency = reg.histogram(name("pipeline.batch.latency_ns"));
+  telemetry::Histogram& blocked = reg.histogram(name("pipeline.batch.blocked_ns"));
+  telemetry::Histogram& rb_wait = reg.histogram(name("pipeline.batch.readback_wait_ns"));
+  telemetry::Histogram& depth = reg.histogram(name("pipeline.batch.queue_depth"));
   for (const BatchTrace& t : result.batches) {
     latency.observe((t.complete_seconds - t.submit_seconds) * kSimNs);
     blocked.observe(t.blocked_seconds * kSimNs);
@@ -180,9 +184,9 @@ void publish_run(const PipelineResult& result, telemetry::MetricsRegistry& reg) 
     depth.observe(t.queue_depth);
   }
 
-  telemetry::Histogram& h2d = reg.histogram("pipeline.batch.h2d_ns");
-  telemetry::Histogram& kernel = reg.histogram("pipeline.batch.kernel_ns");
-  telemetry::Histogram& d2h = reg.histogram("pipeline.batch.d2h_ns");
+  telemetry::Histogram& h2d = reg.histogram(name("pipeline.batch.h2d_ns"));
+  telemetry::Histogram& kernel = reg.histogram(name("pipeline.batch.kernel_ns"));
+  telemetry::Histogram& d2h = reg.histogram(name("pipeline.batch.d2h_ns"));
   for (const gpusim::StreamOp& op : result.timeline) {
     const double ns = (op.end - op.start) * kSimNs;
     switch (op.kind) {
@@ -254,9 +258,11 @@ Result<PipelineResult> MatchPipeline::run(std::string_view text) {
     StagingPool::Options upload_opt{plan.pool_depth, g.slice_cap, 8, false};
     upload_opt.observer = opt.host_observer;
     upload_opt.name = "upload";
+    upload_opt.sim = sim.sim_id();
     StagingPool::Options readback_opt{plan.readback_depth, 0, 0, false};
     readback_opt.observer = opt.host_observer;
     readback_opt.name = "readback";
+    readback_opt.sim = sim.sim_id();
     StagingPool upload(mem_, upload_opt);
     StagingPool readback(mem_, readback_opt);
     const std::size_t batch_mark = mem_.mark();
@@ -467,7 +473,7 @@ Result<PipelineResult> MatchPipeline::run(std::string_view text) {
               if (a.issue_index != b.issue_index) return a.issue_index < b.issue_index;
               return a.index < b.index;
             });
-  if (opt.metrics != nullptr) publish_run(result, *opt.metrics);
+  if (opt.metrics != nullptr) publish_run(result, *opt.metrics, opt.metrics_prefix);
   return result;
 }
 

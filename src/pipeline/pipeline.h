@@ -125,6 +125,10 @@ struct PipelineOptions {
   /// records host-side spans (run -> batch -> kernel) in the tracer.
   telemetry::MetricsRegistry* metrics = nullptr;
   telemetry::Tracer* tracer = nullptr;
+  /// Prepended to every published series name ("device.3." =>
+  /// device.3.pipeline.runs, device.3.gpusim.tex.hits, ...). The cluster
+  /// tier sets one per shard; "" keeps the classic single-device names.
+  std::string metrics_prefix;
 
   /// Rejects inconsistent combinations (PFAC with a store scheme override,
   /// zero streams, ...). Streams above the pool depth are NOT an error —

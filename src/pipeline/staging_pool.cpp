@@ -14,7 +14,7 @@ StagingPool::StagingPool(gpusim::DeviceMemory& mem, const Options& options)
     slot.addr = mem_.alloc(options_.buffer_bytes + options_.pad_bytes);
   if (options_.observer != nullptr)
     pool_id_ = options_.observer->register_pool(
-        options_.name, options_.buffers, options_.buffer_bytes);
+        options_.name, options_.buffers, options_.buffer_bytes, options_.sim);
 }
 
 StagingPool::Lease StagingPool::lease_locked(std::uint32_t index) {

@@ -62,6 +62,9 @@ class StagingPool {
     gpusim::HostObserver* observer = nullptr;
     /// Name the observer reports this pool under ("upload", "readback").
     const char* name = "staging";
+    /// The StreamSim this pool's buffers serve (StreamSim::sim_id()) —
+    /// scopes the auditor's lease attribution to one device's offset space.
+    std::uint32_t sim = 0;
   };
 
   /// One leased buffer. `ready` is the simulated timestamp at which the

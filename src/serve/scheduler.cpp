@@ -74,6 +74,14 @@ CoalescedBatch Scheduler::take_batch() {
   return batch;
 }
 
+std::size_t Scheduler::queued_for(SessionId session) const {
+  std::scoped_lock lock(mu_);
+  std::size_t n = 0;
+  for (const PendingChunk& c : queue_)
+    if (c.session == session) ++n;
+  return n;
+}
+
 std::size_t Scheduler::forget(SessionId session) {
   std::scoped_lock lock(mu_);
   std::size_t dropped = 0;
@@ -123,6 +131,7 @@ BatchScan scan_batch(Engine& engine, const ac::Dfa& dfa,
 
   Result<ScanResult> scan = engine.scan(batch.text);
   if (scan.is_ok() && !scan.value().overflowed) {
+    out.makespan_seconds = scan.value().stats.makespan_seconds;
     partition_matches(scan.value().matches, dfa, batch, out);
     return out;
   }

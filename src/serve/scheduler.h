@@ -91,6 +91,10 @@ class Scheduler {
   /// queue space. Returns the number of chunks dropped.
   std::size_t forget(SessionId session);
 
+  /// Queued chunks belonging to `session` — export_session's precondition
+  /// check (a session may only migrate once nothing of it is in the queue).
+  std::size_t queued_for(SessionId session) const;
+
   const SchedulerOptions& options() const { return options_; }
 
   /// Hands the internal queue mutex to the hostcheck auditor
@@ -122,6 +126,10 @@ struct BatchScan {
   };
   std::vector<Delivery> matches;
   bool host_fallback = false;  ///< device buffer overflowed / engine failed
+  /// Simulated device seconds the batch's scan took (0 on the host-fallback
+  /// path — the device never ran it to completion). The cluster throughput
+  /// accounting sums these per shard.
+  double makespan_seconds = 0;
 };
 
 /// Scans a coalesced superbatch through the engine and partitions the

@@ -62,29 +62,35 @@ struct MetricHandles {
   telemetry::Histogram* batch_chunks = nullptr;
   telemetry::Histogram* batch_scan_ns = nullptr;
 
-  void resolve(telemetry::MetricsRegistry& reg) {
-    opened = &reg.counter("serve.sessions.opened");
-    closed = &reg.counter("serve.sessions.closed");
-    evicted = &reg.counter("serve.sessions.evicted");
-    feeds_accepted = &reg.counter("serve.feeds.accepted");
-    feeds_rejected = &reg.counter("serve.feeds.rejected");
-    quota_rejects = &reg.counter("serve.feeds.quota_rejected");
-    feed_bytes = &reg.counter("serve.feed.bytes");
-    batches = &reg.counter("serve.batches");
-    host_fallbacks = &reg.counter("serve.scan.host_fallbacks");
-    matches_delivered = &reg.counter("serve.matches.delivered");
-    matches_spanning = &reg.counter("serve.matches.spanning");
-    matches_dropped_quota = &reg.counter("serve.matches.dropped_quota");
-    matches_dropped_closed = &reg.counter("serve.matches.dropped_closed");
-    drains = &reg.counter("serve.drains");
-    live = &reg.gauge("serve.sessions.live");
-    queue_depth_chunks = &reg.gauge("serve.queue.depth_chunks");
-    queue_depth_bytes = &reg.gauge("serve.queue.depth_bytes");
-    queue_max_depth = &reg.gauge("serve.queue.max_depth_chunks");
-    feed_latency = &reg.histogram("serve.feed.latency_ns");
-    batch_bytes = &reg.histogram("serve.batch.bytes");
-    batch_chunks = &reg.histogram("serve.batch.chunks");
-    batch_scan_ns = &reg.histogram("serve.batch.scan_ns");
+  telemetry::Counter* exported = nullptr;
+  telemetry::Counter* imported = nullptr;
+
+  void resolve(telemetry::MetricsRegistry& reg, const std::string& prefix) {
+    const auto name = [&](const char* series) { return prefix + series; };
+    opened = &reg.counter(name("serve.sessions.opened"));
+    closed = &reg.counter(name("serve.sessions.closed"));
+    evicted = &reg.counter(name("serve.sessions.evicted"));
+    exported = &reg.counter(name("serve.sessions.exported"));
+    imported = &reg.counter(name("serve.sessions.imported"));
+    feeds_accepted = &reg.counter(name("serve.feeds.accepted"));
+    feeds_rejected = &reg.counter(name("serve.feeds.rejected"));
+    quota_rejects = &reg.counter(name("serve.feeds.quota_rejected"));
+    feed_bytes = &reg.counter(name("serve.feed.bytes"));
+    batches = &reg.counter(name("serve.batches"));
+    host_fallbacks = &reg.counter(name("serve.scan.host_fallbacks"));
+    matches_delivered = &reg.counter(name("serve.matches.delivered"));
+    matches_spanning = &reg.counter(name("serve.matches.spanning"));
+    matches_dropped_quota = &reg.counter(name("serve.matches.dropped_quota"));
+    matches_dropped_closed = &reg.counter(name("serve.matches.dropped_closed"));
+    drains = &reg.counter(name("serve.drains"));
+    live = &reg.gauge(name("serve.sessions.live"));
+    queue_depth_chunks = &reg.gauge(name("serve.queue.depth_chunks"));
+    queue_depth_bytes = &reg.gauge(name("serve.queue.depth_bytes"));
+    queue_max_depth = &reg.gauge(name("serve.queue.max_depth_chunks"));
+    feed_latency = &reg.histogram(name("serve.feed.latency_ns"));
+    batch_bytes = &reg.histogram(name("serve.batch.bytes"));
+    batch_chunks = &reg.histogram(name("serve.batch.chunks"));
+    batch_scan_ns = &reg.histogram(name("serve.batch.scan_ns"));
   }
 };
 
@@ -121,7 +127,7 @@ struct StreamService::Impl {
         boundary(options.engine.variant == pipeline::KernelVariant::kPfac
                      ? BoundaryMode::kPfacTail
                      : BoundaryMode::kDfaState),
-        manager(options.max_sessions),
+        manager(options.max_sessions, options.session_id_namespace),
         scheduler([&] {
           SchedulerOptions so;
           so.max_queue_bytes = options.max_queue_bytes;
@@ -140,7 +146,7 @@ struct StreamService::Impl {
       scheduler.attach_observer(options.host_observer);
     }
     if (options.metrics != nullptr) {
-      m.resolve(*options.metrics);
+      m.resolve(*options.metrics, options.metrics_prefix);
       has_metrics = true;
     }
     if (options.background) worker = std::thread([this] { worker_loop(); });
@@ -180,6 +186,7 @@ struct StreamService::Impl {
     const std::uint64_t scan_ns = clock.nanos();
 
     ++stats.batches;
+    stats.sim_scan_seconds += scan.makespan_seconds;
     if (scan.host_fallback) ++stats.host_fallbacks;
     std::uint64_t delivered = 0, dropped_quota = 0, dropped_closed = 0;
     for (const BatchScan::Delivery& d : scan.matches) {
@@ -274,7 +281,9 @@ Result<StreamService> StreamService::create(const ac::PatternSet& patterns,
                                             const ServeOptions& options) {
   if (Status s = options.validate(); !s) return s;
   const ServeOptions opts = with_forwarded_observer(options);
-  Result<Engine> engine = Engine::create(patterns, opts.engine);
+  Result<Engine> engine =
+      opts.device != nullptr ? Engine::create(*opts.device, patterns, opts.engine)
+                             : Engine::create(patterns, opts.engine);
   if (!engine.is_ok()) return engine.status();
   std::unique_ptr<ac::PfacAutomaton> pfac;
   if (opts.engine.variant == pipeline::KernelVariant::kPfac) {
@@ -292,7 +301,10 @@ Result<StreamService> StreamService::create(ac::Dfa dfa,
                                             const ServeOptions& options) {
   if (Status s = options.validate(); !s) return s;
   const ServeOptions opts = with_forwarded_observer(options);
-  Result<Engine> engine = Engine::create(std::move(dfa), opts.engine);
+  Result<Engine> engine =
+      opts.device != nullptr
+          ? Engine::create(*opts.device, std::move(dfa), opts.engine)
+          : Engine::create(std::move(dfa), opts.engine);
   if (!engine.is_ok()) return engine.status();
   return StreamService(
       std::make_unique<Impl>(opts, std::move(engine).value(), nullptr));
@@ -417,6 +429,63 @@ Status StreamService::close(SessionId id) {
   im.publish_queue_locked();
   if (im.has_metrics) {
     im.m.closed->add(1);
+    im.m.live->set(static_cast<double>(im.manager.live()));
+  }
+  return Status::ok();
+}
+
+Result<SessionSnapshot> StreamService::export_session(SessionId id) {
+  Impl& im = *impl_;
+  std::unique_lock<gpusim::TrackedMutex> lk(im.mu);
+  Session* s = im.manager.find(id);
+  if (s == nullptr)
+    return Status::invalid_argument("unknown session id " + std::to_string(id) +
+                                    " (never opened, closed, or evicted)");
+  // A snapshot taken while the session still has chunks queued (or inside
+  // the batch being scanned right now) would silently lose their matches:
+  // the session's carried state already advanced at feed time, but the bulk
+  // deliveries only arrive when the batch is scanned.
+  if (im.scheduler.queued_for(id) > 0 || im.in_flight)
+    return Status::overloaded(
+        "session " + std::to_string(id) +
+        " still has queued or in-flight chunks; drain() before exporting");
+  SessionSnapshot snapshot = s->snapshot();
+  im.manager.close(id);
+  ++im.stats.sessions_exported;
+  im.stats.sessions_live = im.manager.live();
+  if (im.has_metrics) {
+    im.m.exported->add(1);
+    im.m.live->set(static_cast<double>(im.manager.live()));
+  }
+  return snapshot;
+}
+
+Status StreamService::import_session(const SessionSnapshot& snapshot) {
+  Impl& im = *impl_;
+  std::unique_lock<gpusim::TrackedMutex> lk(im.mu);
+  if (!im.accepting)
+    return Status::invalid_argument("StreamService is shut down");
+  if (snapshot.mode != im.boundary)
+    return Status::invalid_argument(
+        "snapshot boundary mode does not match this service's engine "
+        "variant (" + std::string(to_string(snapshot.mode)) + " vs " +
+        to_string(im.boundary) + ")");
+  if (im.manager.find(snapshot.id) != nullptr)
+    return Status::invalid_argument("session id " +
+                                    std::to_string(snapshot.id) +
+                                    " is already live here");
+  std::optional<SessionId> evicted;
+  im.manager.adopt(snapshot, im.engine.dfa(), im.pfac.get(), &evicted);
+  ++im.stats.sessions_imported;
+  im.stats.sessions_live = im.manager.live();
+  if (evicted.has_value()) {
+    ++im.stats.sessions_evicted;
+    im.scheduler.forget(*evicted);
+    im.publish_queue_locked();
+  }
+  if (im.has_metrics) {
+    im.m.imported->add(1);
+    if (evicted.has_value()) im.m.evicted->add(1);
     im.m.live->set(static_cast<double>(im.manager.live()));
   }
   return Status::ok();

@@ -73,6 +73,18 @@ struct ServeOptions {
   /// carry live DFA state.
   EngineOptions engine;
 
+  /// The device to bind the engine to. Null = the service creates a private
+  /// device from the deprecated EngineOptions::gpu/device_memory_bytes
+  /// fields (the pre-cluster behavior). The cluster tier passes one
+  /// externally owned acgpu::Device per shard; it must outlive the service.
+  Device* device = nullptr;
+
+  /// Offset for generated session ids (ids are namespace+1, namespace+2,
+  /// ...). 0 keeps the classic deterministic 1,2,3 sequence; the cluster
+  /// tier gives each shard a disjoint high-bits namespace so ids stay
+  /// globally unique — and deterministic — across devices.
+  std::uint64_t session_id_namespace = 0;
+
   /// Live-session cap (LRU eviction beyond it).
   std::uint32_t max_sessions = 1024;
   /// Quotas stamped onto every session at open().
@@ -90,6 +102,10 @@ struct ServeOptions {
   /// serve.* series sink; null = off. (Engine telemetry is configured
   /// separately through engine.telemetry.)
   telemetry::MetricsRegistry* metrics = nullptr;
+  /// Prepended to every published series name ("device.3." =>
+  /// device.3.serve.batches). The cluster tier sets one per shard; "" keeps
+  /// the classic single-service names.
+  std::string metrics_prefix;
 
   /// Hostcheck audit hook (gpusim/host_observer.h): when set, the service
   /// mutex, the scheduler/session-manager leaf mutexes, and — unless
@@ -118,6 +134,11 @@ struct ServiceStats {
   std::uint64_t queued_bytes = 0;
   std::uint64_t max_queue_depth_chunks = 0;
   std::uint64_t drains = 0;
+  std::uint64_t sessions_exported = 0;  ///< migrated out (cluster rebalance)
+  std::uint64_t sessions_imported = 0;  ///< migrated in
+  /// Simulated device seconds across every superbatch scan — the shard's
+  /// share of cluster device time (host fallbacks contribute nothing).
+  double sim_scan_seconds = 0;
 };
 
 class StreamService {
@@ -154,6 +175,19 @@ class StreamService {
 
   /// Destroys the session and forgets its queued chunks.
   Status close(SessionId id);
+
+  /// Migration out: snapshots the session's portable state (carried
+  /// automaton context, stats, unpolled matches) and closes it here. Fails
+  /// kOverloaded while the session still has queued or in-flight chunks —
+  /// drain() first, or the snapshot would lose their matches. The cluster
+  /// Router drives this during rebalance; see docs/CLUSTER.md.
+  Result<SessionSnapshot> export_session(SessionId id);
+
+  /// Migration in: restores an exported session under its ORIGINAL id (may
+  /// LRU-evict, like open). Fails kInvalidArgument when the id is already
+  /// live here, the boundary mode does not match this service's engine
+  /// variant, or the service is shut down.
+  Status import_session(const SessionSnapshot& snapshot);
 
   /// Synchronous mode: scan one coalesced superbatch inline (how kReject
   /// callers make room). No-op when the queue is empty; invalid in

@@ -19,6 +19,27 @@ Session::Session(SessionId id, const ac::Dfa& dfa, const ac::PfacAutomaton* pfac
               "session " << id << ": kPfacTail needs a PfacAutomaton");
 }
 
+Session::Session(const SessionSnapshot& snapshot, const ac::Dfa& dfa,
+                 const ac::PfacAutomaton* pfac)
+    : Session(snapshot.id, dfa, pfac, snapshot.mode, snapshot.limits) {
+  state_ = snapshot.dfa_state;
+  tail_ = snapshot.tail;
+  stats_ = snapshot.stats;
+  matches_ = snapshot.matches;
+}
+
+SessionSnapshot Session::snapshot() const {
+  SessionSnapshot out;
+  out.id = id_;
+  out.mode = mode_;
+  out.dfa_state = state_;
+  out.tail = tail_;
+  out.limits = limits_;
+  out.stats = stats_;
+  out.matches = matches_;
+  return out;
+}
+
 Status Session::admit_bytes(std::uint64_t n) const {
   if (limits_.max_bytes != 0 && stats_.bytes_fed + n > limits_.max_bytes)
     return Status::capacity_exceeded(

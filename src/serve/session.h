@@ -67,12 +67,39 @@ struct SessionStats {
   bool truncated = false;               ///< match quota was hit at least once
 };
 
+/// A session's full portable state: everything needed to continue the
+/// stream on ANOTHER service/device with identical results. The cluster
+/// tier's rebalance protocol is export_session() on the failed shard ->
+/// import_session() on a healthy one; because the carried state is O(max
+/// pattern length) and the buffered matches are whatever the client has not
+/// polled yet, a snapshot is small no matter how many bytes were fed.
+struct SessionSnapshot {
+  SessionId id = 0;
+  BoundaryMode mode = BoundaryMode::kDfaState;
+  std::int32_t dfa_state = 0;  ///< kDfaState carried state
+  std::string tail;            ///< kPfacTail carried history
+  SessionLimits limits;
+  SessionStats stats;               ///< bytes_fed continues global offsets
+  std::vector<ac::Match> matches;   ///< buffered, not yet polled
+};
+
 class Session {
  public:
   /// `dfa` must outlive the session; `pfac` is required (and used) only in
   /// kPfacTail mode.
   Session(SessionId id, const ac::Dfa& dfa, const ac::PfacAutomaton* pfac,
           BoundaryMode mode, const SessionLimits& limits);
+
+  /// Restores a migrated session from its snapshot (same id, carried state,
+  /// stats, and buffered matches). The snapshot's mode must match the
+  /// automata handed in, exactly as for the fresh constructor.
+  Session(const SessionSnapshot& snapshot, const ac::Dfa& dfa,
+          const ac::PfacAutomaton* pfac);
+
+  /// Portable copy of the session's state (see SessionSnapshot). Leaves the
+  /// session untouched; the caller (StreamService::export_session) closes
+  /// it afterwards so exactly one home exists per stream.
+  SessionSnapshot snapshot() const;
 
   SessionId id() const { return id_; }
   BoundaryMode mode() const { return mode_; }

@@ -4,14 +4,13 @@
 
 namespace acgpu::serve {
 
-SessionManager::SessionManager(std::uint32_t capacity) : capacity_(capacity) {
+SessionManager::SessionManager(std::uint32_t capacity, std::uint64_t id_namespace)
+    : capacity_(capacity), next_id_(id_namespace + 1) {
   ACGPU_CHECK(capacity_ >= 1, "SessionManager capacity must be >= 1, got " << capacity);
 }
 
-Session& SessionManager::open(const ac::Dfa& dfa, const ac::PfacAutomaton* pfac,
-                              BoundaryMode mode, const SessionLimits& limits,
-                              std::optional<SessionId>* evicted) {
-  std::scoped_lock lock(mu_);
+Session& SessionManager::insert_locked(SessionId id, Session session,
+                                       std::optional<SessionId>* evicted) {
   if (evicted != nullptr) evicted->reset();
   if (sessions_.size() >= capacity_) {
     const SessionId victim = lru_.back();
@@ -20,13 +19,27 @@ Session& SessionManager::open(const ac::Dfa& dfa, const ac::PfacAutomaton* pfac,
     ++evicted_;
     if (evicted != nullptr) *evicted = victim;
   }
-  const SessionId id = next_id_++;
   ++opened_;
   lru_.push_front(id);
   auto [it, inserted] = sessions_.try_emplace(
-      id, Entry{Session(id, dfa, pfac, mode, limits), lru_.begin()});
+      id, Entry{std::move(session), lru_.begin()});
   ACGPU_CHECK(inserted, "session id " << id << " already live");
   return it->second.session;
+}
+
+Session& SessionManager::open(const ac::Dfa& dfa, const ac::PfacAutomaton* pfac,
+                              BoundaryMode mode, const SessionLimits& limits,
+                              std::optional<SessionId>* evicted) {
+  std::scoped_lock lock(mu_);
+  const SessionId id = next_id_++;
+  return insert_locked(id, Session(id, dfa, pfac, mode, limits), evicted);
+}
+
+Session& SessionManager::adopt(const SessionSnapshot& snapshot, const ac::Dfa& dfa,
+                               const ac::PfacAutomaton* pfac,
+                               std::optional<SessionId>* evicted) {
+  std::scoped_lock lock(mu_);
+  return insert_locked(snapshot.id, Session(snapshot, dfa, pfac), evicted);
 }
 
 Session* SessionManager::touch(SessionId id) {

@@ -25,14 +25,27 @@ namespace acgpu::serve {
 
 class SessionManager {
  public:
-  /// At most `capacity` live sessions (>= 1).
-  explicit SessionManager(std::uint32_t capacity);
+  /// At most `capacity` live sessions (>= 1). `id_namespace` offsets every
+  /// generated id (namespace+1, namespace+2, ...): 0 keeps the classic
+  /// 1,2,3 sequence, and the cluster tier gives each shard a disjoint
+  /// high-bits namespace so ids are globally unique across devices
+  /// (deterministically — shard k's n-th open always gets the same id).
+  explicit SessionManager(std::uint32_t capacity,
+                          std::uint64_t id_namespace = 0);
 
   /// Opens a new session (most-recently-used position). At capacity, the
   /// LRU session is destroyed first and its id reported via `evicted`.
   Session& open(const ac::Dfa& dfa, const ac::PfacAutomaton* pfac,
                 BoundaryMode mode, const SessionLimits& limits,
                 std::optional<SessionId>* evicted = nullptr);
+
+  /// Inserts a migrated session restored from `snapshot`, preserving its
+  /// id (which another manager generated — that is the point). Fails the
+  /// process on an id collision with a live session; at capacity the LRU
+  /// session is evicted exactly as in open().
+  Session& adopt(const SessionSnapshot& snapshot, const ac::Dfa& dfa,
+                 const ac::PfacAutomaton* pfac,
+                 std::optional<SessionId>* evicted = nullptr);
 
   /// Looks a session up and marks it most recently used. Returns nullptr
   /// for ids that were never opened, were closed, or were evicted.
@@ -64,6 +77,9 @@ class SessionManager {
     Session session;
     std::list<SessionId>::iterator lru_pos;
   };
+
+  Session& insert_locked(SessionId id, Session session,
+                         std::optional<SessionId>* evicted);
 
   /// Leaf mutex over the session table mutators; see attach_observer.
   mutable gpusim::TrackedMutex mu_{"serve.manager.mu"};

@@ -31,6 +31,7 @@ enum class StatusCode {
   kInvalidArgument,   ///< caller passed something the API rejects
   kCapacityExceeded,  ///< fixed buffer/queue/device budget too small
   kOverloaded,        ///< transient backpressure: retry after the queue drains
+  kUnavailable,       ///< target device/shard is marked failed or draining
   kInternal,          ///< invariant broke inside the library
 };
 
@@ -40,6 +41,7 @@ inline const char* to_string(StatusCode code) {
     case StatusCode::kInvalidArgument: return "invalid_argument";
     case StatusCode::kCapacityExceeded: return "capacity_exceeded";
     case StatusCode::kOverloaded: return "overloaded";
+    case StatusCode::kUnavailable: return "unavailable";
     case StatusCode::kInternal: return "internal";
   }
   return "?";
@@ -66,6 +68,12 @@ class [[nodiscard]] Status {
   /// up. The streaming session service (serve/) is the main producer.
   static Status overloaded(std::string msg) {
     return Status(StatusCode::kOverloaded, std::move(msg));
+  }
+  /// The target device or shard is failed/draining (cluster tier). Unlike
+  /// kOverloaded, retrying the SAME target will not help — route elsewhere
+  /// or restore the device first.
+  static Status unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
   static Status internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));

@@ -1,0 +1,64 @@
+// K-way match-stream merge (cluster/merge.h): ordering, determinism across
+// equal keys, and the seam-interleaving case the Router actually produces.
+#include "cluster/merge.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace acgpu::cluster {
+namespace {
+
+ac::Match m(std::uint64_t end, std::int32_t pattern) { return {end, pattern}; }
+
+TEST(ClusterMerge, EmptyAndSinglePart) {
+  EXPECT_TRUE(merge_sorted({}).empty());
+  EXPECT_TRUE(merge_sorted({{}, {}, {}}).empty());
+  const std::vector<ac::Match> one = {m(3, 0), m(7, 1)};
+  EXPECT_EQ(merge_sorted({one}), one);
+}
+
+TEST(ClusterMerge, InterleavesSeamStraddlers) {
+  // Shard 0 owns [0, 10) but a late straddler ends at 12, inside shard 1's
+  // slab — exactly the interleaving the overlap carry produces.
+  const std::vector<ac::Match> shard0 = {m(4, 0), m(12, 2)};
+  const std::vector<ac::Match> shard1 = {m(11, 1), m(15, 0)};
+  const std::vector<ac::Match> merged = merge_sorted({shard0, shard1});
+  const std::vector<ac::Match> expected = {m(4, 0), m(11, 1), m(12, 2),
+                                           m(15, 0)};
+  EXPECT_EQ(merged, expected);
+}
+
+TEST(ClusterMerge, EqualKeysKeptOnceEachMergeIsStableByShard) {
+  // Identical (end, pattern) in different parts: both survive (the Router's
+  // ownership filter guarantees this never happens across a seam, but the
+  // merge itself must not drop or reorder duplicates).
+  const std::vector<ac::Match> merged =
+      merge_sorted({{m(5, 1)}, {m(5, 1)}, {m(5, 0)}});
+  const std::vector<ac::Match> expected = {m(5, 0), m(5, 1), m(5, 1)};
+  EXPECT_EQ(merged, expected);
+}
+
+TEST(ClusterMerge, RandomizedAgainstSort) {
+  Rng rng(0xc157e4);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t parts_n = 1 + rng.next_below(7);
+    std::vector<std::vector<ac::Match>> parts(parts_n);
+    std::vector<ac::Match> all;
+    for (auto& part : parts) {
+      const std::size_t n = rng.next_below(40);
+      for (std::size_t i = 0; i < n; ++i)
+        part.push_back(m(rng.next_below(1000), static_cast<std::int32_t>(rng.next_below(8))));
+      std::sort(part.begin(), part.end());
+      all.insert(all.end(), part.begin(), part.end());
+    }
+    std::sort(all.begin(), all.end());
+    EXPECT_EQ(merge_sorted(std::move(parts)), all);
+  }
+}
+
+}  // namespace
+}  // namespace acgpu::cluster

@@ -1,0 +1,290 @@
+// cluster::Router: session affinity and globally unique ids, the bulk
+// scatter/gather scan with exactly-once seam semantics, fail-stop and
+// graceful rebalances with zero lost/duplicated matches, topology guards,
+// and the router.*/device.N.* telemetry series.
+#include "cluster/router.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ac/serial_matcher.h"
+#include "telemetry/metrics_registry.h"
+#include "util/rng.h"
+
+namespace acgpu::cluster {
+namespace {
+
+ClusterOptions fast_cluster(std::uint32_t devices) {
+  ClusterOptions opt;
+  opt.devices = devices;
+  opt.engine.mode = gpusim::SimMode::Functional;
+  opt.engine.gpu.num_sms = 4;
+  opt.engine.device_memory_bytes = 64u << 20;
+  opt.engine.threads_per_block = 64;
+  return opt;
+}
+
+Router make_router(const std::vector<std::string>& patterns,
+                   const ClusterOptions& opt) {
+  auto r = Router::create(ac::PatternSet(patterns), opt);
+  ACGPU_CHECK(r.is_ok(), r.status().to_string());
+  return std::move(r).value();
+}
+
+std::vector<ac::Match> reference(const Router& router, const std::string& text) {
+  std::vector<ac::Match> expected = ac::find_all(router.dfa(), text);
+  ac::normalize_matches(expected);
+  return expected;
+}
+
+std::string herd_text() {
+  std::string text;
+  for (int i = 0; i < 200; ++i) text += "ushers and sheep hide his herbs ";
+  return text;
+}
+
+TEST(ClusterRouter, ValidatesOptions) {
+  ClusterOptions opt = fast_cluster(0);
+  EXPECT_FALSE(opt.validate().is_ok());
+  opt = fast_cluster(65);
+  EXPECT_FALSE(opt.validate().is_ok());
+  opt = fast_cluster(2);
+  opt.engine.telemetry.metrics_prefix = "mine.";
+  EXPECT_FALSE(opt.validate().is_ok());
+  EXPECT_TRUE(fast_cluster(2).validate().is_ok());
+  EXPECT_FALSE(
+      Router::create(ac::PatternSet(std::vector<std::string>{}), fast_cluster(2))
+          .is_ok());
+}
+
+TEST(ClusterRouter, OpenSpreadsSessionsAndIdsAreGloballyUnique) {
+  Router router = make_router({"he"}, fast_cluster(4));
+  std::set<serve::SessionId> ids;
+  for (int i = 0; i < 8; ++i) {
+    const serve::SessionId id = router.open().value();
+    EXPECT_TRUE(ids.insert(id).second) << "duplicate session id " << id;
+  }
+  // Least-loaded placement: 8 sessions over 4 shards = exactly 2 each.
+  for (std::uint32_t k = 0; k < 4; ++k)
+    EXPECT_EQ(router.shard_stats(k).value().homed_sessions, 2u);
+  // Ids are deterministic: shard k's n-th session is ((k+1)<<48)+n.
+  EXPECT_TRUE(ids.count((1ull << 48) + 1));
+  EXPECT_TRUE(ids.count((2ull << 48) + 1));
+  EXPECT_TRUE(ids.count((3ull << 48) + 2));
+  EXPECT_TRUE(ids.count((4ull << 48) + 2));
+}
+
+TEST(ClusterRouter, SessionPathMatchesSerialReference) {
+  Router router = make_router({"he", "she", "his", "hers"}, fast_cluster(2));
+  const std::string text = herd_text();
+  const serve::SessionId id = router.open().value();
+  for (std::size_t pos = 0; pos < text.size(); pos += 7)
+    ASSERT_TRUE(router.feed(id, std::string_view(text).substr(pos, 7)).is_ok());
+  ASSERT_TRUE(router.drain().is_ok());
+  EXPECT_EQ(router.poll(id).value(), reference(router, text));
+}
+
+TEST(ClusterRouter, BulkScanMatchesSerialReferenceAcrossDeviceCounts) {
+  const std::string text = herd_text();
+  for (std::uint32_t devices : {1u, 2u, 3u, 4u}) {
+    Router router =
+        make_router({"he", "she", "his", "hers", "sheep"}, fast_cluster(devices));
+    const auto scan = router.scan(text);
+    ASSERT_TRUE(scan.is_ok()) << scan.status().to_string();
+    EXPECT_EQ(scan.value().devices_used, devices);
+    EXPECT_EQ(scan.value().matches, reference(router, text))
+        << "devices=" << devices;
+    EXPECT_EQ(scan.value().per_device_seconds.size(), devices);
+  }
+}
+
+TEST(ClusterRouter, BulkScanSeamStraddlersExactlyOnce) {
+  // A long pattern placed to straddle every slab seam for 2..5 devices.
+  const std::string needle = "abcdefghij";
+  std::string text(1000, 'x');
+  for (std::size_t pos : {245u, 495u, 745u, 330u, 660u})
+    text.replace(pos, needle.size(), needle);
+  for (std::uint32_t devices : {2u, 3u, 4u, 5u}) {
+    Router router = make_router({needle}, fast_cluster(devices));
+    const auto scan = router.scan(text);
+    ASSERT_TRUE(scan.is_ok());
+    EXPECT_EQ(scan.value().matches, reference(router, text))
+        << "devices=" << devices;
+  }
+}
+
+TEST(ClusterRouter, EmptyScanAndEmptyPollAreFine) {
+  Router router = make_router({"he"}, fast_cluster(2));
+  EXPECT_TRUE(router.scan("").value().matches.empty());
+  const serve::SessionId id = router.open().value();
+  EXPECT_TRUE(router.poll(id).value().empty());
+  EXPECT_EQ(router.feed(999, "x").code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ClusterRouter, MarkFailedMigratesSessionsWithoutLosingMatches) {
+  Router router = make_router({"he", "she", "hers"}, fast_cluster(2));
+  const std::string text = herd_text();
+  const std::vector<ac::Match> expected = reference(router, text);
+
+  // Two sessions, one per shard; feed the first half to both.
+  const serve::SessionId a = router.open().value();
+  const serve::SessionId b = router.open().value();
+  EXPECT_NE(router.shard_of(a).value(), router.shard_of(b).value());
+  const std::size_t half = text.size() / 2;
+  for (std::size_t pos = 0; pos < half; pos += 7) {
+    ASSERT_TRUE(router.feed(a, std::string_view(text).substr(pos, std::min<std::size_t>(7, half - pos))).is_ok());
+    ASSERT_TRUE(router.feed(b, std::string_view(text).substr(pos, std::min<std::size_t>(7, half - pos))).is_ok());
+  }
+
+  // Fail the shard homing `a` mid-stream; its session must migrate.
+  const std::uint32_t failed_shard = router.shard_of(a).value();
+  ASSERT_TRUE(router.mark_failed(failed_shard).is_ok());
+  ASSERT_TRUE(router.mark_failed(failed_shard).is_ok());  // idempotent
+  EXPECT_NE(router.shard_of(a).value(), failed_shard);
+  EXPECT_EQ(router.stats().rebalances, 1u);
+  EXPECT_EQ(router.stats().sessions_rebalanced, 1u);
+  EXPECT_EQ(router.stats().healthy_shards, 1u);
+
+  // Both streams finish on the surviving shard — same id, same matches.
+  for (std::size_t pos = half; pos < text.size(); pos += 7) {
+    ASSERT_TRUE(router.feed(a, std::string_view(text).substr(pos, 7)).is_ok());
+    ASSERT_TRUE(router.feed(b, std::string_view(text).substr(pos, 7)).is_ok());
+  }
+  ASSERT_TRUE(router.drain().is_ok());
+  EXPECT_EQ(router.poll(a).value(), expected);
+  EXPECT_EQ(router.poll(b).value(), expected);
+}
+
+TEST(ClusterRouter, MigrationPreservesBoundarySpanningMatches) {
+  // The carried DFA state must travel with the session: "hers" split as
+  // "he" before the failure and "rs" after it is found iff the export
+  // snapshot carried the automaton state across devices.
+  Router router = make_router({"hers"}, fast_cluster(2));
+  const serve::SessionId id = router.open().value();
+  ASSERT_TRUE(router.feed(id, "xxhe").is_ok());
+  ASSERT_TRUE(router.drain().is_ok());  // state now mid-pattern
+  const std::uint32_t home = router.shard_of(id).value();
+  ASSERT_TRUE(router.mark_failed(home).is_ok());
+  ASSERT_TRUE(router.feed(id, "rsxx").is_ok());
+  ASSERT_TRUE(router.drain().is_ok());
+  const std::vector<ac::Match> expected = {{5, 0}};
+  EXPECT_EQ(router.poll(id).value(), expected);
+}
+
+TEST(ClusterRouter, LastHealthyShardCannotFailOrDrain) {
+  Router router = make_router({"he"}, fast_cluster(2));
+  ASSERT_TRUE(router.mark_failed(0).is_ok());
+  EXPECT_EQ(router.mark_failed(1).code(), StatusCode::kUnavailable);
+  EXPECT_EQ(router.drain_shard(1).code(), StatusCode::kUnavailable);
+  EXPECT_EQ(router.mark_failed(7).code(), StatusCode::kInvalidArgument);
+  // Restore shard 0 and the cluster is 2-healthy again.
+  ASSERT_TRUE(router.restore(0).is_ok());
+  EXPECT_EQ(router.stats().healthy_shards, 2u);
+  EXPECT_TRUE(router.mark_failed(1).is_ok());
+}
+
+TEST(ClusterRouter, FailedShardExcludedFromBulkScanThenReadmitted) {
+  const std::string text = herd_text();
+  Router router = make_router({"he", "she"}, fast_cluster(3));
+  ASSERT_TRUE(router.mark_failed(1).is_ok());
+  const auto degraded = router.scan(text);
+  ASSERT_TRUE(degraded.is_ok());
+  EXPECT_EQ(degraded.value().devices_used, 2u);
+  EXPECT_EQ(degraded.value().matches, reference(router, text));
+  ASSERT_TRUE(router.restore(1).is_ok());
+  EXPECT_EQ(router.scan(text).value().devices_used, 3u);
+}
+
+TEST(ClusterRouter, DrainShardIsGracefulAndNewSessionsAvoidIt) {
+  Router router = make_router({"he"}, fast_cluster(2));
+  const serve::SessionId id = router.open().value();
+  const std::uint32_t home = router.shard_of(id).value();
+  ASSERT_TRUE(router.feed(id, "ushers").is_ok());
+  ASSERT_TRUE(router.drain_shard(home).is_ok());
+  EXPECT_NE(router.shard_of(id).value(), home);
+  // The drained shard's device is still healthy — restore() is about
+  // admission, not device health.
+  EXPECT_FALSE(router.shard_stats(home).value().failed);
+  EXPECT_TRUE(router.shard_stats(home).value().draining);
+  for (int i = 0; i < 4; ++i)
+    EXPECT_NE(router.shard_of(router.open().value()).value(), home);
+  ASSERT_TRUE(router.drain().is_ok());
+  EXPECT_EQ(router.poll(id).value().size(), 1u);
+}
+
+TEST(ClusterRouter, CloseForgetsTheSession) {
+  Router router = make_router({"he"}, fast_cluster(2));
+  const serve::SessionId id = router.open().value();
+  ASSERT_TRUE(router.close(id).is_ok());
+  EXPECT_EQ(router.feed(id, "x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(router.close(id).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(router.stats().sessions_live, 0u);
+}
+
+TEST(ClusterRouter, ShutdownStopsAdmission) {
+  Router router = make_router({"he"}, fast_cluster(2));
+  const serve::SessionId id = router.open().value();
+  ASSERT_TRUE(router.feed(id, "ushers").is_ok());
+  router.shutdown();
+  router.shutdown();  // idempotent
+  EXPECT_FALSE(router.open().is_ok());
+  EXPECT_FALSE(router.scan("x").is_ok());
+  // Accepted work drained on shutdown and is still pollable.
+  EXPECT_EQ(router.poll(id).value().size(), 1u);
+}
+
+TEST(ClusterRouter, PublishesRouterAndPerDeviceSeries) {
+  telemetry::MetricsRegistry registry;
+  ClusterOptions opt = fast_cluster(2);
+  opt.metrics = &registry;
+  Router router = make_router({"he", "she"}, opt);
+  const serve::SessionId id = router.open().value();
+  ASSERT_TRUE(router.feed(id, "ushers ushers").is_ok());
+  ASSERT_TRUE(router.drain().is_ok());
+  ASSERT_TRUE(router.scan(herd_text()).is_ok());
+  ASSERT_TRUE(router.mark_failed(router.shard_of(id).value()).is_ok());
+
+  const auto snapshot = registry.snapshot();
+  for (const char* name :
+       {"router.sessions.opened", "router.feeds", "router.feed.bytes",
+        "router.scans", "router.rebalances", "router.sessions.rebalanced",
+        "router.matches.merged", "router.shards", "router.healthy_shards",
+        "router.sessions.live", "router.scan.makespan_seconds",
+        "router.scan.throughput_gbps", "device.0.serve.sessions.opened",
+        "device.1.serve.sessions.opened", "device.0.pipeline.runs",
+        "device.1.pipeline.runs"})
+    EXPECT_TRUE(snapshot.value(name).has_value()) << name;
+  EXPECT_EQ(snapshot.value("router.shards"), 2.0);
+  EXPECT_EQ(snapshot.value("router.healthy_shards"), 1.0);
+  EXPECT_EQ(snapshot.value("router.rebalances"), 1.0);
+  // Classic un-prefixed single-device series must NOT appear: every shard
+  // publishes under its own device.N. namespace.
+  EXPECT_FALSE(snapshot.value("serve.sessions.opened").has_value());
+  EXPECT_FALSE(snapshot.value("pipeline.runs").has_value());
+}
+
+TEST(ClusterRouter, StatsRollUp) {
+  Router router = make_router({"he"}, fast_cluster(4));
+  for (int i = 0; i < 6; ++i) router.open().value();
+  const RouterStats stats = router.stats();
+  EXPECT_EQ(stats.shards, 4u);
+  EXPECT_EQ(stats.healthy_shards, 4u);
+  EXPECT_EQ(stats.sessions_opened, 6u);
+  EXPECT_EQ(stats.sessions_live, 6u);
+  EXPECT_EQ(router.shard_count(), 4u);
+  // Device identities are distinct, names are per-shard deterministic.
+  std::set<std::uint32_t> device_ids;
+  for (std::uint32_t k = 0; k < 4; ++k) {
+    const ShardStats shard = router.shard_stats(k).value();
+    EXPECT_EQ(shard.shard, k);
+    device_ids.insert(shard.device_id);
+    EXPECT_EQ(shard.device_name, "device." + std::to_string(k));
+  }
+  EXPECT_EQ(device_ids.size(), 4u);
+}
+
+}  // namespace
+}  // namespace acgpu::cluster

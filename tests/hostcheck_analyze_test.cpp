@@ -140,7 +140,7 @@ TEST(HostcheckAnalyze, DisjointRangesAreNotAConflict) {
 
 TEST(HostcheckAnalyze, DoubleLeaseDetected) {
   Recorder rec;
-  const std::uint32_t pool = rec.register_pool("upload", 2, 64);
+  const std::uint32_t pool = rec.register_pool("upload", 2, 64, 0);
   rec.on_lease(HostLeaseRecord{pool, 0, 0x100, 64, 0.0});
   rec.on_lease(HostLeaseRecord{pool, 0, 0x100, 64, 0.0});
   const HostAuditReport report = analyze(rec.trace());
@@ -151,7 +151,7 @@ TEST(HostcheckAnalyze, DoubleLeaseDetected) {
 
 TEST(HostcheckAnalyze, LeakedLeaseDetected) {
   Recorder rec;
-  const std::uint32_t pool = rec.register_pool("upload", 2, 64);
+  const std::uint32_t pool = rec.register_pool("upload", 2, 64, 0);
   rec.on_lease(HostLeaseRecord{pool, 0, 0x100, 64, 0.0});
   rec.on_lease(HostLeaseRecord{pool, 1, 0x200, 64, 0.0});
   rec.on_release(HostReleaseRecord{pool, 0, 1.0});
@@ -206,6 +206,42 @@ TEST(HostcheckAnalyze, RecycledAddressBelongsToTheNewPool) {
   b.access(w, 0x100, 64, true);
   b.trace.records.push_back(HostReleaseRecord{1, 0, 1.0});
   EXPECT_TRUE(analyze(b.trace).clean());
+}
+
+TEST(HostcheckAnalyze, ConcurrentSimsWithOverlappingOffsetsDoNotCrossAttribute) {
+  // Two cluster shards: each device's arena starts at offset 0, so shard 0
+  // and shard 1's upload pools occupy the SAME offset range while both are
+  // live. Shard 1 releases its buffer; shard 0's kernel read under its own
+  // live lease must attribute to shard 0's pool (sim 0), not trip a
+  // use-after-release on shard 1's (sim 1).
+  TraceBuilder b;
+  b.trace.sims = 2;
+  b.trace.pools.push_back(PoolInfo{"upload", 1, 64, 0});
+  b.trace.pools.push_back(PoolInfo{"upload", 1, 64, 1});
+  b.trace.records.push_back(HostLeaseRecord{0, 0, 0x100, 64, 0.0});
+  b.trace.records.push_back(HostLeaseRecord{1, 0, 0x100, 64, 0.0});
+  b.trace.records.push_back(HostReleaseRecord{1, 0, 1.0});  // shard 1 done
+  const auto k = b.op(0, HostOpKind::kKernel, 0.0, 1.0);
+  b.access(k, 0x100, 64, false);  // sim 0, under sim 0's live lease
+  b.trace.records.push_back(HostReleaseRecord{0, 0, 1.0});
+  EXPECT_TRUE(analyze(b.trace).clean());
+}
+
+TEST(HostcheckAnalyze, ConcurrentSimLeaseDoesNotForgetTheOtherShardsRange) {
+  // Shard 1's lease lands on the same offsets as shard 0's live buffer; it
+  // must not erase shard 0's range — shard 0's protocol checks stay armed,
+  // so its own stale access is still caught.
+  TraceBuilder b;
+  b.trace.sims = 2;
+  b.trace.pools.push_back(PoolInfo{"upload", 1, 64, 0});
+  b.trace.pools.push_back(PoolInfo{"upload", 1, 64, 1});
+  b.trace.records.push_back(HostLeaseRecord{0, 0, 0x100, 64, 0.0});
+  b.trace.records.push_back(HostLeaseRecord{1, 0, 0x100, 64, 0.0});
+  b.trace.records.push_back(HostReleaseRecord{0, 0, 0.0});
+  const auto w = b.op(0, HostOpKind::kH2D, 0.0, 1.0);
+  b.access(w, 0x100, 64, true);  // sim 0 writes after its own release
+  b.trace.records.push_back(HostReleaseRecord{1, 0, 1.0});
+  EXPECT_EQ(analyze(b.trace).count(HazardKind::kUseAfterRelease), 1u);
 }
 
 TEST(HostcheckAnalyze, LockOrderCycleDetected) {
