@@ -43,6 +43,17 @@
 // counters and per-shard batch counts, and a Timed scatter/gather probe
 // pins the 4-device scaling ratio. The degraded --cluster-devices 1 run is
 // checked to FAIL (WILL_FAIL).
+//
+// --mode slo gates the SLO/health monitor tier against
+// bench/baselines/slo_baseline.json: a deterministic 16-session replay
+// across a 4-device cluster with the serving-default SLO policy pins every
+// shard's health.<k>.state at ok, shard 0's windowed error rate and breach
+// count at zero, and bands its wall-clock feed p99 (the one non-simulated
+// number — banded generously, it exists to catch order-of-magnitude
+// regressions). The --slo-overload 0 demo feeds shard 0's sessions past
+// their byte quota: half its feed window turns kCapacityExceeded, the shard
+// trips unhealthy, and the state/error/breach pins are violated — the gate
+// must FAIL (WILL_FAIL), proving the health monitor bites.
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
@@ -109,6 +120,22 @@ const std::vector<std::string> kClusterGatedSeries = {
     "device.1.serve.batches",
     "device.2.serve.batches",
     "device.3.serve.batches",
+};
+
+/// --mode slo gates the health monitor's verdicts over the 4-device
+/// reference replay. Everything except feed_p99_ns is exact (Functional
+/// sim, seeded traffic, deterministic placement); the p99 is wall-clock and
+/// banded wide.
+const std::vector<std::string> kSloGatedSeries = {
+    "router.sessions.opened",
+    "router.feeds",
+    "health.0.state",
+    "health.1.state",
+    "health.2.state",
+    "health.3.state",
+    "health.0.error_rate",
+    "health.0.breaches",
+    "health.0.feed_p99_ns",
 };
 
 telemetry::MetricsSnapshot run_workload(const ArgParser& args) {
@@ -397,6 +424,83 @@ telemetry::MetricsSnapshot run_cluster_workload(const ArgParser& args) {
   return registry.snapshot();
 }
 
+/// The SLO reference replay behind kSloGatedSeries: 16 seeded streams
+/// across 4 shards (4 sessions each, deterministic placement), the
+/// serving-default policy with a window sized so every shard's last
+/// evaluation lands exactly on its final feed. In the reference run no
+/// dimension breaches and every state pins at ok; with --slo-overload K the
+/// driver keeps feeding shard K's sessions past their byte quota, the
+/// shard's error window fills with kCapacityExceeded, and the monitor trips
+/// it unhealthy — which the baseline pins are designed to reject.
+telemetry::MetricsSnapshot run_slo_workload(const ArgParser& args) {
+  const int overload = args.get_int("slo-overload");
+  const std::uint64_t seed = static_cast<std::uint64_t>(args.get_int("seed"));
+  constexpr std::size_t kSessions = 16;
+  constexpr std::size_t kStreamBytes = 4096;
+  constexpr std::size_t kChunk = 256;
+
+  telemetry::MetricsRegistry registry;
+  cluster::ClusterOptions opt;
+  opt.devices = 4;
+  opt.engine.mode = gpusim::SimMode::Functional;
+  opt.engine.gpu.num_sms = 4;
+  opt.engine.device_memory_bytes = 64u << 20;
+  opt.engine.threads_per_block = 64;
+  opt.max_sessions_per_shard = kSessions;
+  opt.coalesce_bytes = 8 * kChunk;
+  opt.admission = serve::AdmissionPolicy::kAutoFlush;
+  opt.metrics = &registry;
+  opt.slo = telemetry::SloPolicy::serving_defaults();
+  opt.slo.window = 64;       // = feeds per shard: one full window per run
+  opt.slo.min_samples = 8;
+  opt.health_eval_interval = 4;
+  // The overload demo halves the byte quota: the victim shard's sessions
+  // are fed their full stream anyway, so their second halves all fail.
+  if (overload >= 0) opt.session_limits.max_bytes = kStreamBytes / 2;
+
+  Result<cluster::Router> router = cluster::Router::create(
+      ac::PatternSet({"he", "she", "his", "hers", "ab"}), opt);
+  ACGPU_CHECK(router.is_ok(), router.status().to_string());
+  cluster::Router& cl = router.value();
+
+  std::vector<std::string> streams;
+  std::vector<serve::SessionId> ids;
+  std::vector<bool> victim;
+  for (std::size_t i = 0; i < kSessions; ++i) {
+    Rng rng(derive_seed(seed, i));
+    std::string stream(kStreamBytes, '\0');
+    for (char& c : stream) c = "hershise ab"[rng.next_below(11)];
+    streams.push_back(std::move(stream));
+    ids.push_back(cl.open().value());
+    victim.push_back(overload >= 0 &&
+                     cl.shard_of(ids[i]).value() ==
+                         static_cast<std::uint32_t>(overload));
+  }
+  for (std::size_t pos = 0; pos < kStreamBytes; pos += kChunk)
+    for (std::size_t i = 0; i < kSessions; ++i) {
+      // Non-victims stop at their quota; victims push past it and take the
+      // kCapacityExceeded answers into their shard's health window.
+      if (overload >= 0 && !victim[i] && pos >= kStreamBytes / 2) continue;
+      const Status s =
+          cl.feed(ids[i], std::string_view(streams[i]).substr(pos, kChunk));
+      if (!s.is_ok())
+        ACGPU_CHECK(victim[i] && s.code() == StatusCode::kCapacityExceeded,
+                    s.to_string());
+    }
+  ACGPU_CHECK(cl.drain().is_ok(), "drain failed");
+  if (overload < 0)
+    for (std::size_t i = 0; i < kSessions; ++i) {
+      std::vector<ac::Match> got = cl.poll(ids[i]).value();
+      ac::normalize_matches(got);
+      std::vector<ac::Match> expected = ac::find_all(cl.dfa(), streams[i]);
+      ac::normalize_matches(expected);
+      ACGPU_CHECK(got == expected,
+                  "slo session " << ids[i] << " diverged from serial reference");
+    }
+  cl.shutdown();
+  return registry.snapshot();
+}
+
 std::string read_file(const std::string& path) {
   std::ifstream in(path);
   ACGPU_CHECK(in.good(), "cannot read baseline file " << path);
@@ -415,12 +519,17 @@ int main(int argc, char** argv) {
   args.add_flag("mode",
                 "what to gate: pipeline (canonical Engine workload), serve "
                 "(streaming session service), latency (under-load tail "
-                "latency through the scheduler), or cluster (multi-device "
-                "router tier)", "pipeline");
+                "latency through the scheduler), cluster (multi-device "
+                "router tier), or slo (per-shard health monitor verdicts)",
+                "pipeline");
   args.add_flag("baseline", "baseline JSON to gate against",
                 "bench/baselines/telemetry_baseline.json");
   args.add_flag("serve-sessions", "mode=serve: streams to replay", "48");
   args.add_flag("cluster-devices", "mode=cluster: shard count", "4");
+  args.add_flag("slo-overload",
+                "mode=slo: feed this shard's sessions past quota to force an "
+                "SLO breach (-1 = reference run)",
+                "-1");
   args.add_flag("latency-batches", "mode=latency: superbatches to replay", "48");
   args.add_flag("latency-interval-us",
                 "mode=latency: superbatch arrival interval (microseconds)",
@@ -442,17 +551,19 @@ int main(int argc, char** argv) {
     if (!args.parse(argc, argv)) return 0;
     const std::string mode = args.get("mode");
     ACGPU_CHECK(mode == "pipeline" || mode == "serve" || mode == "latency" ||
-                    mode == "cluster",
-                "--mode must be pipeline, serve, latency, or cluster, got '"
-                    << mode << "'");
+                    mode == "cluster" || mode == "slo",
+                "--mode must be pipeline, serve, latency, cluster, or slo, "
+                "got '" << mode << "'");
     const bool serve_mode = mode == "serve";
     const bool latency_mode = mode == "latency";
     const bool cluster_mode = mode == "cluster";
+    const bool slo_mode = mode == "slo";
 
     const telemetry::MetricsSnapshot snapshot =
         serve_mode     ? run_serve_workload(args)
         : latency_mode ? run_latency_workload(args)
         : cluster_mode ? run_cluster_workload(args)
+        : slo_mode     ? run_slo_workload(args)
                        : run_workload(args);
 
     const std::string snapshot_path = args.get("snapshot");
@@ -470,6 +581,7 @@ int main(int argc, char** argv) {
           serve_mode     ? kServeGatedSeries
           : latency_mode ? kLatencyGatedSeries
           : cluster_mode ? kClusterGatedSeries
+          : slo_mode     ? kSloGatedSeries
                          : kGatedSeries;
       telemetry::write_baseline(snapshot, gated, args.get_double("slack"), out);
       std::printf("check_regression: wrote %s (re-banded %zu series)\n",
@@ -504,6 +616,11 @@ int main(int argc, char** argv) {
             "check_regression: PASS (%zu checks, cluster @ %lld device(s))\n",
             verdict.checks,
             static_cast<long long>(args.get_int("cluster-devices")));
+      else if (slo_mode)
+        std::printf(
+            "check_regression: PASS (%zu checks, slo @ 4 devices, every "
+            "shard ok)\n",
+            verdict.checks);
       else
         std::printf("check_regression: PASS (%zu checks, %s @ %lld stream(s))\n",
                     verdict.checks, format_bytes(args.get_bytes("size")).c_str(),

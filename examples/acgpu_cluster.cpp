@@ -5,6 +5,8 @@
 //   acgpu_cluster                              # 4 devices, defaults
 //   acgpu_cluster --devices 8 --sessions 64 --background
 //   acgpu_cluster --no-fail --stats
+//   acgpu_cluster --trace fleet.json           # Perfetto fleet trace
+//   acgpu_cluster --postmortem crash.json      # black box on the failure
 //
 // Each simulated client streams its own seeded corpus through the
 // cluster::Router, which homes every session on the least-loaded healthy
@@ -17,6 +19,7 @@
 // path: slab partitioning, seam-exact merging, and the per-device makespans
 // behind the cluster's scaling claim (bench/ext_cluster.cpp).
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <thread>
 #include <vector>
@@ -51,6 +54,13 @@ int main(int argc, char** argv) {
   args.add_bool_flag("background", "every shard pumps on its own thread");
   args.add_bool_flag("no-fail", "skip the mid-replay device failure");
   args.add_bool_flag("stats", "print the router.* / device.*.* metrics table");
+  args.add_flag("trace",
+                "write the joined fleet Chrome trace here (empty = off)", "");
+  args.add_flag("postmortem",
+                "arm the flight recorder; the mid-replay failure dumps its "
+                "black box here (empty = off)",
+                "");
+  args.add_bool_flag("slo", "enable the serving-default SLO health monitor");
 
   try {
     if (!args.parse(argc, argv)) return 0;
@@ -74,7 +84,17 @@ int main(int argc, char** argv) {
     // Synchronous mode auto-flushes on a full queue; background mode keeps
     // the default reject policy and the feed loop below absorbs kOverloaded.
     if (!opt.background) opt.admission = serve::AdmissionPolicy::kAutoFlush;
-    if (args.get_bool("stats")) opt.metrics = &registry;
+    const std::string trace_path = args.get("trace");
+    const std::string postmortem_path = args.get("postmortem");
+    telemetry::FlightRecorder recorder;
+    if (args.get_bool("stats") || !postmortem_path.empty())
+      opt.metrics = &registry;
+    opt.trace = !trace_path.empty();
+    if (!postmortem_path.empty()) {
+      opt.recorder = &recorder;
+      opt.postmortem_path = postmortem_path;
+    }
+    if (args.get_bool("slo")) opt.slo = telemetry::SloPolicy::serving_defaults();
 
     auto router = cluster::Router::create(
         ac::PatternSet({"he", "she", "his", "hers", "ab"}), opt);
@@ -167,6 +187,28 @@ int main(int argc, char** argv) {
           format_seconds(scan.value().makespan_seconds).c_str());
     }
 
+    if (!trace_path.empty()) {
+      std::ofstream out(trace_path);
+      if (!out) {
+        std::fprintf(stderr, "acgpu_cluster: cannot write %s\n",
+                     trace_path.c_str());
+        return 2;
+      }
+      const Status ts = cl.write_trace(out);
+      ACGPU_CHECK(ts.is_ok(), ts.to_string());
+      std::printf(
+          "fleet trace -> %s (router + %u shard host + device processes; "
+          "search a trace id to follow one request end to end)\n",
+          trace_path.c_str(), devices);
+    }
+    if (failed && !postmortem_path.empty())
+      std::printf("postmortem black box -> %s (%llu events recorded)\n",
+                  postmortem_path.c_str(),
+                  static_cast<unsigned long long>(recorder.recorded()));
+    if (args.get_bool("slo"))
+      for (std::uint32_t k = 0; k < devices; ++k)
+        std::printf("shard %u health: %s\n", k,
+                    telemetry::to_string(cl.shard_health_state(k)));
     if (args.get_bool("stats")) registry.snapshot().write_table(std::cout);
     cl.shutdown();
   } catch (const Error& e) {

@@ -44,10 +44,14 @@
 #include "serve/service.h"
 #include "serve/session.h"
 #include "serve/session_manager.h"
+#include "telemetry/flight_recorder.h"
+#include "telemetry/health.h"
 #include "telemetry/json.h"
+#include "telemetry/logger.h"
 #include "telemetry/metrics_registry.h"
 #include "telemetry/regression.h"
 #include "telemetry/trace.h"
+#include "telemetry/trace_context.h"
 #include "util/arg_parser.h"
 #include "util/byte_units.h"
 #include "util/csv.h"

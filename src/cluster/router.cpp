@@ -1,12 +1,20 @@
 #include "cluster/router.h"
 
 #include <algorithm>
+#include <fstream>
 #include <mutex>
+#include <ostream>
 #include <unordered_map>
 
 #include "ac/serial_matcher.h"
 #include "cluster/merge.h"
+#include "pipeline/telemetry_export.h"
+#include "telemetry/flight_recorder.h"
+#include "telemetry/logger.h"
 #include "telemetry/metrics_registry.h"
+#include "telemetry/trace.h"
+#include "telemetry/trace_context.h"
+#include "util/stopwatch.h"
 
 namespace acgpu::cluster {
 
@@ -66,6 +74,16 @@ Status ClusterOptions::validate() const {
     return Status::invalid_argument(
         "set ClusterOptions::host_observer, not engine.host_observer — the "
         "Router wires the shared observer seam into every shard");
+  if (trace && engine.telemetry.tracer != nullptr)
+    return Status::invalid_argument(
+        "ClusterOptions::trace manages per-shard tracers; leave "
+        "engine.telemetry.tracer null");
+  if (engine.telemetry.recorder != nullptr)
+    return Status::invalid_argument(
+        "set ClusterOptions::recorder, not engine.telemetry.recorder — the "
+        "Router stamps per-shard indices onto every layer's events");
+  if (health_eval_interval == 0)
+    return Status::invalid_argument("health_eval_interval must be >= 1");
   serve::ServeOptions so;
   so.max_sessions = max_sessions_per_shard;
   so.max_queue_bytes = max_queue_bytes;
@@ -84,6 +102,13 @@ struct Router::Impl {
     bool failed = false;
     bool draining = false;
     std::uint64_t homed = 0;  ///< sessions currently homed here
+    /// Host-span sink for this shard's serve + engine layers (trace mode).
+    std::unique_ptr<telemetry::Tracer> tracer;
+    /// Last bulk-scan timeline, trimmed of matches — write_trace() exports
+    /// it as this shard's simulated-device process (trace mode only).
+    std::unique_ptr<pipeline::PipelineResult> last_bulk;
+    std::uint32_t feeds_since_eval = 0;
+    std::uint64_t seen_evictions = 0;  ///< evictions already fed to health
   };
 
   ClusterOptions options;
@@ -95,6 +120,31 @@ struct Router::Impl {
   RouterMetrics m;
   bool has_metrics = false;
   bool shut_down = false;
+
+  /// Router-level spans (router.feed, router.scan) — the third clock-domain
+  /// process in the fleet trace. Null when ClusterOptions::trace is off.
+  std::unique_ptr<telemetry::Tracer> router_tracer;
+  /// Deterministic request identities: the n-th traced request gets the
+  /// same id in every run.
+  telemetry::TraceContextMinter minter;
+  /// SLO monitor; null when no target is set.
+  std::unique_ptr<telemetry::HealthMonitor> health;
+
+  telemetry::Logger& log() const {
+    return options.logger != nullptr ? *options.logger
+                                     : telemetry::Logger::global();
+  }
+
+  /// Requires options.recorder. Caller holds the router mutex (or is create).
+  void write_postmortem_locked(std::ostream& out,
+                               std::string_view reason) const {
+    if (options.metrics != nullptr) {
+      const telemetry::MetricsSnapshot snap = options.metrics->snapshot();
+      options.recorder->write_postmortem(out, reason, &snap);
+    } else {
+      options.recorder->write_postmortem(out, reason);
+    }
+  }
 
   /// Serializes topology and routing decisions. Lock order (acyclic):
   /// cluster.router.mu -> serve.mu -> {serve.scheduler.mu,
@@ -109,16 +159,44 @@ struct Router::Impl {
     return n;
   }
 
-  /// Least-loaded healthy shard (deterministic: lowest index wins ties);
-  /// shards.size() when none qualifies.
+  /// SLO rank of shard k for placement: ok=0, degraded=1, unhealthy=2
+  /// (0 everywhere when no monitor is configured).
+  std::uint32_t health_rank(std::uint32_t k) const {
+    return health != nullptr ? static_cast<std::uint32_t>(health->state(k)) : 0;
+  }
+
+  /// Best placement target (deterministic: lowest index wins ties);
+  /// shards.size() when none qualifies. Ranked by (health, load, index):
+  /// degraded shards lose to ok ones regardless of load, and an unhealthy
+  /// shard is failed-soft — only picked when nothing better exists.
   std::uint32_t pick_target(std::uint32_t exclude = UINT32_MAX) const {
     std::uint32_t best = static_cast<std::uint32_t>(shards.size());
+    std::uint32_t best_rank = 0;
     for (std::uint32_t k = 0; k < shards.size(); ++k) {
       const Shard& s = shards[k];
       if (k == exclude || s.failed || s.draining) continue;
-      if (best == shards.size() || s.homed < shards[best].homed) best = k;
+      const std::uint32_t rank = health_rank(k);
+      if (best == shards.size() || rank < best_rank ||
+          (rank == best_rank && s.homed < shards[best].homed)) {
+        best = k;
+        best_rank = rank;
+      }
     }
     return best;
+  }
+
+  /// Refreshes shard k's gauge-style inputs (queue depth, evictions) and
+  /// re-judges it. Caller holds the router mutex.
+  void evaluate_health(std::uint32_t k) {
+    if (health == nullptr) return;
+    Shard& sh = shards[k];
+    const serve::ServiceStats st = sh.service->stats();
+    health->observe_queue_depth(k, static_cast<double>(st.queued_chunks));
+    if (st.sessions_evicted > sh.seen_evictions) {
+      health->observe_eviction(k, st.sessions_evicted - sh.seen_evictions);
+      sh.seen_evictions = st.sessions_evicted;
+    }
+    health->evaluate(k);
   }
 
   void publish_topology() {
@@ -134,6 +212,10 @@ struct Router::Impl {
     EngineOptions eopt = options.engine;
     eopt.telemetry.metrics = options.metrics;
     eopt.telemetry.metrics_prefix = "device." + std::to_string(k) + ".";
+    eopt.telemetry.tracer = shard.tracer.get();
+    eopt.telemetry.recorder = options.recorder;
+    eopt.telemetry.logger = options.logger;
+    eopt.telemetry.shard = k;
     // host_observer stays null: the engine inherits the device's seam.
     Result<Engine> engine = Engine::create(*shard.device, patterns, eopt);
     if (!engine.is_ok()) return engine.status();
@@ -216,6 +298,36 @@ Result<Router> Router::create(const ac::PatternSet& patterns,
     impl->m.resolve(*options.metrics);
     impl->has_metrics = true;
   }
+  if (options.trace)
+    impl->router_tracer = std::make_unique<telemetry::Tracer>();
+  if (options.slo.enabled()) {
+    impl->health = std::make_unique<telemetry::HealthMonitor>(
+        options.devices, options.slo, options.metrics);
+    // Transitions are rare by construction (state changes only), so they go
+    // to the recorder AND the log. The listener fires under the router
+    // mutex during evaluate_health — both sinks are leaves.
+    Impl* im = impl.get();
+    impl->health->set_transition_listener(
+        [im](std::uint32_t shard, telemetry::HealthState from,
+             telemetry::HealthState to) {
+          if (im->options.recorder != nullptr)
+            im->options.recorder->record(
+                telemetry::FlightEventKind::kHealthTransition, shard,
+                static_cast<std::uint64_t>(from),
+                static_cast<std::uint64_t>(to));
+          const std::string key =
+              "cluster.health." + std::to_string(shard) + "." +
+              telemetry::to_string(from) + "-" + telemetry::to_string(to);
+          const std::string msg =
+              "shard " + std::to_string(shard) + " went " +
+              telemetry::to_string(from) + " -> " + telemetry::to_string(to) +
+              " (" + im->health->shard_health(shard).breached + ")";
+          if (to > from)
+            im->log().warn(key, msg);
+          else
+            im->log().info(key, msg);
+        });
+  }
 
   impl->shards.reserve(options.devices);
   for (std::uint32_t k = 0; k < options.devices; ++k) {
@@ -230,11 +342,16 @@ Result<Router> Router::create(const ac::PatternSet& patterns,
 
     Impl::Shard shard;
     shard.device = std::make_unique<Device>(std::move(device).value());
+    if (options.trace) shard.tracer = std::make_unique<telemetry::Tracer>();
 
     serve::ServeOptions so;
     so.engine = options.engine;
     so.engine.telemetry.metrics = options.metrics;
     so.engine.telemetry.metrics_prefix = prefix;
+    so.engine.telemetry.tracer = shard.tracer.get();
+    so.engine.telemetry.recorder = options.recorder;
+    so.engine.telemetry.logger = options.logger;
+    so.engine.telemetry.shard = k;
     so.device = shard.device.get();
     so.session_id_namespace = shard_namespace(k);
     so.max_sessions = options.max_sessions_per_shard;
@@ -246,6 +363,9 @@ Result<Router> Router::create(const ac::PatternSet& patterns,
     so.admission = options.admission;
     so.metrics = options.metrics;
     so.metrics_prefix = prefix;
+    so.tracer = shard.tracer.get();
+    so.recorder = options.recorder;
+    so.shard = k;
     so.host_observer = options.host_observer;
     Result<serve::StreamService> service =
         serve::StreamService::create(patterns, so);
@@ -279,9 +399,42 @@ Result<serve::SessionId> Router::open() {
 Status Router::feed(serve::SessionId id, std::string_view chunk) {
   Impl& im = *impl_;
   std::unique_lock<gpusim::TrackedMutex> lk(im.mu);
-  Result<serve::StreamService*> service = im.route(id);
-  if (!service.is_ok()) return service.status();
-  if (Status s = service.value()->feed(id, chunk); !s) return s;
+  const auto it = im.home.find(id);
+  if (it == im.home.end())
+    return Status::invalid_argument("unknown session id " +
+                                    std::to_string(id) +
+                                    " (never opened, closed, or evicted)");
+  const std::uint32_t shard = it->second;
+
+  // Admission is where a request's causal identity is born: the router.feed
+  // span carries the trace id, and the same id annotates every downstream
+  // span (superbatch, pipeline, kernel) the request's bytes touch.
+  telemetry::Span span(im.router_tracer.get(), "router.feed");
+  telemetry::TraceContext trace;
+  if (im.router_tracer != nullptr) {
+    trace = im.minter.mint(span.id());
+    span.annotate("trace_id", telemetry::trace_id_string(trace.trace_id));
+    span.annotate("session", std::to_string(id));
+    span.annotate("shard", std::to_string(shard));
+    span.annotate("bytes", std::to_string(chunk.size()));
+  }
+
+  Stopwatch clock;
+  const Status s = im.shards[shard].service->feed(id, chunk, trace);
+  if (im.health != nullptr) {
+    im.health->observe_feed(shard, static_cast<double>(clock.nanos()),
+                            s.is_ok());
+    Impl::Shard& sh = im.shards[shard];
+    if (++sh.feeds_since_eval >= im.options.health_eval_interval) {
+      sh.feeds_since_eval = 0;
+      im.evaluate_health(shard);
+    }
+  }
+  if (!s) {
+    if (im.router_tracer != nullptr)
+      span.annotate("status", to_string(s.code()));
+    return s;
+  }
   ++im.stats.feeds;
   im.stats.bytes += chunk.size();
   if (im.has_metrics) {
@@ -359,6 +512,24 @@ Result<ClusterScanResult> Router::scan(std::string_view text) {
     if (!im.shards[k].failed && !im.shards[k].draining) healthy.push_back(k);
   if (healthy.empty())
     return Status::unavailable("no healthy device to scan on");
+  // SLO-unhealthy shards are failed-soft: excluded from the scatter while
+  // any better shard remains (the work just spreads across fewer slabs).
+  if (im.health != nullptr) {
+    std::vector<std::uint32_t> preferred;
+    for (std::uint32_t k : healthy)
+      if (im.health->state(k) != telemetry::HealthState::kUnhealthy)
+        preferred.push_back(k);
+    if (!preferred.empty()) healthy = std::move(preferred);
+  }
+
+  telemetry::Span span(im.router_tracer.get(), "router.scan");
+  telemetry::TraceContext trace;
+  if (im.router_tracer != nullptr) {
+    trace = im.minter.mint(span.id());
+    span.annotate("trace_id", telemetry::trace_id_string(trace.trace_id));
+    span.annotate("bytes", std::to_string(text.size()));
+    span.annotate("devices", std::to_string(healthy.size()));
+  }
 
   ClusterScanResult result;
   result.input_bytes = text.size();
@@ -393,6 +564,13 @@ Result<ClusterScanResult> Router::scan(std::string_view text) {
     if (scan.is_ok() && !scan.value().overflowed) {
       matches = std::move(scan.value().matches);
       result.per_device_seconds[k] = scan.value().stats.makespan_seconds;
+      if (im.options.trace) {
+        // Keep the timeline (matches already moved out) so write_trace can
+        // export this shard's simulated-device process.
+        im.shards[k].last_bulk = std::make_unique<pipeline::PipelineResult>(
+            std::move(scan).value());
+        im.shards[k].last_bulk->matches.clear();
+      }
     } else if (!scan.is_ok() &&
                scan.status().code() != StatusCode::kCapacityExceeded) {
       return scan.status();
@@ -443,6 +621,24 @@ Status Router::mark_failed(std::uint32_t shard) {
   // nothing accepted is lost.
   sh.device->mark_failed("cluster mark_failed");
   sh.failed = true;
+  if (im.options.recorder != nullptr)
+    im.options.recorder->record(telemetry::FlightEventKind::kShardFailure,
+                                shard);
+  im.log().error("cluster.shard_failed." + std::to_string(shard),
+                 "shard " + std::to_string(shard) + " (" + sh.device->name() +
+                     ") marked failed; draining and migrating its sessions");
+  // The black box pays off exactly here: freeze the last window of fleet
+  // events + a metrics snapshot before the drain/migration churns state.
+  if (im.options.recorder != nullptr && !im.options.postmortem_path.empty()) {
+    std::ofstream out(im.options.postmortem_path);
+    if (out)
+      im.write_postmortem_locked(
+          out, "shard " + std::to_string(shard) + " marked failed");
+    else
+      im.log().warn("cluster.postmortem_path",
+                    "could not open postmortem path '" +
+                        im.options.postmortem_path + "' for writing");
+  }
   return im.retire_shard(shard);
 }
 
@@ -475,6 +671,9 @@ Status Router::restore(std::uint32_t shard) {
   sh.device->restore();
   sh.failed = false;
   sh.draining = false;
+  if (im.options.recorder != nullptr)
+    im.options.recorder->record(telemetry::FlightEventKind::kShardRestore,
+                                shard);
   im.publish_topology();
   return Status::ok();
 }
@@ -514,7 +713,64 @@ Result<ShardStats> Router::shard_stats(std::uint32_t shard) const {
   out.draining = sh.draining;
   out.homed_sessions = sh.homed;
   out.service = sh.service->stats();
+  if (im.health != nullptr) out.health = im.health->state(shard);
   return out;
+}
+
+Status Router::write_trace(std::ostream& out) const {
+  Impl& im = *impl_;
+  std::unique_lock<gpusim::TrackedMutex> lk(im.mu);
+  if (im.router_tracer == nullptr)
+    return Status::invalid_argument(
+        "fleet tracing is off; set ClusterOptions::trace");
+  telemetry::ChromeTrace trace;
+  // One process per clock domain: the router's wall clock, each shard's
+  // host wall clock, and each shard's simulated-device clock — distinct
+  // pids so Perfetto renders N shards side by side instead of colliding
+  // their tracks (the pre-fleet exporter only knew two processes).
+  trace.add_tracer(*im.router_tracer, "cluster router");
+  for (std::uint32_t k = 0; k < im.shards.size(); ++k) {
+    const Impl::Shard& sh = im.shards[k];
+    if (sh.tracer != nullptr)
+      trace.add_tracer(*sh.tracer, "shard " + std::to_string(k) + " host");
+    if (sh.last_bulk != nullptr) {
+      pipeline::TraceExportOptions eopt;
+      eopt.process_name = "shard " + std::to_string(k) + " device sim";
+      pipeline::add_scan_to_trace(trace, *sh.last_bulk, eopt);
+    }
+  }
+  trace.write(out);
+  return Status::ok();
+}
+
+Status Router::write_postmortem(std::ostream& out,
+                                std::string_view reason) const {
+  Impl& im = *impl_;
+  std::unique_lock<gpusim::TrackedMutex> lk(im.mu);
+  if (im.options.recorder == nullptr)
+    return Status::invalid_argument(
+        "no flight recorder; set ClusterOptions::recorder");
+  im.write_postmortem_locked(out, reason);
+  return Status::ok();
+}
+
+telemetry::HealthState Router::shard_health_state(std::uint32_t shard) const {
+  Impl& im = *impl_;
+  std::unique_lock<gpusim::TrackedMutex> lk(im.mu);
+  if (im.health == nullptr || shard >= im.shards.size())
+    return telemetry::HealthState::kOk;
+  return im.health->state(shard);
+}
+
+Result<telemetry::ShardHealth> Router::shard_health(std::uint32_t shard) const {
+  Impl& im = *impl_;
+  std::unique_lock<gpusim::TrackedMutex> lk(im.mu);
+  if (shard >= im.shards.size())
+    return Status::invalid_argument("shard " + std::to_string(shard) +
+                                    " out of range (cluster has " +
+                                    std::to_string(im.shards.size()) + ")");
+  if (im.health == nullptr) return telemetry::ShardHealth{};
+  return im.health->shard_health(shard);
 }
 
 std::uint32_t Router::shard_count() const {

@@ -46,6 +46,7 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -53,6 +54,7 @@
 
 #include "pipeline/engine.h"
 #include "serve/service.h"
+#include "telemetry/health.h"
 #include "util/error.h"
 
 namespace acgpu::cluster {
@@ -84,6 +86,34 @@ struct ClusterOptions {
   /// regardless of how many devices the process created before.
   telemetry::MetricsRegistry* metrics = nullptr;
 
+  /// Fleet tracing: the Router creates one tracer for its own router.feed /
+  /// router.scan spans plus one per shard (wired into the shard's serve and
+  /// engine layers), mints a TraceContext per request, and write_trace()
+  /// exports the joined fleet trace — router process, per-shard host
+  /// processes, per-shard simulated-device processes. Leave
+  /// engine.telemetry.tracer null with this on (the Router manages it).
+  bool trace = false;
+
+  /// Flight recorder shared by every layer (admission, batch, lease, shard
+  /// failure, health events land in it); null = off, zero cost.
+  telemetry::FlightRecorder* recorder = nullptr;
+  /// When non-empty and a recorder is set, mark_failed(k) writes a
+  /// postmortem JSON (recorder window + metrics snapshot) to this path.
+  /// write_postmortem() is the explicit any-time variant.
+  std::string postmortem_path;
+  /// Failure/health log sink; null = the process-global stderr logger.
+  telemetry::Logger* logger = nullptr;
+
+  /// Per-shard SLO targets (telemetry/health.h). Any target set stands the
+  /// health monitor up: breaches publish health.<shard>.* series and
+  /// placement becomes health-aware — degraded shards are deprioritized for
+  /// new sessions, unhealthy shards are treated as failed-soft (skipped by
+  /// open() and bulk scans whenever any better shard exists). Default: no
+  /// targets, no monitor, classic least-loaded placement.
+  telemetry::SloPolicy slo;
+  /// Re-judge a shard's health every N feeds routed to it (>= 1).
+  std::uint32_t health_eval_interval = 16;
+
   /// Hostcheck audit hook: observes the router mutex, every shard's serve
   /// mutexes, and every device's stream/lease activity. Null = off.
   gpusim::HostObserver* host_observer = nullptr;
@@ -114,6 +144,8 @@ struct ShardStats {
   bool draining = false;
   std::uint64_t homed_sessions = 0;
   serve::ServiceStats service;
+  /// SLO health (kOk when no policy is configured); see shard_health().
+  telemetry::HealthState health = telemetry::HealthState::kOk;
 };
 
 /// Bulk scatter/gather output (Router::scan).
@@ -187,6 +219,23 @@ class Router {
 
   /// Current home shard of a session; kInvalidArgument for unknown ids.
   Result<std::uint32_t> shard_of(serve::SessionId id) const;
+
+  // --- observability -------------------------------------------------------
+
+  /// Writes the fleet Chrome trace (ClusterOptions::trace must be on): the
+  /// router's spans as one process, each shard's host spans as its own
+  /// process, and each shard's last bulk-scan device timeline as a
+  /// simulated-clock process — so Perfetto renders N shards side by side
+  /// and a trace-id search joins a request across all of them.
+  Status write_trace(std::ostream& out) const;
+
+  /// Serializes a postmortem dump (ClusterOptions::recorder must be set):
+  /// the recorder's retained window joined with a metrics snapshot.
+  Status write_postmortem(std::ostream& out, std::string_view reason) const;
+
+  /// Per-shard SLO health. Without a policy: kOk / empty breaches.
+  telemetry::HealthState shard_health_state(std::uint32_t shard) const;
+  Result<telemetry::ShardHealth> shard_health(std::uint32_t shard) const;
 
   RouterStats stats() const;
   Result<ShardStats> shard_stats(std::uint32_t shard) const;

@@ -28,6 +28,9 @@ pipeline::PipelineOptions to_pipeline_options(const EngineOptions& options) {
   popt.metrics = options.telemetry.metrics;
   popt.metrics_prefix = options.telemetry.metrics_prefix;
   popt.tracer = options.telemetry.tracer;
+  popt.recorder = options.telemetry.recorder;
+  popt.logger = options.telemetry.logger;
+  popt.shard = options.telemetry.shard;
   popt.host_observer = options.host_observer;
   return popt;
 }

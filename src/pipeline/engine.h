@@ -54,13 +54,25 @@ namespace acgpu {
 struct TelemetryOptions {
   telemetry::MetricsRegistry* metrics = nullptr;
   telemetry::Tracer* tracer = nullptr;
+  /// Always-on flight recorder (telemetry/flight_recorder.h): batch
+  /// issue/retire and staging-lease events land in its per-thread rings for
+  /// postmortem dumps. Null = no recording (a branch per event).
+  telemetry::FlightRecorder* recorder = nullptr;
+  /// Severity/rate-limited log sink (telemetry/logger.h) for one-time
+  /// warnings (stream clamps) and failure events. Null = the process-global
+  /// logger, which writes to stderr.
+  telemetry::Logger* logger = nullptr;
   /// Prepended to every published series name ("device.3." turns
   /// pipeline.runs into device.3.pipeline.runs). The cluster tier sets it
   /// per shard so N devices' series never collide; "" keeps the classic
   /// single-device names.
   std::string metrics_prefix;
+  /// Shard/device index stamped on flight-recorder events (0 standalone).
+  std::uint32_t shard = 0;
 
-  bool enabled() const { return metrics != nullptr || tracer != nullptr; }
+  bool enabled() const {
+    return metrics != nullptr || tracer != nullptr || recorder != nullptr;
+  }
 };
 
 struct EngineOptions {

@@ -1,12 +1,12 @@
 #include "pipeline/pipeline.h"
 
 #include <algorithm>
-#include <atomic>
-#include <cstdio>
 #include <map>
 #include <optional>
 
 #include "pipeline/staging_pool.h"
+#include "telemetry/flight_recorder.h"
+#include "telemetry/logger.h"
 #include "telemetry/metrics_registry.h"
 #include "telemetry/trace.h"
 #include "util/stats.h"
@@ -73,19 +73,22 @@ StagingPlan resolve_staging(const PipelineOptions& opt, std::uint64_t text_len) 
   return plan;
 }
 
-/// One-time (per process) stream-clamp warning; every occurrence still
+/// Stream-clamp warning, routed through the telemetry logger: the
+/// process-global logger emits once per process (its keys never re-arm); a
+/// caller-provided logger applies its own rate limit. Every occurrence still
 /// counts into pipeline.streams_clamped and the run's stats.
-void warn_streams_clamped(std::uint32_t requested, std::uint32_t pool_depth,
-                          std::uint32_t effective) {
-  static std::atomic<bool> warned{false};
-  if (warned.exchange(true, std::memory_order_relaxed)) return;
-  std::fprintf(stderr,
-               "acgpu pipeline: requested %u streams exceed the staging pool "
-               "depth %u; running %u stream(s). Raise PipelineOptions::"
-               "pool_depth (or leave it 0 = 2x streams) to feed every lane. "
-               "(warning printed once per process; see "
-               "pipeline.streams_clamped)\n",
-               requested, pool_depth, effective);
+void warn_streams_clamped(telemetry::Logger* logger, std::uint32_t requested,
+                          std::uint32_t pool_depth, std::uint32_t effective) {
+  telemetry::Logger& log =
+      logger != nullptr ? *logger : telemetry::Logger::global();
+  log.warn("pipeline.streams_clamped",
+           "requested " + std::to_string(requested) +
+               " streams exceed the staging pool depth " +
+               std::to_string(pool_depth) + "; running " +
+               std::to_string(effective) +
+               " stream(s). Raise PipelineOptions::pool_depth (or leave it "
+               "0 = 2x streams) to feed every lane. (see "
+               "pipeline.streams_clamped)");
 }
 
 struct BatchGeometry {
@@ -229,7 +232,8 @@ Result<PipelineResult> MatchPipeline::run(std::string_view text) {
                                     : ddfa_->max_pattern_length();
   const StagingPlan plan = resolve_staging(opt, text.size());
   if (plan.streams_clamped)
-    warn_streams_clamped(opt.streams, plan.pool_depth, plan.effective_streams);
+    warn_streams_clamped(opt.logger, opt.streams, plan.pool_depth,
+                         plan.effective_streams);
 
   Result<BatchGeometry> geo =
       resolve_geometry(opt, plan.batch_bytes, config_, max_len, text.size());
@@ -289,6 +293,9 @@ Result<PipelineResult> MatchPipeline::run(std::string_view text) {
       // Readback staging lease: held from here (the batch's kernel has long
       // ended) to D2H end, recycled independently of the upload pool.
       const StagingPool::Lease rb = readback.try_acquire().value();
+      if (opt.recorder != nullptr)
+        opt.recorder->record(telemetry::FlightEventKind::kLeaseGrant, opt.shard,
+                             rb.index, 0, /*code=*/1);
       t.readback_wait_seconds =
           std::max(0.0, rb.ready - sim.stream_ready(pending->stream));
       sim.wait_until(pending->stream, rb.ready);
@@ -296,6 +303,12 @@ Result<PipelineResult> MatchPipeline::run(std::string_view text) {
           pending->stream, t.output_bytes, "d2h b" + std::to_string(t.index));
       t.complete_seconds = sim.op_end(d2h_id);
       readback.release(rb.index, t.complete_seconds);
+      if (opt.recorder != nullptr) {
+        opt.recorder->record(telemetry::FlightEventKind::kLeaseRelease,
+                             opt.shard, rb.index, 0, /*code=*/1);
+        opt.recorder->record(telemetry::FlightEventKind::kBatchRetire,
+                             opt.shard, t.index, t.output_bytes);
+      }
       completion.push_back(t.complete_seconds);
       t.queue_depth = 1;
       for (std::uint64_t j = 0; j < t.index; ++j)
@@ -338,6 +351,12 @@ Result<PipelineResult> MatchPipeline::run(std::string_view text) {
       // single-threaded driver releases every lease within its iteration,
       // so the pool cannot be exhausted here (value() is safe).
       const StagingPool::Lease up = upload.try_acquire().value();
+      if (opt.recorder != nullptr) {
+        opt.recorder->record(telemetry::FlightEventKind::kLeaseGrant, opt.shard,
+                             up.index, 0, /*code=*/0);
+        opt.recorder->record(telemetry::FlightEventKind::kBatchIssue, opt.shard,
+                             b, slice);
+      }
       const gpusim::DevAddr dst = up.addr;
       trace.blocked_seconds = std::max(0.0, up.ready - sim.stream_ready(stream));
       sim.wait_until(stream, up.ready);
@@ -432,6 +451,9 @@ Result<PipelineResult> MatchPipeline::run(std::string_view text) {
       // buffer recycles at kernel end, not D2H end — what lets a deep pool
       // keep feeding lanes while readbacks drain.
       upload.release(up.index, sim.stream_ready(stream));
+      if (opt.recorder != nullptr)
+        opt.recorder->record(telemetry::FlightEventKind::kLeaseRelease,
+                             opt.shard, up.index, 0, /*code=*/0);
 
       // Issue the PREVIOUS batch's D2H now that this batch's H2D and kernel
       // are in the copy/compute queues, then hold this one back in turn.

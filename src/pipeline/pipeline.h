@@ -53,6 +53,8 @@
 namespace acgpu::telemetry {
 class MetricsRegistry;
 class Tracer;
+class FlightRecorder;
+class Logger;
 }
 
 namespace acgpu::pipeline {
@@ -125,10 +127,18 @@ struct PipelineOptions {
   /// records host-side spans (run -> batch -> kernel) in the tracer.
   telemetry::MetricsRegistry* metrics = nullptr;
   telemetry::Tracer* tracer = nullptr;
+  /// Flight recorder (telemetry/flight_recorder.h): batch issue/retire and
+  /// staging-lease grant/release events. Null = off, one branch per event.
+  telemetry::FlightRecorder* recorder = nullptr;
+  /// Log sink for one-time warnings (the stream clamp). Null = the
+  /// process-global logger (stderr).
+  telemetry::Logger* logger = nullptr;
   /// Prepended to every published series name ("device.3." =>
   /// device.3.pipeline.runs, device.3.gpusim.tex.hits, ...). The cluster
   /// tier sets one per shard; "" keeps the classic single-device names.
   std::string metrics_prefix;
+  /// Shard/device index stamped on flight-recorder events (0 standalone).
+  std::uint32_t shard = 0;
 
   /// Rejects inconsistent combinations (PFAC with a store scheme override,
   /// zero streams, ...). Streams above the pool depth are NOT an error —

@@ -66,6 +66,7 @@ CoalescedBatch Scheduler::take_batch() {
     span.begin = batch.text.size();
     span.end = span.begin + head.bytes.size();
     span.global_base = head.global_base;
+    span.trace = head.trace;
     batch.text.append(head.bytes);
     batch.spans.push_back(span);
     queued_bytes_ -= head.bytes.size();

@@ -33,6 +33,7 @@
 #include "gpusim/host_observer.h"
 #include "pipeline/engine.h"
 #include "serve/session.h"
+#include "telemetry/trace_context.h"
 #include "util/error.h"
 
 namespace acgpu::serve {
@@ -43,6 +44,9 @@ struct PendingChunk {
   SessionId session = 0;
   std::uint64_t global_base = 0;  ///< stream offset of bytes[0]
   std::string bytes;
+  /// Causal identity minted at the router (invalid = untraced); rides the
+  /// queue so the superbatch span can link back to every member request.
+  telemetry::TraceContext trace;
 };
 
 struct SchedulerOptions {
@@ -61,6 +65,7 @@ struct ChunkSpan {
   std::uint64_t begin = 0;        ///< offset in the superbatch
   std::uint64_t end = 0;          ///< one past the chunk's last byte
   std::uint64_t global_base = 0;  ///< stream offset of the chunk's byte 0
+  telemetry::TraceContext trace;  ///< carried over from the PendingChunk
 };
 
 struct CoalescedBatch {

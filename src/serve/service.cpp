@@ -6,7 +6,9 @@
 #include <optional>
 #include <thread>
 
+#include "telemetry/flight_recorder.h"
 #include "telemetry/metrics_registry.h"
+#include "telemetry/trace.h"
 #include "util/stopwatch.h"
 
 namespace acgpu::serve {
@@ -174,6 +176,36 @@ struct StreamService::Impl {
     const std::uint64_t batch_len = batch.text.size();
     const std::size_t chunk_count = batch.spans.size();
 
+    // The superbatch span opens on the scanning thread (the worker in
+    // background mode) so the engine.scan -> pipeline.run -> kernel.simulate
+    // spans nest under it. A superbatch coalesces many requests, so the span
+    // carries the LIST of member trace ids — the cross-batch links that let
+    // one Perfetto search join a request's router.feed to the batch that
+    // served it.
+    telemetry::Span superbatch(options.tracer, "serve.superbatch");
+    if (options.tracer != nullptr) {
+      std::vector<std::uint64_t> ids;
+      std::vector<SessionId> sessions;
+      for (const ChunkSpan& cs : batch.spans) {
+        if (cs.trace.valid()) ids.push_back(cs.trace.trace_id);
+        sessions.push_back(cs.session);
+      }
+      std::sort(ids.begin(), ids.end());
+      ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+      std::sort(sessions.begin(), sessions.end());
+      sessions.erase(std::unique(sessions.begin(), sessions.end()),
+                     sessions.end());
+      std::string joined;
+      for (std::uint64_t tid : ids) {
+        if (!joined.empty()) joined += ",";
+        joined += telemetry::trace_id_string(tid);
+      }
+      superbatch.annotate("trace_ids", joined);
+      superbatch.annotate("sessions", std::to_string(sessions.size()));
+      superbatch.annotate("chunks", std::to_string(chunk_count));
+      superbatch.annotate("bytes", std::to_string(batch_len));
+    }
+
     BatchScan scan;
     Stopwatch clock;
     if (options.background) {
@@ -324,6 +356,9 @@ Result<SessionId> StreamService::open() {
     ++im.stats.sessions_evicted;
     im.scheduler.forget(*evicted);
     im.publish_queue_locked();
+    if (im.options.recorder != nullptr)
+      im.options.recorder->record(telemetry::FlightEventKind::kEviction,
+                                  im.options.shard, *evicted);
   }
   if (im.has_metrics) {
     im.m.opened->add(1);
@@ -333,7 +368,8 @@ Result<SessionId> StreamService::open() {
   return s.id();
 }
 
-Status StreamService::feed(SessionId id, std::string_view chunk) {
+Status StreamService::feed(SessionId id, std::string_view chunk,
+                           telemetry::TraceContext trace) {
   Impl& im = *impl_;
   Stopwatch clock;
   std::unique_lock<gpusim::TrackedMutex> lk(im.mu);
@@ -346,6 +382,10 @@ Status StreamService::feed(SessionId id, std::string_view chunk) {
   if (Status quota = s->admit_bytes(chunk.size()); !quota) {
     ++im.stats.quota_rejects;
     if (im.has_metrics) im.m.quota_rejects->add(1);
+    if (im.options.recorder != nullptr)
+      im.options.recorder->record(telemetry::FlightEventKind::kReject,
+                                  im.options.shard, id, chunk.size(),
+                                  static_cast<std::uint32_t>(quota.code()));
     return quota;
   }
   if (!chunk.empty()) {
@@ -361,6 +401,10 @@ Status StreamService::feed(SessionId id, std::string_view chunk) {
     if (!admit) {
       ++im.stats.feeds_rejected;
       if (im.has_metrics) im.m.feeds_rejected->add(1);
+      if (im.options.recorder != nullptr)
+        im.options.recorder->record(telemetry::FlightEventKind::kReject,
+                                    im.options.shard, id, chunk.size(),
+                                    static_cast<std::uint32_t>(admit.code()));
       return admit;
     }
   }
@@ -377,12 +421,15 @@ Status StreamService::feed(SessionId id, std::string_view chunk) {
   im.stats.bytes_accepted += chunk.size();
 
   if (!chunk.empty()) {
-    Status admitted = im.scheduler.admit(
-        PendingChunk{id, after.bytes_fed - chunk.size(), std::string(chunk)});
+    Status admitted = im.scheduler.admit(PendingChunk{
+        id, after.bytes_fed - chunk.size(), std::string(chunk), trace});
     ACGPU_CHECK(admitted.is_ok(),
                 "admission re-check failed after acceptance: " << admitted.to_string());
     im.publish_queue_locked();
   }
+  if (im.options.recorder != nullptr)
+    im.options.recorder->record(telemetry::FlightEventKind::kAdmission,
+                                im.options.shard, id, chunk.size());
   if (im.has_metrics) {
     im.m.feeds_accepted->add(1);
     im.m.feed_bytes->add(chunk.size());
@@ -482,6 +529,9 @@ Status StreamService::import_session(const SessionSnapshot& snapshot) {
     ++im.stats.sessions_evicted;
     im.scheduler.forget(*evicted);
     im.publish_queue_locked();
+    if (im.options.recorder != nullptr)
+      im.options.recorder->record(telemetry::FlightEventKind::kEviction,
+                                  im.options.shard, *evicted);
   }
   if (im.has_metrics) {
     im.m.imported->add(1);

@@ -106,6 +106,17 @@ struct ServeOptions {
   /// device.3.serve.batches). The cluster tier sets one per shard; "" keeps
   /// the classic single-service names.
   std::string metrics_prefix;
+  /// Host-span sink for serve.superbatch spans. The span is opened on the
+  /// scanning thread (the worker in background mode) and annotated with the
+  /// member chunks' trace ids, so one superbatch joins against every
+  /// request it coalesced. Null = off. Independent of
+  /// engine.telemetry.tracer — the cluster tier points both at the shard's
+  /// tracer so engine.scan nests under serve.superbatch.
+  telemetry::Tracer* tracer = nullptr;
+  /// Flight recorder for admission/reject/eviction events; null = off.
+  telemetry::FlightRecorder* recorder = nullptr;
+  /// Shard index stamped on recorder events (0 standalone).
+  std::uint32_t shard = 0;
 
   /// Hostcheck audit hook (gpusim/host_observer.h): when set, the service
   /// mutex, the scheduler/session-manager leaf mutexes, and — unless
@@ -163,7 +174,10 @@ class StreamService {
   /// no-ops. Failure codes: kInvalidArgument (unknown/closed/evicted id, or
   /// after shutdown), kCapacityExceeded (session byte quota), kOverloaded
   /// (bounded queue full under AdmissionPolicy::kReject — retry later).
-  Status feed(SessionId id, std::string_view chunk);
+  /// `trace` (optional) is the request's causal identity, minted upstream
+  /// (cluster::Router) — it rides the queue into the superbatch span.
+  Status feed(SessionId id, std::string_view chunk,
+              telemetry::TraceContext trace = {});
 
   /// Takes the matches delivered so far (global byte offsets, discovery
   /// order — normalize before comparing with a batch scan). drain() first

@@ -1,0 +1,88 @@
+#include "telemetry/logger.h"
+
+#include <cstdio>
+
+#include "util/stopwatch.h"
+
+namespace acgpu::telemetry {
+
+const char* to_string(LogSeverity severity) {
+  switch (severity) {
+    case LogSeverity::kDebug: return "debug";
+    case LogSeverity::kInfo: return "info";
+    case LogSeverity::kWarn: return "warn";
+    case LogSeverity::kError: return "error";
+  }
+  return "?";
+}
+
+namespace {
+
+void stderr_sink(LogSeverity severity, std::string_view key, std::string_view message) {
+  std::fprintf(stderr, "acgpu [%s] %.*s: %.*s\n", to_string(severity),
+               static_cast<int>(key.size()), key.data(),
+               static_cast<int>(message.size()), message.data());
+}
+
+}  // namespace
+
+Logger::Logger(LoggerOptions options) : options_(std::move(options)) {
+  if (!options_.sink) options_.sink = stderr_sink;
+  if (!options_.clock) options_.clock = [] { return now_ns(); };
+}
+
+void Logger::log(LogSeverity severity, std::string_view key, std::string_view message) {
+  // Decide + record under the mutex, but call the sink outside it: sinks may
+  // be arbitrarily slow (or re-enter a logger-adjacent path).
+  std::string to_emit;
+  {
+    std::scoped_lock lock(mu_);
+    if (severity < options_.min_severity) {
+      ++stats_.filtered;
+      return;
+    }
+    const std::uint64_t now = options_.clock();
+    auto it = keys_.find(key);
+    if (it == keys_.end())
+      it = keys_.emplace(std::string(key), KeyState{now, 0, 0, 0}).first;
+    KeyState& state = it->second;
+    if (options_.window_ns != 0 && now - state.window_start_ns >= options_.window_ns) {
+      state.window_start_ns = now;
+      state.emitted_in_window = 0;
+      state.suppressed_in_window = 0;
+    }
+    if (state.emitted_in_window >= options_.burst) {
+      ++state.suppressed_in_window;
+      ++state.suppressed_total;
+      ++stats_.suppressed;
+      return;
+    }
+    ++state.emitted_in_window;
+    ++stats_.emitted;
+    to_emit.assign(message);
+    // The first message of a re-armed window carries the count of what the
+    // previous window swallowed, so suppression is visible, not silent.
+    if (state.emitted_in_window == 1 && state.suppressed_total > 0)
+      to_emit += " (" + std::to_string(state.suppressed_total) +
+                 " earlier occurrence(s) suppressed)";
+  }
+  options_.sink(severity, key, to_emit);
+}
+
+LoggerStats Logger::stats() const {
+  std::scoped_lock lock(mu_);
+  return stats_;
+}
+
+std::uint64_t Logger::suppressed(std::string_view key) const {
+  std::scoped_lock lock(mu_);
+  const auto it = keys_.find(key);
+  return it == keys_.end() ? 0 : it->second.suppressed_total;
+}
+
+Logger& Logger::global() {
+  static Logger logger;
+  return logger;
+}
+
+}  // namespace acgpu::telemetry

@@ -104,6 +104,10 @@ class Span {
     if (tracer_ != nullptr) tracer_->annotate(key, value);
   }
 
+  /// This span's id within its tracer (0 when tracing is off) — what a
+  /// TraceContext records as parent_span.
+  std::uint64_t id() const { return id_; }
+
  private:
   Tracer* tracer_;
   std::uint64_t id_ = 0;

@@ -1,0 +1,70 @@
+// TraceContext — the causal identity of one request as it crosses layers.
+//
+// A feed() enters at cluster::Router, is parked in a serve::Scheduler queue,
+// coalesced into a superbatch with other sessions' chunks, scanned through
+// the pipeline, and simulated on a device — four layers, up to three threads,
+// and two clock domains. The TraceContext is the thread of Ariadne: the
+// router mints one per request (deterministic ids — run twice, get the same
+// ids), every span the request touches is annotated with its trace id, and
+// Perfetto's query/search joins them back into one causal chain:
+//
+//   router.feed  #tid ──► serve.superbatch  #tid,... ──► pipeline.run
+//    (router process)       (shard k host process)          │
+//                                                    pipeline.batch
+//                                                           │
+//                                                    kernel.simulate
+//
+// Cross-batch links: a superbatch coalesces many sessions' chunks, so its
+// span carries the *list* of member trace ids — one superbatch span joins
+// against every request it served.
+//
+// parent_span records the minting span's id inside the minting tracer; it
+// does not create a Perfetto parent link across processes (those are
+// same-thread nesting links), it preserves causality in the args.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace acgpu::telemetry {
+
+struct TraceContext {
+  std::uint64_t trace_id = 0;     ///< 0 = untraced (tracing off / pre-router)
+  std::uint64_t parent_span = 0;  ///< minting span's id in the minting tracer
+
+  bool valid() const { return trace_id != 0; }
+};
+
+/// Canonical rendering of a trace id in span args ("t0000002a"): fixed-width
+/// hex so Perfetto text search matches whole ids, never prefixes.
+inline std::string trace_id_string(std::uint64_t trace_id) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "t%08llx", static_cast<unsigned long long>(trace_id));
+  return buf;
+}
+
+/// Deterministic trace-id mint: ids are namespace+1, namespace+2, ... in
+/// admission order. With a deterministic workload replay the n-th request
+/// gets the same id in every run, which is what lets tests (and humans
+/// comparing two trace files) name "the" request. Thread-safe.
+class TraceContextMinter {
+ public:
+  explicit TraceContextMinter(std::uint64_t id_namespace = 0)
+      : next_(id_namespace + 1) {}
+
+  TraceContext mint(std::uint64_t parent_span = 0) {
+    return TraceContext{next_.fetch_add(1, std::memory_order_relaxed), parent_span};
+  }
+
+  /// Ids handed out so far.
+  std::uint64_t minted(std::uint64_t id_namespace = 0) const {
+    return next_.load(std::memory_order_relaxed) - id_namespace - 1;
+  }
+
+ private:
+  std::atomic<std::uint64_t> next_;
+};
+
+}  // namespace acgpu::telemetry

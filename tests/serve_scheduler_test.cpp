@@ -23,7 +23,7 @@ SchedulerOptions tiny(std::uint32_t chunks, std::uint64_t bytes,
 }
 
 PendingChunk chunk(SessionId session, std::uint64_t base, std::string bytes) {
-  return PendingChunk{session, base, std::move(bytes)};
+  return PendingChunk{session, base, std::move(bytes), {}};
 }
 
 TEST(ServeScheduler, ChunkCountCapAnswersOverloaded) {
@@ -143,7 +143,7 @@ TEST(ServeScanBatch, RebasesMatchesOntoSessionOffsets) {
   ScanFixture f({"abcd"});
   CoalescedBatch batch;
   batch.text = "xxabcdxx";
-  batch.spans = {{7, 0, 8, 1000}};
+  batch.spans = {{7, 0, 8, 1000, {}}};
   const BatchScan scan = scan_batch(f.engine, f.dfa, batch);
   EXPECT_FALSE(scan.host_fallback);
   ASSERT_EQ(scan.matches.size(), 1u);
@@ -157,7 +157,7 @@ TEST(ServeScanBatch, DropsMatchesFabricatedAcrossAJoint) {
   ScanFixture f({"abcd"});
   CoalescedBatch batch;
   batch.text = "xxabcdyy";
-  batch.spans = {{1, 0, 4, 0}, {2, 4, 8, 0}};
+  batch.spans = {{1, 0, 4, 0, {}}, {2, 4, 8, 0, {}}};
   const BatchScan scan = scan_batch(f.engine, f.dfa, batch);
   EXPECT_TRUE(scan.matches.empty());
 }
@@ -169,7 +169,7 @@ TEST(ServeScanBatch, DropsSameSessionCrossChunkMatchAlreadyOwnedByContinuation) 
   ScanFixture f({"abcd"});
   CoalescedBatch batch;
   batch.text = "xxabcdyy";
-  batch.spans = {{1, 0, 4, 0}, {1, 4, 8, 4}};
+  batch.spans = {{1, 0, 4, 0, {}}, {1, 4, 8, 4, {}}};
   const BatchScan scan = scan_batch(f.engine, f.dfa, batch);
   EXPECT_TRUE(scan.matches.empty());
 }
@@ -178,7 +178,7 @@ TEST(ServeScanBatch, KeepsContainedMatchesOnBothSidesOfAJoint) {
   ScanFixture f({"ab"});
   CoalescedBatch batch;
   batch.text = "abxxab";
-  batch.spans = {{1, 0, 4, 0}, {2, 4, 6, 50}};
+  batch.spans = {{1, 0, 4, 0, {}}, {2, 4, 6, 50, {}}};
   const BatchScan scan = scan_batch(f.engine, f.dfa, batch);
   ASSERT_EQ(scan.matches.size(), 2u);
   EXPECT_EQ(scan.matches[0].session, 1u);
@@ -193,7 +193,7 @@ TEST(ServeScanBatch, HostFallbackOnDeviceOverflowIsExact) {
   ScanFixture f({"a"}, /*match_capacity=*/1);
   CoalescedBatch batch;
   batch.text = std::string(4096, 'a');
-  batch.spans = {{3, 0, 4096, 0}};
+  batch.spans = {{3, 0, 4096, 0, {}}};
   const BatchScan scan = scan_batch(f.engine, f.dfa, batch);
   EXPECT_TRUE(scan.host_fallback);
   ASSERT_EQ(scan.matches.size(), 4096u);

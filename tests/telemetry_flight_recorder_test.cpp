@@ -1,0 +1,179 @@
+// FlightRecorder: wrap-around retention, lock-free concurrent writers,
+// dumps taken while writers are live (the TSan target), ring exhaustion
+// accounting, and the postmortem JSON round trip.
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "telemetry/flight_recorder.h"
+#include "telemetry/json.h"
+#include "telemetry/metrics_registry.h"
+
+namespace acgpu::telemetry {
+namespace {
+
+TEST(FlightRecorderTest, RecordsAndDecodesFields) {
+  FlightRecorder rec;
+  rec.record(FlightEventKind::kAdmission, /*shard=*/3, /*a=*/42, /*b=*/256,
+             /*code=*/7);
+  const std::vector<FlightEvent> events = rec.events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].kind, FlightEventKind::kAdmission);
+  EXPECT_EQ(events[0].shard, 3u);
+  EXPECT_EQ(events[0].a, 42u);
+  EXPECT_EQ(events[0].b, 256u);
+  EXPECT_EQ(events[0].code, 7u);
+  EXPECT_GT(events[0].t_ns, 0u);
+  EXPECT_EQ(rec.recorded(), 1u);
+  EXPECT_EQ(rec.dropped(), 0u);
+}
+
+TEST(FlightRecorderTest, WrapAroundKeepsTheNewestEvents) {
+  FlightRecorderOptions opt;
+  opt.ring_capacity = 8;
+  FlightRecorder rec(opt);
+  for (std::uint64_t i = 0; i < 20; ++i)
+    rec.record(FlightEventKind::kMark, 0, /*a=*/i);
+  EXPECT_EQ(rec.recorded(), 20u);
+
+  const std::vector<FlightEvent> events = rec.events();
+  ASSERT_EQ(events.size(), 8u);
+  // The oldest 12 were overwritten; the survivors are 12..19 in order.
+  for (std::size_t i = 0; i < events.size(); ++i)
+    EXPECT_EQ(events[i].a, 12 + i);
+}
+
+TEST(FlightRecorderTest, CapacityRoundsUpToAPowerOfTwo) {
+  FlightRecorderOptions opt;
+  opt.ring_capacity = 5;  // -> 8
+  FlightRecorder rec(opt);
+  for (std::uint64_t i = 0; i < 8; ++i)
+    rec.record(FlightEventKind::kMark, 0, i);
+  EXPECT_EQ(rec.events().size(), 8u);
+}
+
+TEST(FlightRecorderTest, ConcurrentWritersLoseNothing) {
+  constexpr std::uint32_t kThreads = 4;
+  constexpr std::uint64_t kPerThread = 20000;
+  FlightRecorderOptions opt;
+  opt.ring_capacity = 1u << 15;  // deep enough to retain everything
+  opt.max_threads = kThreads;
+  FlightRecorder rec(opt);
+
+  std::vector<std::thread> writers;
+  for (std::uint32_t t = 0; t < kThreads; ++t)
+    writers.emplace_back([&rec, t] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i)
+        rec.record(FlightEventKind::kMark, t, /*a=*/i);
+    });
+  for (std::thread& w : writers) w.join();
+
+  EXPECT_EQ(rec.recorded(), kThreads * kPerThread);
+  EXPECT_EQ(rec.dropped(), 0u);
+  const std::vector<FlightEvent> events = rec.events();
+  EXPECT_EQ(events.size(), kThreads * kPerThread);
+  // Per writing thread, payloads must come back in program order.
+  std::vector<std::uint64_t> next(kThreads, 0);
+  std::vector<std::uint64_t> seen(kThreads, 0);
+  for (const FlightEvent& e : events) {
+    ASSERT_LT(e.shard, kThreads);
+    EXPECT_GE(e.a, next[e.shard]);
+    next[e.shard] = e.a;
+    ++seen[e.shard];
+  }
+  for (std::uint32_t t = 0; t < kThreads; ++t) EXPECT_EQ(seen[t], kPerThread);
+}
+
+TEST(FlightRecorderTest, DumpDuringConcurrentWritesIsSafe) {
+  // The dump-during-failure case: writers keep appending (wrapping their
+  // rings) while a reader repeatedly snapshots and serializes. Lapped or
+  // torn slots must be discarded, never crash or corrupt the JSON. Run
+  // under -DACGPU_TSAN=ON this is the recorder's race proof.
+  FlightRecorderOptions opt;
+  opt.ring_capacity = 64;  // small: force constant wrap-around
+  FlightRecorder rec(opt);
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (std::uint32_t t = 0; t < 3; ++t)
+    writers.emplace_back([&rec, &stop, t] {
+      std::uint64_t i = 0;
+      while (!stop.load(std::memory_order_relaxed))
+        rec.record(FlightEventKind::kBatchIssue, t, i++);
+    });
+
+  for (int round = 0; round < 50; ++round) {
+    std::ostringstream out;
+    rec.write_postmortem(out, "mid-flight dump");
+    const auto doc = parse_json(out.str());
+    ASSERT_TRUE(doc.has_value()) << "round " << round;
+    const JsonValue* pm = doc->find("postmortem");
+    ASSERT_NE(pm, nullptr);
+    EXPECT_EQ(pm->find("reason")->string(), "mid-flight dump");
+  }
+  stop.store(true);
+  for (std::thread& w : writers) w.join();
+}
+
+TEST(FlightRecorderTest, ThreadsBeyondMaxDropAndAreCounted) {
+  FlightRecorderOptions opt;
+  opt.max_threads = 1;
+  FlightRecorder rec(opt);
+  rec.record(FlightEventKind::kMark);  // this thread takes the only ring
+  std::thread extra([&rec] {
+    for (int i = 0; i < 10; ++i) rec.record(FlightEventKind::kMark);
+  });
+  extra.join();
+  EXPECT_EQ(rec.recorded(), 1u);
+  EXPECT_EQ(rec.dropped(), 10u);
+  EXPECT_EQ(rec.events().size(), 1u);
+}
+
+TEST(FlightRecorderTest, PostmortemJsonRoundTripsWithMetrics) {
+  FlightRecorder rec;
+  rec.record(FlightEventKind::kAdmission, 1, 7, 512);
+  rec.record(FlightEventKind::kShardFailure, 1);
+
+  MetricsRegistry registry;
+  registry.counter("router.feeds").add(99);
+  const MetricsSnapshot snap = registry.snapshot();
+
+  std::ostringstream out;
+  rec.write_postmortem(out, "shard 1 marked failed", &snap);
+  const auto doc = parse_json(out.str());
+  ASSERT_TRUE(doc.has_value());
+
+  const JsonValue* pm = doc->find("postmortem");
+  ASSERT_NE(pm, nullptr);
+  EXPECT_EQ(pm->find("reason")->string(), "shard 1 marked failed");
+  EXPECT_EQ(pm->number_at("recorded"), 2.0);
+  EXPECT_EQ(pm->number_at("dropped"), 0.0);
+
+  const JsonValue* events = pm->find("events");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->array().size(), 2u);
+  EXPECT_EQ(events->array()[0].find("kind")->string(), "admission");
+  EXPECT_EQ(events->array()[0].number_at("a"), 7.0);
+  EXPECT_EQ(events->array()[1].find("kind")->string(), "shard_failure");
+  EXPECT_EQ(events->array()[1].number_at("shard"), 1.0);
+
+  const JsonValue* metrics = doc->find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  EXPECT_EQ(metrics->number_at("router.feeds"), 99.0);
+}
+
+TEST(FlightRecorderTest, PostmortemWithoutMetricsOmitsTheSection) {
+  FlightRecorder rec;
+  rec.record(FlightEventKind::kMark);
+  std::ostringstream out;
+  rec.write_postmortem(out, "manual dump");
+  const auto doc = parse_json(out.str());
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_NE(doc->find("postmortem"), nullptr);
+  EXPECT_EQ(doc->find("metrics"), nullptr);
+}
+
+}  // namespace
+}  // namespace acgpu::telemetry
