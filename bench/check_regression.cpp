@@ -44,6 +44,17 @@
 // pins the 4-device scaling ratio. The degraded --cluster-devices 1 run is
 // checked to FAIL (WILL_FAIL).
 //
+// --mode dispatch gates the adaptive backend dispatcher against
+// bench/baselines/dispatch_baseline.json: the ext_dispatch three-family
+// workload (tiny/mid/large scans through one DispatchEngine, every number
+// deterministic modeled seconds) pins the dispatch.decisions.* routing
+// census, zero mispredictions, the tune-cache counters, and the two
+// acceptance ratios — dispatched vs best-static per family and dispatched
+// vs best-single-static on the mixed sweep. The --dispatch-force worst
+// demo routes every scan to the predicted-slowest backend: the ratios
+// collapse and the decision census shifts, so the gate must FAIL
+// (WILL_FAIL), proving it bites.
+//
 // --mode slo gates the SLO/health monitor tier against
 // bench/baselines/slo_baseline.json: a deterministic 16-session replay
 // across a 4-device cluster with the serving-default SLO policy pins every
@@ -138,6 +149,22 @@ const std::vector<std::string> kSloGatedSeries = {
     "health.0.feed_p99_ns",
 };
 
+/// --mode dispatch pins the dispatcher's routing census and acceptance
+/// ratios over the deterministic three-family workload. Everything is
+/// modeled (cpumodel / gpusim Timed), so every series is exact; the two
+/// gate ratios are the same criteria ext_dispatch enforces.
+const std::vector<std::string> kDispatchGatedSeries = {
+    "dispatch.decisions.serial",
+    "dispatch.decisions.parallel",
+    "dispatch.decisions.gpu",
+    "dispatch.mispredictions",
+    "dispatch.tune_cache.hits",
+    "dispatch.tune_cache.misses",
+    "dispatch.tune_cache.tunes",
+    "dispatch.gate.single_family_min_ratio",
+    "dispatch.gate.mixed_win_ratio",
+};
+
 telemetry::MetricsSnapshot run_workload(const ArgParser& args) {
   const auto size = static_cast<std::uint64_t>(args.get_bytes("size"));
   const std::uint64_t pool_bytes = 4u << 20;
@@ -162,7 +189,12 @@ telemetry::MetricsSnapshot run_workload(const ArgParser& args) {
   opt.device_memory_bytes = 1u << 30;
   opt.telemetry.metrics = &registry;
 
-  Result<Engine> engine = Engine::create(patterns, opt);
+  DeviceOptions dopt;
+  dopt.gpu = opt.gpu;
+  dopt.memory_bytes = opt.device_memory_bytes;
+  Result<Device> device = Device::create(dopt);
+  ACGPU_CHECK(device.is_ok(), device.status().to_string());
+  Result<Engine> engine = Engine::create(device.value(), patterns, opt);
   ACGPU_CHECK(engine.is_ok(), engine.status().to_string());
   Result<ScanResult> scan =
       engine.value().scan({corpus.data(), size});
@@ -269,7 +301,12 @@ telemetry::MetricsSnapshot run_latency_workload(const ArgParser& args) {
   opt.batch_bytes = static_cast<std::uint64_t>(args.get_bytes("batch"));
   opt.mode = gpusim::SimMode::Timed;
   opt.device_memory_bytes = 1u << 30;
-  Result<Engine> engine = Engine::create(patterns, opt);
+  DeviceOptions dopt;
+  dopt.gpu = opt.gpu;
+  dopt.memory_bytes = opt.device_memory_bytes;
+  Result<Device> device = Device::create(dopt);
+  ACGPU_CHECK(device.is_ok(), device.status().to_string());
+  Result<Engine> engine = Engine::create(device.value(), patterns, opt);
   ACGPU_CHECK(engine.is_ok(), engine.status().to_string());
 
   // Replay the trace through the scheduler exactly as serve would: chunks
@@ -501,6 +538,110 @@ telemetry::MetricsSnapshot run_slo_workload(const ArgParser& args) {
   return registry.snapshot();
 }
 
+/// The dispatch workload behind kDispatchGatedSeries: ext_dispatch's
+/// three-family sweep at its default shape (48 tiny 64 B scans, 12 mid
+/// 384 B scans, 3 large 2 MB scans — one family per backend's window),
+/// replayed under the three forced static policies and under the cost
+/// model, single-family and round-robin-mixed. Everything is modeled, so
+/// the decision census, the misprediction count, and both acceptance
+/// ratios are bit-deterministic. --dispatch-force worst swaps the
+/// dispatched sweeps to the predicted-slowest backend.
+telemetry::MetricsSnapshot run_dispatch_workload(const ArgParser& args) {
+  const std::uint64_t seed = static_cast<std::uint64_t>(args.get_int("seed"));
+  const std::string force_name = args.get("dispatch-force");
+  dispatch::ForcePolicy policy = dispatch::ForcePolicy::kAuto;
+  if (force_name == "worst") {
+    policy = dispatch::ForcePolicy::kWorst;
+  } else {
+    ACGPU_CHECK(force_name == "auto",
+                "--dispatch-force must be auto or worst, got '" << force_name
+                                                                << "'");
+  }
+
+  struct Fam {
+    const char* name;
+    std::uint64_t bytes;
+    std::uint32_t count;
+  };
+  constexpr Fam kFams[] = {{"tiny", 64, 48}, {"mid", 384, 12},
+                           {"large", 2u << 20, 3}};
+
+  const std::uint64_t pool_bytes = 4u << 20;
+  const std::uint64_t corpus_bytes = 2 * (2u << 20) + pool_bytes;
+  const std::string corpus = workload::make_corpus(corpus_bytes, seed);
+  workload::ExtractConfig ec;
+  ec.count = static_cast<std::uint32_t>(args.get_int("patterns"));
+  ec.min_length = 6;
+  ec.max_length = 16;
+  ec.word_aligned = true;
+  const ac::PatternSet patterns = workload::extract_patterns(
+      {corpus.data() + corpus_bytes - pool_bytes, pool_bytes}, ec);
+
+  telemetry::MetricsRegistry registry;
+  dispatch::DispatchEngineOptions opt;
+  opt.engine.variant = pipeline::KernelVariant::kShared;
+  opt.engine.streams = 4;
+  opt.engine.batch_bytes = 1u << 20;
+  opt.engine.mode = gpusim::SimMode::Timed;
+  opt.engine.device_memory_bytes = 1u << 30;
+  opt.dispatcher.metrics = &registry;
+  Result<dispatch::DispatchEngine> created =
+      dispatch::DispatchEngine::create(patterns, opt);
+  ACGPU_CHECK(created.is_ok(), created.status().to_string());
+  dispatch::DispatchEngine& engine = created.value();
+
+  const auto scan_seconds = [&](std::string_view text,
+                                dispatch::ForcePolicy p) {
+    Result<dispatch::DispatchResult> r = engine.scan_with(text, p);
+    ACGPU_CHECK(r.is_ok(), r.status().to_string());
+    return r.value().modeled_seconds;
+  };
+  constexpr dispatch::ForcePolicy kStatics[3] = {
+      dispatch::ForcePolicy::kSerial,
+      dispatch::ForcePolicy::kParallel,
+      dispatch::ForcePolicy::kGpu,
+  };
+
+  std::vector<std::vector<std::string_view>> texts(std::size(kFams));
+  for (std::size_t fi = 0; fi < std::size(kFams); ++fi) {
+    const Fam& f = kFams[fi];
+    const std::uint64_t span = corpus_bytes - pool_bytes - f.bytes;
+    for (std::uint32_t i = 0; i < f.count; ++i)
+      texts[fi].emplace_back(
+          corpus.data() + (span / std::max(1u, f.count)) * i, f.bytes);
+  }
+
+  double family_min_ratio = 1e300;
+  for (std::size_t fi = 0; fi < std::size(kFams); ++fi) {
+    double seconds[4] = {0, 0, 0, 0};
+    for (std::string_view text : texts[fi]) {
+      for (int b = 0; b < 3; ++b) seconds[b] += scan_seconds(text, kStatics[b]);
+      seconds[3] += scan_seconds(text, policy);
+    }
+    const double best_static = std::min({seconds[0], seconds[1], seconds[2]});
+    family_min_ratio = std::min(
+        family_min_ratio, seconds[3] > 0 ? best_static / seconds[3] : 0.0);
+  }
+
+  double mixed[4] = {0, 0, 0, 0};
+  std::uint32_t max_count = 0;
+  for (const Fam& f : kFams) max_count = std::max(max_count, f.count);
+  for (std::uint32_t i = 0; i < max_count; ++i)
+    for (std::size_t fi = 0; fi < std::size(kFams); ++fi) {
+      if (i >= kFams[fi].count) continue;
+      for (int b = 0; b < 3; ++b)
+        mixed[b] += scan_seconds(texts[fi][i], kStatics[b]);
+      mixed[3] += scan_seconds(texts[fi][i], policy);
+    }
+  const double mixed_best = std::min({mixed[0], mixed[1], mixed[2]});
+
+  registry.gauge("dispatch.gate.single_family_min_ratio")
+      .set(family_min_ratio);
+  registry.gauge("dispatch.gate.mixed_win_ratio")
+      .set(mixed[3] > 0 ? mixed_best / mixed[3] : 0.0);
+  return registry.snapshot();
+}
+
 std::string read_file(const std::string& path) {
   std::ifstream in(path);
   ACGPU_CHECK(in.good(), "cannot read baseline file " << path);
@@ -520,7 +661,8 @@ int main(int argc, char** argv) {
                 "what to gate: pipeline (canonical Engine workload), serve "
                 "(streaming session service), latency (under-load tail "
                 "latency through the scheduler), cluster (multi-device "
-                "router tier), or slo (per-shard health monitor verdicts)",
+                "router tier), slo (per-shard health monitor verdicts), or "
+                "dispatch (adaptive backend dispatcher routing census)",
                 "pipeline");
   args.add_flag("baseline", "baseline JSON to gate against",
                 "bench/baselines/telemetry_baseline.json");
@@ -530,6 +672,10 @@ int main(int argc, char** argv) {
                 "mode=slo: feed this shard's sessions past quota to force an "
                 "SLO breach (-1 = reference run)",
                 "-1");
+  args.add_flag("dispatch-force",
+                "mode=dispatch: policy for the dispatched sweeps — auto, or "
+                "worst (the degraded demo: ratios collapse, gate must fail)",
+                "auto");
   args.add_flag("latency-batches", "mode=latency: superbatches to replay", "48");
   args.add_flag("latency-interval-us",
                 "mode=latency: superbatch arrival interval (microseconds)",
@@ -551,20 +697,22 @@ int main(int argc, char** argv) {
     if (!args.parse(argc, argv)) return 0;
     const std::string mode = args.get("mode");
     ACGPU_CHECK(mode == "pipeline" || mode == "serve" || mode == "latency" ||
-                    mode == "cluster" || mode == "slo",
-                "--mode must be pipeline, serve, latency, cluster, or slo, "
-                "got '" << mode << "'");
+                    mode == "cluster" || mode == "slo" || mode == "dispatch",
+                "--mode must be pipeline, serve, latency, cluster, slo, or "
+                "dispatch, got '" << mode << "'");
     const bool serve_mode = mode == "serve";
     const bool latency_mode = mode == "latency";
     const bool cluster_mode = mode == "cluster";
     const bool slo_mode = mode == "slo";
+    const bool dispatch_mode = mode == "dispatch";
 
     const telemetry::MetricsSnapshot snapshot =
-        serve_mode     ? run_serve_workload(args)
-        : latency_mode ? run_latency_workload(args)
-        : cluster_mode ? run_cluster_workload(args)
-        : slo_mode     ? run_slo_workload(args)
-                       : run_workload(args);
+        serve_mode      ? run_serve_workload(args)
+        : latency_mode  ? run_latency_workload(args)
+        : cluster_mode  ? run_cluster_workload(args)
+        : slo_mode      ? run_slo_workload(args)
+        : dispatch_mode ? run_dispatch_workload(args)
+                        : run_workload(args);
 
     const std::string snapshot_path = args.get("snapshot");
     if (!snapshot_path.empty()) {
@@ -578,11 +726,12 @@ int main(int argc, char** argv) {
       std::ofstream out(write_path);
       ACGPU_CHECK(out.good(), "cannot write " << write_path);
       const std::vector<std::string>& gated =
-          serve_mode     ? kServeGatedSeries
-          : latency_mode ? kLatencyGatedSeries
-          : cluster_mode ? kClusterGatedSeries
-          : slo_mode     ? kSloGatedSeries
-                         : kGatedSeries;
+          serve_mode      ? kServeGatedSeries
+          : latency_mode  ? kLatencyGatedSeries
+          : cluster_mode  ? kClusterGatedSeries
+          : slo_mode      ? kSloGatedSeries
+          : dispatch_mode ? kDispatchGatedSeries
+                          : kGatedSeries;
       telemetry::write_baseline(snapshot, gated, args.get_double("slack"), out);
       std::printf("check_regression: wrote %s (re-banded %zu series)\n",
                   write_path.c_str(), gated.size());
@@ -621,6 +770,11 @@ int main(int argc, char** argv) {
             "check_regression: PASS (%zu checks, slo @ 4 devices, every "
             "shard ok)\n",
             verdict.checks);
+      else if (dispatch_mode)
+        std::printf(
+            "check_regression: PASS (%zu checks, dispatch @ 3 families, "
+            "force=%s)\n",
+            verdict.checks, args.get("dispatch-force").c_str());
       else
         std::printf("check_regression: PASS (%zu checks, %s @ %lld stream(s))\n",
                     verdict.checks, format_bytes(args.get_bytes("size")).c_str(),

@@ -94,7 +94,12 @@ int main(int argc, char** argv) {
         opt.telemetry.recorder = &recorder;
         opt.telemetry.logger = &logger;
       }
-      Result<Engine> engine = Engine::create(patterns, opt);
+      DeviceOptions dopt;
+      dopt.gpu = opt.gpu;
+      dopt.memory_bytes = opt.device_memory_bytes;
+      Result<Device> device = Device::create(dopt);
+      ACGPU_CHECK(device.is_ok(), device.status().to_string());
+      Result<Engine> engine = Engine::create(device.value(), patterns, opt);
       ACGPU_CHECK(engine.is_ok(), engine.status().to_string());
       Stopwatch clock;
       Result<ScanResult> scan = engine.value().scan({corpus.data(), size});

@@ -7,8 +7,10 @@
 //
 // The board stands up an in-process cluster::Router with the full
 // observability stack armed — metrics registry, flight recorder, and the
-// serving-default SLO health monitor — drives seeded session traffic
-// through it, and refreshes a per-shard table: health state, windowed
+// serving-default SLO health monitor, plus a shared adaptive dispatcher
+// routing every coalesced superbatch host-vs-device — drives seeded
+// session traffic through it, and refreshes a per-shard table: health
+// state, windowed
 // p50/p99 feed latency, queue depth, error/eviction rates, and which SLO
 // dimensions are breached. With --overload K the driver feeds shard K's
 // sessions past their byte quota every frame, so the board shows the
@@ -94,7 +96,8 @@ int view_postmortem(const std::string& path) {
 }
 
 void render(cluster::Router& cl, const telemetry::FlightRecorder& recorder,
-            std::uint32_t frame, bool ansi) {
+            const dispatch::Dispatcher& dispatcher, std::uint32_t frame,
+            bool ansi) {
   if (ansi) std::printf("\x1b[H\x1b[J");
   const cluster::RouterStats rs = cl.stats();
   std::printf(
@@ -106,6 +109,17 @@ void render(cluster::Router& cl, const telemetry::FlightRecorder& recorder,
       format_bytes(rs.bytes).c_str(),
       static_cast<unsigned long long>(recorder.recorded()),
       static_cast<unsigned long long>(recorder.dropped()));
+  const dispatch::DispatchStats ds = dispatcher.stats();
+  std::printf(
+      "dispatch — serial %llu | parallel %llu | gpu %llu | mispredictions "
+      "%llu\n",
+      static_cast<unsigned long long>(
+          ds.decisions[static_cast<int>(dispatch::Backend::kSerialCpu)]),
+      static_cast<unsigned long long>(
+          ds.decisions[static_cast<int>(dispatch::Backend::kParallelCpu)]),
+      static_cast<unsigned long long>(
+          ds.decisions[static_cast<int>(dispatch::Backend::kGpuPipeline)]),
+      static_cast<unsigned long long>(ds.mispredictions));
   std::printf("%5s %-10s %-10s %5s %8s %6s %6s %8s %8s %6s %6s  %s\n", "SHARD",
               "DEVICE", "STATE", "SESS", "FEEDS", "REJ", "QUEUE", "P50(ms)",
               "P99(ms)", "ERR%", "EVI%", "BREACHED");
@@ -170,6 +184,19 @@ int main(int argc, char** argv) {
 
     telemetry::MetricsRegistry registry;
     telemetry::FlightRecorder recorder;
+
+    // One advisory dispatcher shared by every shard: each coalesced
+    // superbatch is routed host-vs-device by the cost model, and the
+    // dispatch.* census lands in the same registry the board reads. The
+    // DFA must outlive the dispatcher, the dispatcher the router.
+    const ac::PatternSet fleet_patterns({"he", "she", "his", "hers", "ab"});
+    const ac::Automaton fleet_automaton(fleet_patterns);
+    const ac::Dfa fleet_dfa(fleet_automaton, fleet_patterns,
+                            /*pad_pitch_to=*/8);
+    dispatch::DispatcherOptions dispatch_opt;
+    dispatch_opt.metrics = &registry;
+    dispatch::Dispatcher dispatcher(fleet_dfa, dispatch_opt);
+
     cluster::ClusterOptions opt;
     opt.devices = devices;
     opt.engine.mode = gpusim::SimMode::Functional;
@@ -177,8 +204,15 @@ int main(int argc, char** argv) {
     opt.engine.device_memory_bytes = 64u << 20;
     opt.max_sessions_per_shard = static_cast<std::uint32_t>(sessions) + 1;
     opt.admission = serve::AdmissionPolicy::kAutoFlush;
+    // AutoFlush only scans when a feed finds the queue full, so bound the
+    // per-shard queue at a frame's worth of chunks: superbatches then flush
+    // inline while the board is up and the dispatch census advances live.
+    opt.coalesce_bytes = 2 * chunk;
+    opt.max_queue_chunks = 4;
+    opt.max_queue_bytes = 4 * chunk;
     opt.metrics = &registry;
     opt.recorder = &recorder;
+    opt.dispatcher = &dispatcher;
     opt.slo = telemetry::SloPolicy::serving_defaults();
     // Small windows so the board reacts within a few frames.
     opt.slo.window = 64;
@@ -190,8 +224,7 @@ int main(int argc, char** argv) {
     // everyone else (1 chunk per frame) stays at half quota.
     if (overload >= 0) opt.session_limits.max_bytes = 2ull * frames * chunk;
 
-    auto router = cluster::Router::create(
-        ac::PatternSet({"he", "she", "his", "hers", "ab"}), opt);
+    auto router = cluster::Router::create(fleet_patterns, opt);
     ACGPU_CHECK(router.is_ok(), router.status().to_string());
     cluster::Router& cl = router.value();
 
@@ -217,7 +250,7 @@ int main(int argc, char** argv) {
             throw Error(s.to_string());
         }
       }
-      render(cl, recorder, frame, !once && frame > 1);
+      render(cl, recorder, dispatcher, frame, !once && frame > 1);
       if (!once && frame < frames)
         std::this_thread::sleep_for(
             std::chrono::milliseconds(args.get_int("refresh-ms")));

@@ -6,8 +6,10 @@
 #include <ostream>
 #include <unordered_map>
 
+#include "ac/parallel_matcher.h"
 #include "ac/serial_matcher.h"
 #include "cluster/merge.h"
+#include "dispatch/dispatcher.h"
 #include "pipeline/telemetry_export.h"
 #include "telemetry/flight_recorder.h"
 #include "telemetry/logger.h"
@@ -367,6 +369,7 @@ Result<Router> Router::create(const ac::PatternSet& patterns,
     so.recorder = options.recorder;
     so.shard = k;
     so.host_observer = options.host_observer;
+    so.dispatcher = options.dispatcher;
     Result<serve::StreamService> service =
         serve::StreamService::create(patterns, so);
     if (!service.is_ok()) return service.status();
@@ -536,6 +539,42 @@ Result<ClusterScanResult> Router::scan(std::string_view text) {
   result.per_device_seconds.assign(im.shards.size(), 0.0);
   if (text.empty()) return result;
 
+  // Adaptive routing: a CPU decision answers from the host DFA without
+  // touching a device; a GPU decision takes the scatter below and feeds
+  // the merged makespan back into the model afterwards.
+  dispatch::Decision decision;
+  dispatch::WorkloadSignature sig;
+  const bool dispatched = im.options.dispatcher != nullptr;
+  if (dispatched) {
+    dispatch::Dispatcher& dsp = *im.options.dispatcher;
+    sig = dsp.signature(text, /*session=*/false);
+    decision = dsp.choose(sig);
+    if (decision.backend != dispatch::Backend::kGpuPipeline) {
+      const ac::Dfa& dfa = im.shards[healthy.front()].service->dfa();
+      const dispatch::CostModelConfig& cfg = dsp.cost_model().config();
+      if (decision.backend == dispatch::Backend::kSerialCpu) {
+        result.matches = ac::find_all(dfa, text);
+        result.makespan_seconds =
+            dispatch::modeled_serial_seconds(dfa, text, cfg.cpu);
+      } else {
+        result.matches = ac::find_all_parallel(dfa, text, cfg.parallel_threads);
+        result.makespan_seconds =
+            dispatch::modeled_parallel_seconds(dfa, text, cfg);
+      }
+      ac::normalize_matches(result.matches);
+      dsp.observe(decision, sig, result.makespan_seconds);
+      ++im.stats.scans;
+      im.stats.matches_merged += result.matches.size();
+      if (im.has_metrics) {
+        im.m.scans->add(1);
+        im.m.matches_merged->add(result.matches.size());
+        im.m.scan_makespan->set(result.makespan_seconds);
+        im.m.scan_gbps->set(result.throughput_gbps());
+      }
+      return result;
+    }
+  }
+
   for (std::uint32_t k : healthy)
     if (Status s = im.ensure_bulk_engine(k); !s) return s;
 
@@ -593,6 +632,10 @@ Result<ClusterScanResult> Router::scan(std::string_view text) {
   result.makespan_seconds = *std::max_element(result.per_device_seconds.begin(),
                                               result.per_device_seconds.end());
   result.matches = merge_sorted(std::move(parts));
+  // A host-fallback slab's time never reached per_device_seconds — the
+  // makespan is not a clean GPU measurement, so it must not refine the curve.
+  if (dispatched && !result.host_fallback)
+    im.options.dispatcher->observe(decision, sig, result.makespan_seconds);
   ++im.stats.scans;
   im.stats.matches_merged += result.matches.size();
   if (im.has_metrics) {

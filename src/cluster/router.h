@@ -118,6 +118,15 @@ struct ClusterOptions {
   /// mutexes, and every device's stream/lease activity. Null = off.
   gpusim::HostObserver* host_observer = nullptr;
 
+  /// Adaptive backend routing (dispatch/dispatcher.h): when set, bulk
+  /// scan() consults the cost model first — a CPU decision runs the whole
+  /// text on the host DFA (no scatter, devices_used = 0) and a GPU
+  /// decision takes the scatter/gather path, feeding the merged makespan
+  /// back; every shard's serve layer shares the same dispatcher for its
+  /// superbatches. It must outlive the Router. Null = classic
+  /// always-scatter behavior.
+  dispatch::Dispatcher* dispatcher = nullptr;
+
   Status validate() const;
 };
 

@@ -1,0 +1,129 @@
+#include "dispatch/autotuner.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace acgpu::dispatch {
+
+std::string chip_salt(const gpusim::GpuConfig& gpu) {
+  return "sms" + std::to_string(gpu.num_sms) + ".clk" +
+         std::to_string(gpu.clock_ghz) + ".tpbmax" +
+         std::to_string(gpu.max_threads_per_sm);
+}
+
+std::string make_probe_text(const ac::PatternSet& patterns,
+                            const SignatureBucket& bucket,
+                            std::uint64_t max_bytes, std::uint64_t seed) {
+  const std::uint64_t want = bucket.size_class >= 63
+                                 ? max_bytes
+                                 : (std::uint64_t{1} << bucket.size_class);
+  const std::uint64_t size =
+      std::clamp<std::uint64_t>(want, 4u << 10, std::max<std::uint64_t>(
+                                                    4u << 10, max_bytes));
+  Rng rng(derive_seed(seed, 0x7e57));
+  std::string text;
+  text.reserve(size);
+  while (text.size() < size) {
+    // ~1 planted pattern fragment per 256 filler bytes keeps the match
+    // density realistic without flooding match buffers.
+    if (!patterns.empty() && rng.next_below(256) == 0) {
+      std::string_view p = patterns[rng.next_below(
+          static_cast<std::uint64_t>(patterns.size()))];
+      text.append(p.substr(0, std::min<std::size_t>(p.size(),
+                                                    size - text.size())));
+    } else {
+      text.push_back(static_cast<char>('a' + rng.next_below(26)));
+    }
+  }
+  return text;
+}
+
+Autotuner::Autotuner(Device& device, const ac::PatternSet& patterns,
+                     const EngineOptions& base)
+    : device_(device),
+      patterns_(patterns),
+      base_(base),
+      dict_hash_(dictionary_hash(patterns, chip_salt(device.gpu()))) {}
+
+Result<TuneOutcome> Autotuner::tune(const SignatureBucket& bucket,
+                                    const TuneBudget& budget,
+                                    TuneCache* cache) {
+  const std::string bucket_id = bucket_key(bucket);
+  if (cache != nullptr) {
+    if (auto hit = cache->find(dict_hash_, bucket_id)) {
+      TuneOutcome out;
+      out.params = *hit;
+      out.from_cache = true;
+      return out;
+    }
+  }
+
+  // Candidate grid, most-promising-first so small budgets still cover the
+  // axes that matter most (threads_per_block, then staging scheme).
+  std::vector<TunedParams> candidates;
+  const auto push = [&](std::uint32_t tpb, std::uint32_t streams,
+                        std::uint32_t pool, bool split,
+                        std::uint64_t chunk) {
+    TunedParams p;
+    p.threads_per_block = tpb;
+    p.streams = streams;
+    p.pool_depth = pool;
+    p.split_readback = split;
+    p.chunk_bytes = chunk;
+    candidates.push_back(p);
+  };
+  push(base_.threads_per_block, base_.streams, base_.pool_depth,
+       base_.split_readback, base_.chunk_bytes);  // baseline first
+  push(256, 4, 8, true, 0);
+  push(128, 4, 8, true, 0);
+  push(256, 2, 0, true, 0);
+  push(64, 4, 8, true, 0);
+  push(256, 4, 8, false, 0);
+  push(256, 8, 8, true, 0);
+  push(128, 8, 8, true, 0);
+  push(256, 4, 2, true, 0);
+  push(512, 4, 8, true, 0);
+  push(256, 4, 8, true, 64u << 10);
+  push(128, 2, 0, false, 0);
+  if (candidates.size() > budget.max_configs)
+    candidates.resize(std::max<std::uint32_t>(1, budget.max_configs));
+
+  const std::string probe =
+      make_probe_text(patterns_, bucket, budget.probe_bytes,
+                      derive_seed(dict_hash_, bucket.size_class));
+
+  TuneOutcome out;
+  bool have_winner = false;
+  for (const TunedParams& cand : candidates) {
+    EngineOptions opt = base_;
+    opt.mode = gpusim::SimMode::Timed;  // sampled blocks: cheap, modeled
+    opt.threads_per_block = cand.threads_per_block;
+    opt.streams = cand.streams;
+    opt.pool_depth = cand.pool_depth;
+    opt.split_readback = cand.split_readback;
+    opt.chunk_bytes = cand.chunk_bytes;
+    Result<Engine> engine = Engine::create(device_, patterns_, opt);
+    if (!engine.is_ok()) continue;  // invalid combo for this device: skip
+    Result<ScanResult> scan = engine.value().scan(probe);
+    if (!scan.is_ok()) continue;
+    ++out.configs_tried;
+    const double seconds = scan.value().stats.makespan_seconds;
+    if (!have_winner || seconds < out.probe_seconds) {
+      have_winner = true;
+      out.probe_seconds = seconds;
+      out.params = cand;
+      out.params.gbps = seconds > 0.0
+                            ? static_cast<double>(probe.size()) / seconds / 1e9
+                            : 0.0;
+    }
+  }
+  if (!have_winner)
+    return Status::internal("autotune: no candidate config ran for bucket " +
+                            bucket_id);
+  if (cache != nullptr) cache->insert(dict_hash_, bucket_id, out.params);
+  return out;
+}
+
+}  // namespace acgpu::dispatch

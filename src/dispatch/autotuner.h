@@ -1,0 +1,78 @@
+// acgpu::dispatch::Autotuner — offline per-bucket sweep of pipeline knobs.
+//
+// For one dictionary on one device, the autotuner sweeps the EngineOptions
+// knobs that moved the needle in the paper's Figs 13-23 and the pipeline
+// benches — threads_per_block, chunk_bytes, pool_depth, and the staging
+// scheme (streams x split_readback) — over a deterministic synthetic probe
+// text sized for the signature bucket, in Timed mode (sampled blocks,
+// extrapolated makespan: cheap). The winner (minimum modeled makespan) is
+// stored in the TuneCache keyed by (dictionary content hash, bucket key),
+// so the second process with the same dictionary re-tunes nothing.
+//
+// "Offline" means: run from the ext_dispatch CLI or a CI step with a
+// budget, never on the scan path. The DispatchEngine only *reads* the
+// cache at creation (tune-on-miss is opt-in via DispatcherOptions).
+#pragma once
+
+#include <cstdint>
+
+#include "dispatch/signature.h"
+#include "dispatch/tune_cache.h"
+#include "pipeline/engine.h"
+
+namespace acgpu::dispatch {
+
+struct TuneBudget {
+  /// Cap on candidate configurations measured per bucket. The candidate
+  /// list is deterministic, ordered most-promising-first, and truncated to
+  /// this cap — a budget of 1 measures only the baseline config.
+  std::uint32_t max_configs = 12;
+  /// Cap on the synthetic probe text (the bucket's representative size is
+  /// clamped to [4 KiB, probe_bytes]).
+  std::uint64_t probe_bytes = 1u << 20;
+
+  /// CI smoke budget: 4 configs, 128 KiB probes.
+  static TuneBudget small() { return TuneBudget{4, 128u << 10}; }
+};
+
+struct TuneOutcome {
+  TunedParams params;
+  bool from_cache = false;       ///< cache hit — nothing was measured
+  std::uint32_t configs_tried = 0;
+  double probe_seconds = 0.0;    ///< winner's modeled makespan on the probe
+};
+
+class Autotuner {
+ public:
+  /// Engines are created per candidate against `device`; `base` supplies
+  /// every knob the sweep does not touch (variant, placement, mode is
+  /// forced to Timed). The pattern set and device must outlive the tuner.
+  Autotuner(Device& device, const ac::PatternSet& patterns,
+            const EngineOptions& base);
+
+  /// Tunes one bucket. When `cache` is non-null it is consulted first
+  /// (hit => from_cache, zero configs tried) and the winner is inserted
+  /// on miss; the caller decides when to save() the cache to disk.
+  Result<TuneOutcome> tune(const SignatureBucket& bucket,
+                           const TuneBudget& budget, TuneCache* cache);
+
+  std::uint64_t dict_hash() const { return dict_hash_; }
+
+ private:
+  Device& device_;
+  const ac::PatternSet& patterns_;
+  EngineOptions base_;
+  std::uint64_t dict_hash_;
+};
+
+/// Deterministic probe text for a bucket: pattern fragments planted in
+/// seeded random filler, sized 2^size_class clamped to [4 KiB, max_bytes].
+std::string make_probe_text(const ac::PatternSet& patterns,
+                            const SignatureBucket& bucket,
+                            std::uint64_t max_bytes, std::uint64_t seed);
+
+/// Chip identity folded into dictionary_hash's salt: tuned winners for one
+/// simulated chip must not be replayed on another.
+std::string chip_salt(const gpusim::GpuConfig& gpu);
+
+}  // namespace acgpu::dispatch

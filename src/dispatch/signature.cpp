@@ -1,0 +1,84 @@
+#include "dispatch/signature.h"
+
+#include <algorithm>
+#include <bitset>
+#include <cstdio>
+
+namespace acgpu::dispatch {
+namespace {
+
+std::uint8_t log2_class(std::uint64_t v) {
+  std::uint8_t c = 0;
+  while (v > 1) {
+    v >>= 1;
+    ++c;
+  }
+  return c;
+}
+
+}  // namespace
+
+PatternStats compute_pattern_stats(const ac::Dfa& dfa) {
+  PatternStats stats;
+  stats.pattern_count = static_cast<std::uint32_t>(dfa.pattern_count());
+  stats.max_pattern_len = dfa.max_pattern_length();
+  stats.state_count = dfa.state_count();
+  stats.stt_bytes = dfa.stt_bytes();
+  std::uint64_t total = 0;
+  for (std::uint32_t len : dfa.pattern_lengths()) total += len;
+  stats.avg_pattern_len =
+      stats.pattern_count == 0
+          ? 0.0
+          : static_cast<double>(total) / static_cast<double>(stats.pattern_count);
+  return stats;
+}
+
+WorkloadSignature make_signature(const PatternStats& stats,
+                                 std::string_view text, bool session) {
+  WorkloadSignature sig;
+  sig.text_bytes = text.size();
+  sig.pattern_count = stats.pattern_count;
+  sig.max_pattern_len = stats.max_pattern_len;
+  sig.avg_pattern_len = stats.avg_pattern_len;
+  sig.session = session;
+  if (!text.empty()) {
+    // Evenly strided sample: O(kDensitySampleBytes) regardless of text size.
+    std::bitset<256> seen;
+    const std::size_t n = std::min(text.size(), kDensitySampleBytes);
+    const std::size_t stride = std::max<std::size_t>(1, text.size() / n);
+    std::size_t sampled = 0;
+    for (std::size_t i = 0; i < text.size() && sampled < n; i += stride, ++sampled)
+      seen.set(static_cast<std::uint8_t>(text[i]));
+    sig.alphabet_density = static_cast<double>(seen.count()) / 256.0;
+  }
+  return sig;
+}
+
+WorkloadSignature make_signature(const ac::Dfa& dfa, std::string_view text,
+                                 bool session) {
+  return make_signature(compute_pattern_stats(dfa), text, session);
+}
+
+SignatureBucket bucket_of(const WorkloadSignature& sig) {
+  SignatureBucket b;
+  b.size_class = sig.text_bytes == 0 ? 0 : log2_class(sig.text_bytes);
+  b.pattern_class = sig.pattern_count == 0 ? 0 : log2_class(sig.pattern_count);
+  b.length_class =
+      sig.max_pattern_len == 0 ? 0 : log2_class(sig.max_pattern_len);
+  double d = std::clamp(sig.alphabet_density, 0.0, 1.0);
+  b.density_class = static_cast<std::uint8_t>(
+      std::min(7, static_cast<int>(d * 8.0)));
+  b.session = sig.session;
+  return b;
+}
+
+std::string bucket_key(const SignatureBucket& bucket) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "s%u.p%u.l%u.d%u.%s",
+                unsigned(bucket.size_class), unsigned(bucket.pattern_class),
+                unsigned(bucket.length_class), unsigned(bucket.density_class),
+                bucket.session ? "sess" : "bulk");
+  return std::string(buf);
+}
+
+}  // namespace acgpu::dispatch

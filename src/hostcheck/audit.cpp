@@ -69,7 +69,16 @@ HostAuditOutcome audit_pipeline(const CompiledWorkload& workload,
     eo.batch_bytes = spec.batch_bytes;
     eo.match_capacity = capacity;
     eo.host_observer = &recorder;
-    Result<Engine> engine = Engine::create(workload.patterns(), eo);
+    DeviceOptions dopt;
+    dopt.gpu = eo.gpu;
+    dopt.memory_bytes = eo.device_memory_bytes;
+    dopt.host_observer = eo.host_observer;
+    Result<Device> device = Device::create(dopt);
+    ACGPU_CHECK(device.is_ok(), "hostcheck audit: Device::create failed on "
+                                 << workload.name() << ": "
+                                 << device.status().message());
+    Result<Engine> engine =
+        Engine::create(device.value(), workload.patterns(), eo);
     ACGPU_CHECK(engine.is_ok(), "hostcheck audit: Engine::create failed on "
                                  << workload.name() << ": "
                                  << engine.status().message());

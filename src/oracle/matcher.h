@@ -95,7 +95,7 @@ std::vector<ac::Match> reference_matches(const CompiledWorkload& workload);
 /// Registry of the built-in adapters. Names (one per variant):
 ///   naive, nfa, serial, chunked, parallel, stream, compressed, pfac,
 ///   gpu-global, gpu-shared, gpu-shared-naive, gpu-compressed, gpu-pfac,
-///   pipeline, serve
+///   pipeline, serve, router, dispatch
 const std::vector<std::string>& registered_matcher_names();
 
 /// Instantiates one registered adapter; throws acgpu::Error on an unknown

@@ -19,6 +19,7 @@
 #include "oracle/matcher.h"
 #include "pipeline/pipeline.h"
 #include "cluster/router.h"
+#include "dispatch/dispatcher.h"
 #include "serve/service.h"
 #include "util/error.h"
 #include "util/rng.h"
@@ -578,6 +579,67 @@ class RouterMatcher final : public Matcher {
   }
 };
 
+/// Adaptive-dispatch adapter: drives the DispatchEngine facade
+/// (dispatch/dispatcher.h). The salt draws the kernel variant, stream
+/// count, batch size — and, crucially, the force policy from all five of
+/// {auto, serial, parallel, gpu, worst}: whatever backend the cost model
+/// (or the override) picks, the match multiset must be identical, which is
+/// exactly the dispatcher's correctness contract — routing is a pure
+/// timing decision, invisible to matches. Calibration probes are skipped
+/// (analytic seed only) so Functional-mode trials stay fast. Overrides
+/// try_run to forward the engine's own Status codes.
+class DispatchMatcher final : public Matcher {
+ public:
+  const std::string& name() const override {
+    static const std::string n = "dispatch";
+    return n;
+  }
+
+  std::vector<ac::Match> run(const CompiledWorkload& w, std::uint64_t salt) const override {
+    return try_run(w, salt).value();  // throws acgpu::Error on a failed Status
+  }
+
+  Result<std::vector<ac::Match>> try_run(const CompiledWorkload& w,
+                                         std::uint64_t salt) const override {
+    Rng rng(derive_seed(salt, /*stream=*/17));
+    dispatch::DispatchEngineOptions opt;
+    static constexpr pipeline::KernelVariant kVariants[] = {
+        pipeline::KernelVariant::kShared,
+        pipeline::KernelVariant::kGlobalOnly,
+        pipeline::KernelVariant::kPfac,
+    };
+    opt.engine.variant = kVariants[rng.next_below(std::size(kVariants))];
+    opt.engine.streams = 1 + static_cast<std::uint32_t>(rng.next_below(3));
+    const std::uint64_t cap = rng.next_bool(0.25)
+                                  ? w.text().size() + 16
+                                  : std::min<std::uint64_t>(w.text().size(), 64);
+    opt.engine.batch_bytes = rng.next_in(1, std::max<std::uint64_t>(1, cap));
+    opt.engine.chunk_bytes = pick_chunk_bytes(w, 32);
+    opt.engine.threads_per_block = 64;
+    opt.engine.mode = gpusim::SimMode::Functional;
+    opt.engine.gpu = sim_config();
+    opt.engine.device_memory_bytes = 64u << 20;
+    opt.calibrate = false;
+    static constexpr dispatch::ForcePolicy kPolicies[] = {
+        dispatch::ForcePolicy::kAuto,     dispatch::ForcePolicy::kSerial,
+        dispatch::ForcePolicy::kParallel, dispatch::ForcePolicy::kGpu,
+        dispatch::ForcePolicy::kWorst,
+    };
+    opt.dispatcher.force = kPolicies[rng.next_below(std::size(kPolicies))];
+
+    for (std::uint32_t capacity = 64; capacity <= (1u << 14); capacity *= 4) {
+      opt.engine.match_capacity = capacity;
+      Result<dispatch::DispatchEngine> engine =
+          dispatch::DispatchEngine::create(w.patterns(), opt);
+      if (!engine.is_ok()) return engine.status();
+      Result<dispatch::DispatchResult> scan = engine.value().scan(w.text());
+      if (!scan.is_ok()) return scan.status();
+      if (!scan.value().overflowed) return std::move(scan).value().matches;
+    }
+    return Status::internal("dispatch adapter overflowed at every capacity");
+  }
+};
+
 // ---------------------------------------------------------------------------
 // Registry
 // ---------------------------------------------------------------------------
@@ -606,6 +668,7 @@ std::unique_ptr<Matcher> instantiate(std::string_view name) {
   if (name == "pipeline") return std::make_unique<PipelineMatcher>();
   if (name == "serve") return std::make_unique<ServeMatcher>();
   if (name == "router") return std::make_unique<RouterMatcher>();
+  if (name == "dispatch") return std::make_unique<DispatchMatcher>();
   return nullptr;
 }
 
@@ -617,6 +680,7 @@ const std::vector<std::string>& registered_matcher_names() {
       "parallel",   "stream",     "compressed",     "pfac",
       "gpu-global", "gpu-shared", "gpu-shared-naive", "gpu-compressed",
       "gpu-pfac",   "pipeline",   "serve",          "router",
+      "dispatch",
   };
   return names;
 }

@@ -112,6 +112,11 @@ Result<Engine> Engine::create(Device& device, ac::Dfa dfa,
   return build(device, nullptr, nullptr, &dfa, options);
 }
 
+// Definitions of the deprecated shims themselves (the attribute warns on
+// use, and a definition counts as one on some toolchains).
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
 Result<Engine> Engine::create(const ac::PatternSet& patterns,
                               const EngineOptions& options) {
   if (patterns.empty()) return Status::invalid_argument("empty pattern set");
@@ -135,6 +140,8 @@ Result<Engine> Engine::create(ac::Dfa dfa, const EngineOptions& options) {
   Device& ref = *owned;
   return build(ref, std::move(owned), nullptr, &dfa, options);
 }
+
+#pragma GCC diagnostic pop
 
 Result<ScanResult> Engine::scan(std::string_view text) {
   if (pipeline_ == nullptr)

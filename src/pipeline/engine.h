@@ -146,10 +146,17 @@ class Engine {
                                const EngineOptions& options = {});
 
   /// DEPRECATED single-device shims: create a private Device per engine
-  /// from EngineOptions::gpu / device_memory_bytes / host_observer. Kept so
-  /// pre-cluster call sites compile unchanged; see docs/PIPELINE.md.
+  /// from EngineOptions::gpu / device_memory_bytes / host_observer. Every
+  /// internal caller has been ported to the explicit-Device overloads (or
+  /// to a facade that owns its device — serve::StreamService,
+  /// dispatch::DispatchEngine); -Werror builds flag new uses. See
+  /// docs/PIPELINE.md for the migration recipe.
+  [[deprecated(
+      "create a Device explicitly and call Engine::create(device, ...)")]]
   static Result<Engine> create(const ac::PatternSet& patterns,
                                const EngineOptions& options = {});
+  [[deprecated(
+      "create a Device explicitly and call Engine::create(device, ...)")]]
   static Result<Engine> create(ac::Dfa dfa, const EngineOptions& options = {});
 
   /// Matches `text` through the batched multi-stream pipeline. Safe to call

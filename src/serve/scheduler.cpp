@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <mutex>
 
+#include "ac/parallel_matcher.h"
 #include "ac/serial_matcher.h"
+#include "dispatch/dispatcher.h"
 
 namespace acgpu::serve {
 
@@ -140,6 +142,42 @@ BatchScan scan_batch(Engine& engine, const ac::Dfa& dfa,
   // the host DFA is always exact, so serving degrades instead of dropping.
   out.host_fallback = true;
   partition_matches(ac::find_all(dfa, batch.text), dfa, batch, out);
+  return out;
+}
+
+BatchScan scan_batch(Engine& engine, const ac::Dfa& dfa,
+                     const CoalescedBatch& batch,
+                     dispatch::Dispatcher* dispatcher) {
+  if (dispatcher == nullptr) return scan_batch(engine, dfa, batch);
+  BatchScan out;
+  if (batch.text.empty()) return out;
+
+  const dispatch::WorkloadSignature sig =
+      dispatcher->signature(batch.text, /*session=*/true);
+  const dispatch::Decision decision = dispatcher->choose(sig);
+  const dispatch::CostModelConfig& cfg = dispatcher->cost_model().config();
+
+  switch (decision.backend) {
+    case dispatch::Backend::kSerialCpu:
+      out.makespan_seconds =
+          dispatch::modeled_serial_seconds(dfa, batch.text, cfg.cpu);
+      partition_matches(ac::find_all(dfa, batch.text), dfa, batch, out);
+      break;
+    case dispatch::Backend::kParallelCpu:
+      out.makespan_seconds =
+          dispatch::modeled_parallel_seconds(dfa, batch.text, cfg);
+      partition_matches(
+          ac::find_all_parallel(dfa, batch.text, cfg.parallel_threads), dfa,
+          batch, out);
+      break;
+    case dispatch::Backend::kGpuPipeline:
+      out = scan_batch(engine, dfa, batch);
+      break;
+  }
+  // The overflow fallback's host rescan is not a GPU timing — it would
+  // poison the GPU curve's correction, so only clean executions feed back.
+  if (!out.host_fallback)
+    dispatcher->observe(decision, sig, out.makespan_seconds);
   return out;
 }
 

@@ -36,6 +36,10 @@
 #include "telemetry/trace_context.h"
 #include "util/error.h"
 
+namespace acgpu::dispatch {
+class Dispatcher;
+}  // namespace acgpu::dispatch
+
 namespace acgpu::serve {
 
 /// One accepted chunk awaiting a bulk scan. Bytes are owned: the caller's
@@ -144,5 +148,16 @@ struct BatchScan {
 /// speed instead of dropping matches.
 BatchScan scan_batch(Engine& engine, const ac::Dfa& dfa,
                      const CoalescedBatch& batch);
+
+/// Dispatcher-aware variant (ServeOptions::dispatcher): consults the cost
+/// model per superbatch and runs the chosen backend — the host DFA paths
+/// (serial or the chunked parallel scan) execute exactly and report their
+/// modeled CPU seconds as the batch makespan, the GPU decision takes the
+/// engine path above (with its overflow fallback). Every executed decision
+/// is fed back through Dispatcher::observe. Null dispatcher = the classic
+/// always-engine behavior, bit-identical counters included.
+BatchScan scan_batch(Engine& engine, const ac::Dfa& dfa,
+                     const CoalescedBatch& batch,
+                     dispatch::Dispatcher* dispatcher);
 
 }  // namespace acgpu::serve

@@ -100,6 +100,10 @@ struct MetricHandles {
 
 struct StreamService::Impl {
   ServeOptions options;
+  /// Private device when ServeOptions::device is null (sized by the
+  /// engine options' gpu/device_memory_bytes). Declared before `engine`
+  /// so the engine is destroyed first.
+  std::unique_ptr<Device> owned_device;
   Engine engine;
   /// kPfacTail boundary automaton (kPfac variant only).
   std::unique_ptr<ac::PfacAutomaton> pfac;
@@ -122,8 +126,10 @@ struct StreamService::Impl {
   bool in_flight = false;  ///< a batch is being scanned right now
   std::thread worker;
 
-  Impl(ServeOptions opts, Engine eng, std::unique_ptr<ac::PfacAutomaton> pf)
+  Impl(ServeOptions opts, std::unique_ptr<Device> dev, Engine eng,
+       std::unique_ptr<ac::PfacAutomaton> pf)
       : options(std::move(opts)),
+        owned_device(std::move(dev)),
         engine(std::move(eng)),
         pfac(std::move(pf)),
         boundary(options.engine.variant == pipeline::KernelVariant::kPfac
@@ -210,10 +216,10 @@ struct StreamService::Impl {
     Stopwatch clock;
     if (options.background) {
       lk.unlock();
-      scan = scan_batch(engine, engine.dfa(), batch);
+      scan = scan_batch(engine, engine.dfa(), batch, options.dispatcher);
       lk.lock();
     } else {
-      scan = scan_batch(engine, engine.dfa(), batch);
+      scan = scan_batch(engine, engine.dfa(), batch, options.dispatcher);
     }
     const std::uint64_t scan_ns = clock.nanos();
 
@@ -307,15 +313,34 @@ ServeOptions with_forwarded_observer(const ServeOptions& options) {
   return opts;
 }
 
+/// Resolves the device the service's engine binds to: the caller's shared
+/// Device, or a private one sized by the engine options' gpu/memory fields.
+/// On success `*device` points at the live device (owned or not).
+Status resolve_device(const ServeOptions& opts,
+                      std::unique_ptr<Device>& owned, Device** device) {
+  *device = opts.device;
+  if (*device != nullptr) return Status::ok();
+  DeviceOptions dopt;
+  dopt.gpu = opts.engine.gpu;
+  dopt.memory_bytes = opts.engine.device_memory_bytes;
+  dopt.host_observer = opts.engine.host_observer;
+  Result<Device> dev = Device::create(dopt);
+  if (!dev.is_ok()) return dev.status();
+  owned = std::make_unique<Device>(std::move(dev.value()));
+  *device = owned.get();
+  return Status::ok();
+}
+
 }  // namespace
 
 Result<StreamService> StreamService::create(const ac::PatternSet& patterns,
                                             const ServeOptions& options) {
   if (Status s = options.validate(); !s) return s;
   const ServeOptions opts = with_forwarded_observer(options);
-  Result<Engine> engine =
-      opts.device != nullptr ? Engine::create(*opts.device, patterns, opts.engine)
-                             : Engine::create(patterns, opts.engine);
+  std::unique_ptr<Device> owned;
+  Device* device = nullptr;
+  if (Status s = resolve_device(opts, owned, &device); !s) return s;
+  Result<Engine> engine = Engine::create(*device, patterns, opts.engine);
   if (!engine.is_ok()) return engine.status();
   std::unique_ptr<ac::PfacAutomaton> pfac;
   if (opts.engine.variant == pipeline::KernelVariant::kPfac) {
@@ -325,7 +350,8 @@ Result<StreamService> StreamService::create(const ac::PatternSet& patterns,
       return Status::from_exception(e);
     }
   }
-  return StreamService(std::make_unique<Impl>(opts, std::move(engine).value(),
+  return StreamService(std::make_unique<Impl>(opts, std::move(owned),
+                                              std::move(engine).value(),
                                               std::move(pfac)));
 }
 
@@ -333,13 +359,14 @@ Result<StreamService> StreamService::create(ac::Dfa dfa,
                                             const ServeOptions& options) {
   if (Status s = options.validate(); !s) return s;
   const ServeOptions opts = with_forwarded_observer(options);
+  std::unique_ptr<Device> owned;
+  Device* device = nullptr;
+  if (Status s = resolve_device(opts, owned, &device); !s) return s;
   Result<Engine> engine =
-      opts.device != nullptr
-          ? Engine::create(*opts.device, std::move(dfa), opts.engine)
-          : Engine::create(std::move(dfa), opts.engine);
+      Engine::create(*device, std::move(dfa), opts.engine);
   if (!engine.is_ok()) return engine.status();
-  return StreamService(
-      std::make_unique<Impl>(opts, std::move(engine).value(), nullptr));
+  return StreamService(std::make_unique<Impl>(
+      opts, std::move(owned), std::move(engine).value(), nullptr));
 }
 
 Result<SessionId> StreamService::open() {

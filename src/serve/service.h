@@ -79,6 +79,15 @@ struct ServeOptions {
   /// externally owned acgpu::Device per shard; it must outlive the service.
   Device* device = nullptr;
 
+  /// Adaptive backend routing (dispatch/dispatcher.h): when set, every
+  /// coalesced superbatch is routed by the cost model — tiny batches run
+  /// on the host DFA (serial or parallel) instead of paying the device's
+  /// per-scan overhead, large ones still take the engine, and every
+  /// executed decision refines the model. The dispatcher is shareable and
+  /// thread-safe (the cluster tier points every shard at one); it must
+  /// outlive the service. Null = classic always-engine scanning.
+  dispatch::Dispatcher* dispatcher = nullptr;
+
   /// Offset for generated session ids (ids are namespace+1, namespace+2,
   /// ...). 0 keeps the classic deterministic 1,2,3 sequence; the cluster
   /// tier gives each shard a disjoint high-bits namespace so ids stay

@@ -35,7 +35,11 @@ std::vector<ac::Match> engine_reference(const ac::PatternSet& patterns,
   opt.gpu.num_sms = 4;
   opt.device_memory_bytes = 64u << 20;
   opt.threads_per_block = 64;
-  Engine engine = Engine::create(patterns, opt).value();
+  DeviceOptions dopt;
+  dopt.gpu = opt.gpu;
+  dopt.memory_bytes = opt.device_memory_bytes;
+  Device device = Device::create(dopt).value();
+  Engine engine = Engine::create(device, patterns, opt).value();
   auto scan = engine.scan(text);
   ACGPU_CHECK(scan.is_ok(), scan.status().to_string());
   ACGPU_CHECK(!scan.value().overflowed, "reference scan overflowed");
@@ -135,8 +139,9 @@ TEST(ClusterConformance, BulkScanSweepAgainstEngineScan) {
 
 TEST(ClusterConformance, OracleRouterAdapterIsRegisteredAndConforms) {
   const auto& names = oracle::registered_matcher_names();
-  EXPECT_EQ(names.size(), 16u);
-  EXPECT_EQ(names.back(), "router");
+  EXPECT_EQ(names.size(), 17u);
+  EXPECT_EQ(names.back(), "dispatch");
+  EXPECT_EQ(names[15], "router");
   auto matcher = oracle::make_matcher("router");
   ASSERT_NE(matcher, nullptr);
 

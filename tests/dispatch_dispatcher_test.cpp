@@ -1,0 +1,175 @@
+// The advisory Dispatcher: force policies, decision/misprediction
+// accounting, tune-cache traffic hooks, the dispatch.* telemetry mirror,
+// and thread-safety of choose/observe (serve workers and the router's
+// caller thread race on one shared instance — the TSan CI target).
+#include "dispatch/dispatcher.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ac/automaton.h"
+#include "ac/dfa.h"
+#include "ac/pattern_set.h"
+#include "telemetry/metrics_registry.h"
+
+namespace acgpu::dispatch {
+namespace {
+
+struct Fixture {
+  ac::PatternSet patterns{{"he", "she", "his", "hers"}};
+  ac::Automaton automaton{patterns};
+  ac::Dfa dfa{automaton, patterns, /*pad_pitch_to=*/8};
+};
+
+TEST(DispatchDispatcher, AutoFollowsTheModelAcrossTheCrossovers) {
+  Fixture fx;
+  Dispatcher dsp(fx.dfa);
+  // Uncalibrated analytic seed: serial < ~7 KiB < parallel < ~100 KiB < GPU.
+  const Decision tiny = dsp.choose(dsp.signature(std::string(1 << 10, 'a'),
+                                                 /*session=*/false));
+  EXPECT_EQ(tiny.backend, Backend::kSerialCpu);
+  EXPECT_FALSE(tiny.forced);
+  const Decision mid = dsp.choose(dsp.signature(std::string(32u << 10, 'a'),
+                                                /*session=*/false));
+  EXPECT_EQ(mid.backend, Backend::kParallelCpu);
+  const Decision large = dsp.choose(dsp.signature(std::string(4u << 20, 'a'),
+                                                  /*session=*/false));
+  EXPECT_EQ(large.backend, Backend::kGpuPipeline);
+
+  const DispatchStats stats = dsp.stats();
+  EXPECT_EQ(stats.decisions[static_cast<int>(Backend::kSerialCpu)], 1u);
+  EXPECT_EQ(stats.decisions[static_cast<int>(Backend::kParallelCpu)], 1u);
+  EXPECT_EQ(stats.decisions[static_cast<int>(Backend::kGpuPipeline)], 1u);
+}
+
+TEST(DispatchDispatcher, ForcePoliciesPinTheBackendAndMarkForced) {
+  Fixture fx;
+  Dispatcher dsp(fx.dfa);
+  const WorkloadSignature sig =
+      dsp.signature(std::string(32u << 10, 'a'), false);
+  EXPECT_EQ(dsp.choose(sig, ForcePolicy::kSerial).backend,
+            Backend::kSerialCpu);
+  EXPECT_EQ(dsp.choose(sig, ForcePolicy::kParallel).backend,
+            Backend::kParallelCpu);
+  EXPECT_EQ(dsp.choose(sig, ForcePolicy::kGpu).backend,
+            Backend::kGpuPipeline);
+  EXPECT_TRUE(dsp.choose(sig, ForcePolicy::kSerial).forced);
+
+  // kWorst picks the predicted-slowest backend: at 32 KiB that is serial.
+  const Decision worst = dsp.choose(sig, ForcePolicy::kWorst);
+  EXPECT_TRUE(worst.forced);
+  EXPECT_EQ(worst.backend, Backend::kSerialCpu);
+  const auto w = static_cast<std::size_t>(worst.backend);
+  for (int b = 0; b < kBackendCount; ++b)
+    EXPECT_GE(worst.prediction.seconds[w],
+              worst.prediction.seconds[static_cast<std::size_t>(b)]);
+}
+
+TEST(DispatchDispatcher, ConfiguredForcePolicyAppliesToPlainChoose) {
+  Fixture fx;
+  DispatcherOptions opt;
+  opt.force = ForcePolicy::kGpu;
+  Dispatcher dsp(fx.dfa, opt);
+  const Decision d = dsp.choose(dsp.signature("tiny", false));
+  EXPECT_EQ(d.backend, Backend::kGpuPipeline);
+  EXPECT_TRUE(d.forced);
+}
+
+TEST(DispatchDispatcher, MispredictionNeedsUnforcedAndMarginBreach) {
+  Fixture fx;
+  Dispatcher dsp(fx.dfa);
+  const WorkloadSignature sig =
+      dsp.signature(std::string(32u << 10, 'a'), false);
+
+  // Within margin of the runner-up: no misprediction.
+  Decision d = dsp.choose(sig);
+  dsp.observe(d, sig, d.prediction.runner_up_seconds * 1.05);
+  EXPECT_EQ(dsp.stats().mispredictions, 0u);
+
+  // Beyond the margin: counted.
+  d = dsp.choose(sig);
+  dsp.observe(d, sig, d.prediction.runner_up_seconds * 1.5);
+  EXPECT_EQ(dsp.stats().mispredictions, 1u);
+
+  // Forced decisions never count, however bad the actual.
+  const Decision forced = dsp.choose(sig, ForcePolicy::kWorst);
+  dsp.observe(forced, sig, forced.prediction.runner_up_seconds * 100.0);
+  EXPECT_EQ(dsp.stats().mispredictions, 1u);
+}
+
+TEST(DispatchDispatcher, TuneTrafficHooksFeedTheStats) {
+  Fixture fx;
+  Dispatcher dsp(fx.dfa);
+  dsp.note_tune_cache(/*hit=*/true);
+  dsp.note_tune_cache(/*hit=*/false);
+  dsp.note_tune_cache(/*hit=*/false);
+  dsp.note_tune();
+  const DispatchStats stats = dsp.stats();
+  EXPECT_EQ(stats.tune_cache_hits, 1u);
+  EXPECT_EQ(stats.tune_cache_misses, 2u);
+  EXPECT_EQ(stats.tunes, 1u);
+}
+
+TEST(DispatchDispatcher, TelemetryMirrorsTheStats) {
+  Fixture fx;
+  telemetry::MetricsRegistry registry;
+  DispatcherOptions opt;
+  opt.metrics = &registry;
+  Dispatcher dsp(fx.dfa, opt);
+
+  const WorkloadSignature tiny = dsp.signature("x", false);
+  dsp.choose(tiny);
+  dsp.choose(tiny, ForcePolicy::kGpu);
+  Decision d = dsp.choose(tiny);
+  dsp.observe(d, tiny, 1.0);  // 1 modeled second: a gross misprediction
+  dsp.note_tune_cache(false);
+  dsp.note_tune();
+
+  EXPECT_EQ(registry.counter("dispatch.decisions.serial").value(), 2u);
+  EXPECT_EQ(registry.counter("dispatch.decisions.gpu").value(), 1u);
+  EXPECT_EQ(registry.counter("dispatch.mispredictions").value(), 1u);
+  EXPECT_EQ(registry.counter("dispatch.tune_cache.misses").value(), 1u);
+  EXPECT_EQ(registry.counter("dispatch.tune_cache.tunes").value(), 1u);
+
+  const DispatchStats stats = dsp.stats();
+  EXPECT_EQ(stats.decisions[static_cast<int>(Backend::kSerialCpu)], 2u);
+  EXPECT_EQ(stats.mispredictions, 1u);
+}
+
+TEST(DispatchDispatcher, ChooseAndObserveAreThreadSafe) {
+  Fixture fx;
+  telemetry::MetricsRegistry registry;
+  DispatcherOptions opt;
+  opt.metrics = &registry;
+  Dispatcher dsp(fx.dfa, opt);
+
+  constexpr int kThreads = 4;
+  constexpr int kIters = 256;
+  const std::string texts[] = {std::string(512, 'a'),
+                               std::string(32u << 10, 'b'),
+                               std::string(1u << 20, 'c')};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&dsp, &texts, t] {
+      for (int i = 0; i < kIters; ++i) {
+        const std::string& text = texts[(t + i) % 3];
+        const WorkloadSignature sig =
+            dsp.signature(text, /*session=*/(i % 2) == 0);
+        const Decision d = dsp.choose(sig);
+        dsp.observe(d, sig, d.prediction.best_seconds * (1.0 + 0.01 * t));
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+
+  const DispatchStats stats = dsp.stats();
+  std::uint64_t total = 0;
+  for (int b = 0; b < kBackendCount; ++b) total += stats.decisions[b];
+  EXPECT_EQ(total, static_cast<std::uint64_t>(kThreads) * kIters);
+}
+
+}  // namespace
+}  // namespace acgpu::dispatch

@@ -1,0 +1,209 @@
+// The DispatchEngine facade end to end: routed scans must be match-exact
+// with the serial reference under every force policy (routing is a pure
+// scheduling decision), calibration must produce a measured GPU curve and
+// the anchor ladder, the autotune-on-miss path must populate a cache a
+// second engine replays without re-tuning, and a dispatcher-wired
+// StreamService must stay conformant while the census advances.
+#include "dispatch/dispatcher.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "ac/automaton.h"
+#include "ac/dfa.h"
+#include "ac/pattern_set.h"
+#include "ac/serial_matcher.h"
+#include "serve/service.h"
+#include "util/rng.h"
+
+namespace acgpu::dispatch {
+namespace {
+
+std::vector<std::string> test_patterns() {
+  return {"he", "she", "his", "hers", "abab"};
+}
+
+std::string make_text(std::size_t bytes, std::uint64_t seed) {
+  Rng rng(seed);
+  std::string text;
+  text.reserve(bytes);
+  const std::vector<std::string> pats = test_patterns();
+  while (text.size() < bytes) {
+    if (rng.next_below(64) == 0) {
+      const std::string& p = pats[rng.next_below(pats.size())];
+      text.append(p.substr(0, std::min(p.size(), bytes - text.size())));
+    } else {
+      text.push_back(static_cast<char>('a' + rng.next_below(26)));
+    }
+  }
+  return text;
+}
+
+DispatchEngineOptions fast_options() {
+  DispatchEngineOptions opt;
+  opt.engine.mode = gpusim::SimMode::Functional;
+  opt.engine.gpu.num_sms = 4;
+  opt.engine.device_memory_bytes = 128u << 20;
+  opt.engine.threads_per_block = 64;
+  // Per-THREAD record slots: the ~1-plant-per-64-bytes workload fits with
+  // room to spare, and the buffer stays small (capacity x threads records).
+  opt.engine.match_capacity = 256;
+  opt.calibrate = false;  // conformance only needs the analytic seed
+  return opt;
+}
+
+DispatchEngine make_engine(const DispatchEngineOptions& opt) {
+  auto r = DispatchEngine::create(ac::PatternSet(test_patterns()), opt);
+  ACGPU_CHECK(r.is_ok(), r.status().to_string());
+  return std::move(r).value();
+}
+
+TEST(DispatchEngine, EveryForcePolicyMatchesTheSerialReference) {
+  DispatchEngine engine = make_engine(fast_options());
+  static constexpr ForcePolicy kPolicies[] = {
+      ForcePolicy::kAuto, ForcePolicy::kSerial, ForcePolicy::kParallel,
+      ForcePolicy::kGpu, ForcePolicy::kWorst,
+  };
+  for (std::size_t bytes : {std::size_t{64}, std::size_t{1000},
+                            std::size_t{64u << 10}}) {
+    const std::string text = make_text(bytes, /*seed=*/bytes);
+    std::vector<ac::Match> expected = ac::find_all(engine.dfa(), text);
+    ac::normalize_matches(expected);
+    for (ForcePolicy policy : kPolicies) {
+      auto scan = engine.scan_with(text, policy);
+      ASSERT_TRUE(scan.is_ok()) << scan.status().to_string();
+      ASSERT_FALSE(scan.value().overflowed);
+      std::vector<ac::Match> got = std::move(scan).value().matches;
+      ac::normalize_matches(got);
+      EXPECT_EQ(got, expected) << "policy " << static_cast<int>(policy)
+                               << " at " << bytes << " bytes";
+    }
+  }
+}
+
+TEST(DispatchEngine, ForcedScansRunTheRequestedBackendAndReportIt) {
+  DispatchEngine engine = make_engine(fast_options());
+  const std::string text = make_text(4096, 7);
+  for (int b = 0; b < kBackendCount; ++b) {
+    const Backend backend = static_cast<Backend>(b);
+    auto scan = engine.scan_forced(text, backend);
+    ASSERT_TRUE(scan.is_ok()) << scan.status().to_string();
+    EXPECT_EQ(scan.value().backend, backend);
+    EXPECT_GT(scan.value().modeled_seconds, 0.0);
+  }
+  // All forced: no mispredictions, three decisions on the census.
+  const DispatchStats stats = engine.dispatcher().stats();
+  EXPECT_EQ(stats.mispredictions, 0u);
+  std::uint64_t total = 0;
+  for (int b = 0; b < kBackendCount; ++b) total += stats.decisions[b];
+  EXPECT_EQ(total, 3u);
+}
+
+TEST(DispatchEngine, EmptyTextIsAnEmptyResult) {
+  DispatchEngine engine = make_engine(fast_options());
+  auto scan = engine.scan("");
+  ASSERT_TRUE(scan.is_ok()) << scan.status().to_string();
+  EXPECT_TRUE(scan.value().matches.empty());
+}
+
+TEST(DispatchEngine, CalibrationInstallsAMeasuredGpuCurve) {
+  DispatchEngineOptions opt = fast_options();
+  opt.calibrate = true;
+  opt.engine.mode = gpusim::SimMode::Timed;  // probes are throughput-only
+  DispatchEngine engine = make_engine(opt);
+  const CostModel& model = engine.dispatcher().cost_model();
+  // The probe fit replaces the analytic seed; both legs must be sane.
+  EXPECT_GT(model.gpu_overhead_seconds(), 0.0);
+  EXPECT_GT(model.gpu_bytes_per_second(), 0.0);
+  EXPECT_GT(model.serial_cycles_per_byte(), 0.0);
+  // And the calibrated serial curve is concave: pricier per byte when tiny.
+  const WorkloadSignature tiny = engine.dispatcher().signature(
+      std::string(64, 'a'), false);
+  const WorkloadSignature big = engine.dispatcher().signature(
+      std::string(64u << 10, 'a'), false);
+  const double tiny_per_byte =
+      model.predict(Backend::kSerialCpu, tiny) / 64.0;
+  const double big_per_byte =
+      model.predict(Backend::kSerialCpu, big) / static_cast<double>(64u << 10);
+  EXPECT_GT(tiny_per_byte, big_per_byte);
+}
+
+TEST(DispatchEngine, AutotuneOnMissPopulatesACacheASecondEngineReplays) {
+  const std::string path = testing::TempDir() + "acgpu_dispatch_engine_cache.txt";
+  std::remove(path.c_str());
+
+  DispatchEngineOptions opt = fast_options();
+  opt.engine.mode = gpusim::SimMode::Timed;  // GPU-routed, match-free
+  opt.engine.device_memory_bytes = 256u << 20;
+  opt.calibrate = true;
+  opt.tune_cache_path = path;
+  opt.autotune_on_miss = true;
+  opt.tune_budget = TuneBudget::small();
+
+  const std::string text = make_text(2u << 20, 11);  // deep in GPU territory
+  {
+    DispatchEngine engine = make_engine(opt);
+    auto scan = engine.scan(text);
+    ASSERT_TRUE(scan.is_ok()) << scan.status().to_string();
+    EXPECT_EQ(scan.value().backend, Backend::kGpuPipeline);
+    const DispatchStats stats = engine.dispatcher().stats();
+    EXPECT_EQ(stats.tune_cache_misses, 1u);
+    EXPECT_EQ(stats.tunes, 1u);
+    EXPECT_GE(engine.tune_cache().size(), 1u);
+    ASSERT_TRUE(engine.save_tune_cache().is_ok());
+  }
+  {
+    DispatchEngine engine = make_engine(opt);
+    auto scan = engine.scan(text);
+    ASSERT_TRUE(scan.is_ok()) << scan.status().to_string();
+    EXPECT_EQ(scan.value().backend, Backend::kGpuPipeline);
+    const DispatchStats stats = engine.dispatcher().stats();
+    EXPECT_EQ(stats.tunes, 0u) << "second run must replay, not re-tune";
+    EXPECT_EQ(stats.tune_cache_hits, 1u);
+    EXPECT_EQ(stats.tune_cache_misses, 0u);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(DispatchEngine, ServeWiredDispatcherStaysConformant) {
+  const ac::PatternSet patterns(test_patterns());
+  const ac::Automaton automaton(patterns);
+  const ac::Dfa dfa(automaton, patterns, /*pad_pitch_to=*/8);
+  Dispatcher dispatcher(dfa);
+
+  serve::ServeOptions opt;
+  opt.engine.mode = gpusim::SimMode::Functional;
+  opt.engine.gpu.num_sms = 4;
+  opt.engine.device_memory_bytes = 64u << 20;
+  opt.engine.threads_per_block = 64;
+  opt.dispatcher = &dispatcher;
+  auto srv = serve::StreamService::create(patterns, opt);
+  ASSERT_TRUE(srv.is_ok()) << srv.status().to_string();
+
+  const std::string text = make_text(8192, 3);
+  std::vector<ac::Match> expected = ac::find_all(srv.value().dfa(), text);
+  ac::normalize_matches(expected);
+
+  const serve::SessionId id = srv.value().open().value();
+  for (std::size_t pos = 0; pos < text.size(); pos += 512)
+    ASSERT_TRUE(
+        srv.value().feed(id, std::string_view(text).substr(pos, 512)).is_ok());
+  ASSERT_TRUE(srv.value().drain().is_ok());
+  auto polled = srv.value().poll(id);
+  ASSERT_TRUE(polled.is_ok()) << polled.status().to_string();
+  std::vector<ac::Match> got = std::move(polled).value();
+  ac::normalize_matches(got);
+  EXPECT_EQ(got, expected);
+
+  // The service consulted the shared dispatcher for its superbatches.
+  const DispatchStats stats = dispatcher.stats();
+  std::uint64_t total = 0;
+  for (int b = 0; b < kBackendCount; ++b) total += stats.decisions[b];
+  EXPECT_GE(total, 1u);
+}
+
+}  // namespace
+}  // namespace acgpu::dispatch

@@ -55,7 +55,11 @@ TEST(HostcheckAudit, RepeatedScansOnOneEngineStayClean) {
   eo.batch_bytes = 1024;
   eo.match_capacity = 4096;
   eo.host_observer = &recorder;
-  Result<Engine> engine = Engine::create(w.patterns(), eo);
+  DeviceOptions dopt;
+  dopt.host_observer = &recorder;
+  Result<Device> device = Device::create(dopt);
+  ASSERT_TRUE(device.is_ok()) << device.status().message();
+  Result<Engine> engine = Engine::create(device.value(), w.patterns(), eo);
   ASSERT_TRUE(engine.is_ok()) << engine.status().message();
   for (int scan = 0; scan < 3; ++scan)
     ASSERT_TRUE(engine.value().scan(w.text()).is_ok());

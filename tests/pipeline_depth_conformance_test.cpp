@@ -88,7 +88,11 @@ TEST(PipelineDepthConformance, AllStreamDepthCombosMatchSingleShotScan) {
     eopt.streams = 1;
     eopt.batch_bytes = w.text().size() + 16;
     eopt.threads_per_block = 64;
-    Result<Engine> engine = Engine::create(w.patterns(), eopt);
+    DeviceOptions dopt;
+    dopt.gpu = eopt.gpu;
+    Result<Device> device = Device::create(dopt);
+    ASSERT_TRUE(device.is_ok()) << device.status().to_string();
+    Result<Engine> engine = Engine::create(device.value(), w.patterns(), eopt);
     ASSERT_TRUE(engine.is_ok()) << engine.status().to_string();
     Result<ScanResult> single = engine.value().scan(w.text());
     ASSERT_TRUE(single.is_ok()) << single.status().to_string();

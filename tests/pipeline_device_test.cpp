@@ -106,7 +106,12 @@ TEST(Device, DeprecatedShimStillScansOnPrivateDevice) {
   EngineOptions opt = fast_engine();
   opt.gpu.num_sms = 4;
   opt.device_memory_bytes = 64u << 20;
+  // Deliberate use: this is the one test keeping the deprecated shim
+  // covered until it is removed.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
   Engine engine = Engine::create(ac::PatternSet({"he"}), opt).value();
+#pragma GCC diagnostic pop
   // The shim's private device is real: registered, named, and health-gated.
   EXPECT_EQ(gpusim::device_name(engine.device().id()), engine.device().name());
   EXPECT_EQ(engine.scan("ushers").value().matches.size(), 1u);

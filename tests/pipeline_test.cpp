@@ -338,7 +338,11 @@ TEST(Engine, ScanMatchesSerialReference) {
   EngineOptions eopt;
   eopt.gpu = small_gpu();
   eopt.batch_bytes = 1024;
-  auto engine = Engine::create(patterns, eopt);
+  DeviceOptions dopt;
+  dopt.gpu = eopt.gpu;
+  auto device = Device::create(dopt);
+  ASSERT_TRUE(device.is_ok()) << device.status().to_string();
+  auto engine = Engine::create(device.value(), patterns, eopt);
   ASSERT_TRUE(engine.is_ok()) << engine.status().to_string();
 
   auto scan = engine.value().scan(text);
@@ -352,7 +356,9 @@ TEST(Engine, ScanMatchesSerialReference) {
 }
 
 TEST(Engine, EmptyPatternSetFails) {
-  auto engine = Engine::create(ac::PatternSet{});
+  auto device = Device::create({});
+  ASSERT_TRUE(device.is_ok());
+  auto engine = Engine::create(device.value(), ac::PatternSet{});
   ASSERT_FALSE(engine.is_ok());
   EXPECT_EQ(engine.status().code(), StatusCode::kInvalidArgument);
 }
@@ -362,7 +368,11 @@ TEST(Engine, PfacVariantScans) {
   eopt.gpu = small_gpu();
   eopt.variant = KernelVariant::kPfac;
   eopt.batch_bytes = 512;
-  auto engine = Engine::create(ac::PatternSet({"ab", "ba"}), eopt);
+  DeviceOptions dopt;
+  dopt.gpu = eopt.gpu;
+  auto device = Device::create(dopt);
+  ASSERT_TRUE(device.is_ok()) << device.status().to_string();
+  auto engine = Engine::create(device.value(), ac::PatternSet({"ab", "ba"}), eopt);
   ASSERT_TRUE(engine.is_ok()) << engine.status().to_string();
   const std::string text = random_text(2000, 53);
   auto scan = engine.value().scan(text);

@@ -48,7 +48,12 @@ std::vector<ac::Match> single_shot(const oracle::CompiledWorkload& w,
                                    const EngineOptions& engine_opt) {
   EngineOptions opt = engine_opt;
   opt.match_capacity = 1024;
-  auto engine = Engine::create(w.patterns(), opt);
+  DeviceOptions dopt;
+  dopt.gpu = opt.gpu;
+  dopt.memory_bytes = opt.device_memory_bytes;
+  auto device = Device::create(dopt);
+  ACGPU_CHECK(device.is_ok(), device.status().to_string());
+  auto engine = Engine::create(device.value(), w.patterns(), opt);
   if (engine.is_ok()) {
     auto scan = engine.value().scan(w.text());
     if (scan.is_ok() && !scan.value().overflowed) {

@@ -115,6 +115,7 @@ TEST(ServeScheduler, ForgetDropsOnlyThatSessionsChunks) {
 struct ScanFixture {
   ac::PatternSet patterns;
   ac::Dfa dfa;
+  Device device;
   Engine engine;
 
   static EngineOptions options(std::uint32_t match_capacity = 256) {
@@ -132,8 +133,18 @@ struct ScanFixture {
                        std::uint32_t match_capacity = 256)
       : patterns(pats),
         dfa(ac::build_dfa(patterns, 8)),
+        device([] {
+          const EngineOptions opt = options();
+          DeviceOptions dopt;
+          dopt.gpu = opt.gpu;
+          dopt.memory_bytes = opt.device_memory_bytes;
+          auto r = Device::create(dopt);
+          ACGPU_CHECK(r.is_ok(), r.status().to_string());
+          return std::move(r).value();
+        }()),
         engine([&] {
-          auto r = Engine::create(patterns, options(match_capacity));
+          auto r =
+              Engine::create(device, patterns, options(match_capacity));
           ACGPU_CHECK(r.is_ok(), r.status().to_string());
           return std::move(r).value();
         }()) {}

@@ -216,7 +216,9 @@ TEST(ChromeTrace, PipelineExportHasStreamAndEngineTracks) {
   opt.batch_bytes = 64 * 1024;
   opt.mode = gpusim::SimMode::Timed;
   opt.telemetry.tracer = &tracer;
-  Result<Engine> engine = Engine::create(patterns, opt);
+  Result<Device> device = Device::create({});
+  ASSERT_TRUE(device.is_ok()) << device.status().to_string();
+  Result<Engine> engine = Engine::create(device.value(), patterns, opt);
   ASSERT_TRUE(engine.is_ok()) << engine.status().to_string();
   Result<ScanResult> scan =
       engine.value().scan({corpus.data(), 256 * 1024});
